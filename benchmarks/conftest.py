@@ -1,0 +1,20 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment exactly once under pytest-benchmark
+(the experiments are deterministic simulations — wall-clock measures
+simulator throughput, while the asserted metrics are virtual-time
+quantities that do not vary between rounds).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under the benchmark timer."""
+    def runner(experiment_fn):
+        result = benchmark.pedantic(experiment_fn, rounds=1, iterations=1)
+        print()
+        print(result.render())
+        return result
+    return runner

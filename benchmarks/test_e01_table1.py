@@ -1,0 +1,16 @@
+"""E1 — regenerate Table 1 and check the orderings it supports."""
+
+from repro.bench.experiments import run_table1
+
+
+def test_e01_table1(run_experiment):
+    result = run_experiment(run_table1)
+    claims = result.claims
+    # Our measured operations match the published numbers exactly
+    # (they are the calibration targets).
+    assert claims["max_rel_error"] < 1e-6
+    # The §2.1 orderings the table is cited for:
+    assert claims["ws_overhead_below_2021_rtt"]
+    assert claims["ws_overhead_dwarfs_fast_rtt"]
+    assert claims["isolation_below_ws_overhead"]
+    assert claims["wasm_cheapest_isolation"]

@@ -1,0 +1,19 @@
+"""E2 — the NFS-vs-DynamoDB fetch comparison (latency + USD/M)."""
+
+from repro.bench.experiments import run_nfs_vs_kv
+
+
+def test_e02_nfs_vs_kv(run_experiment):
+    result = run_experiment(run_nfs_vs_kv)
+    claims = result.claims
+    # Latency shape: the managed KV is slower by a small multiple
+    # (paper: 2.9x), not by orders of magnitude and not faster.
+    assert 1.5 <= claims["kv_slower_factor"] <= 10.0
+    # Cost shape: the managed KV is dramatically (≈60x in the paper)
+    # more expensive per operation.
+    assert claims["kv_cost_factor"] >= 20.0
+    # Both land in the paper's millisecond-scale regime.
+    assert claims["nfs_latency_s"] < 0.005
+    assert claims["kv_latency_s"] < 0.010
+    # The managed KV bills exactly the paper's per-request price.
+    assert abs(claims["kv_usd_per_m"] - 0.18) < 1e-9

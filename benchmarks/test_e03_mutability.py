@@ -1,0 +1,20 @@
+"""E3 — Figure 1 transitions and the caching payoff of restriction."""
+
+from repro.bench.experiments import run_mutability
+
+
+def test_e03_mutability(run_experiment):
+    result = run_experiment(run_mutability)
+    claims = result.claims
+    # Exactly the Figure 1 lattice (restriction-only, IMMUTABLE sink).
+    assert claims["allowed_transitions"] == [
+        ("append_only", "immutable"),
+        ("fixed_size", "immutable"),
+        ("mutable", "append_only"),
+        ("mutable", "fixed_size"),
+        ("mutable", "immutable"),
+    ]
+    # Stable-content levels cache; volatile levels do not.
+    assert claims["immutable_repeat_speedup"] > 10.0
+    assert claims["append_only_cached"]
+    assert claims["mutable_never_cached"]

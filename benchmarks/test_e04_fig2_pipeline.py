@@ -1,0 +1,15 @@
+"""E4 — the Figure 2 pipeline under three deployment regimes."""
+
+from repro.bench.experiments import run_fig2_pipeline
+
+
+def test_e04_fig2_pipeline(run_experiment):
+    result = run_experiment(run_fig2_pipeline)
+    claims = result.claims
+    # §4.1: co-located PCSI approaches the monolith.
+    assert claims["colocate_vs_monolith"] < 1.5
+    # The naive disaggregated implementation is measurably worse.
+    assert claims["naive_vs_colocate"] > 1.05
+    # Ordering: monolith <= colocate < naive.
+    assert (claims["monolith_mean_s"] <= claims["colocate_mean_s"]
+            < claims["naive_mean_s"])

@@ -1,0 +1,16 @@
+"""E6 — per-stage independent scaling under load."""
+
+from repro.bench.experiments import run_stage_scaling
+
+
+def test_e06_stage_scaling(run_experiment):
+    result = run_experiment(run_stage_scaling)
+    claims = result.claims
+    pools = claims["stage_pools"]
+    # Every stage scaled on its own; sizes differ substantially.
+    assert set(pools) == {"preprocess", "infer", "postprocess"}
+    assert claims["pools_differ"]
+    # The system actually served the offered load.
+    assert claims["completed"] > 200
+    # GPU time is paid per-use, not held for the whole pipeline.
+    assert claims["pcsi_gpu_seconds"] < claims["monolith_gpu_seconds"]

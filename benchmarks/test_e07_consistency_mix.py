@@ -1,0 +1,13 @@
+"""E7 — the per-object consistency menu vs blunt alternatives."""
+
+from repro.bench.experiments import run_consistency_mix
+
+
+def test_e07_consistency_mix(run_experiment):
+    result = run_experiment(run_consistency_mix)
+    claims = result.claims
+    # The ordering the menu promises:
+    assert (claims["eventual_read_mean_s"] < claims["menu_read_mean_s"]
+            < claims["strong_read_mean_s"])
+    assert claims["menu_vs_all_strong_read_speedup"] > 1.2
+    assert claims["menu_write_mean_s"] < claims["strong_write_mean_s"]

@@ -1,0 +1,14 @@
+"""E8 — drop-in accelerator replacement behind the function interface."""
+
+from repro.bench.experiments import run_impl_swap
+
+
+def test_e08_impl_swap(run_experiment):
+    result = run_experiment(run_impl_swap)
+    claims = result.claims
+    # The swap sped the application up...
+    assert claims["speedup"] > 1.5
+    # ...traffic actually migrated to the new hardware...
+    assert claims["npu_served"] >= 1
+    # ...and no other stage changed implementation.
+    assert claims["other_stages_unchanged"]

@@ -1,0 +1,15 @@
+"""E9 — the REST protocol tax across network generations."""
+
+from repro.bench.experiments import run_rest_tax
+
+
+def test_e09_rest_tax(run_experiment):
+    result = run_experiment(run_rest_tax)
+    claims = result.claims
+    # The penalty grows monotonically as networks get faster.
+    assert claims["penalty_grows_with_network_speed"]
+    # On the emerging network, REST overhead is prohibitive (paper:
+    # "certainly become prohibitive on future fast networks").
+    assert claims["fast_net_penalty"] > 10.0
+    # On the 2005 network it was tolerable.
+    assert claims["ratios"]["dc-2005"] < 2.0

@@ -1,0 +1,13 @@
+"""E10 — repeated access checks vs capability references."""
+
+from repro.bench.experiments import run_auth
+
+
+def test_e10_auth(run_experiment):
+    result = run_experiment(run_auth)
+    claims = result.claims
+    # Per-op, the stateless check is ~70x the capability check.
+    assert claims["per_op_ratio"] > 20.0
+    # The session pays off within a handful of operations.
+    assert claims["crossover_ops"] <= 10
+    assert claims["asymptotic_ratio"] > 50.0

@@ -1,0 +1,10 @@
+"""E11 — reachability GC: exact reclamation, linear scaling."""
+
+from repro.bench.experiments import run_gc
+
+
+def test_e11_gc(run_experiment):
+    result = run_experiment(run_gc)
+    claims = result.claims
+    assert claims["exact_reclamation"]
+    assert claims["roughly_linear"]

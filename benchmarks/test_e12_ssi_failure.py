@@ -1,0 +1,14 @@
+"""E12 — failure semantics: transparent hang vs explicit error."""
+
+from repro.bench.experiments import run_ssi_failure
+
+
+def test_e12_ssi_failure(run_experiment):
+    result = run_experiment(run_ssi_failure)
+    claims = result.claims
+    # The SSI client waits out (essentially) the whole partition.
+    assert claims["ssi_blocked_until_heal"]
+    # The PCSI client holds an explicit error within ~milliseconds.
+    assert claims["pcsi_error_s"] < 0.01
+    # Orders of magnitude apart.
+    assert claims["pcsi_vs_ssi_factor"] > 1000.0

@@ -1,0 +1,15 @@
+"""E13 — provisioned replicas vs pay-per-use under bursty load."""
+
+from repro.bench.experiments import run_provisioned_vs_serverless
+
+
+def test_e13_provisioned_vs_serverless(run_experiment):
+    result = run_experiment(run_provisioned_vs_serverless)
+    claims = result.claims
+    # Pay-per-use wins on cost by a large factor on this duty cycle.
+    assert claims["cost_savings_factor"] > 5.0
+    # The trade: serverless pays cold starts at burst edges.
+    assert claims["serverless_cold_starts"] > 0
+    # Both systems actually absorbed the bursts.
+    assert claims["provisioned_p99_s"] < 1.0
+    assert claims["serverless_p99_s"] < 3.0

@@ -1,0 +1,17 @@
+"""E14 — bytes over the network per request, by placement policy."""
+
+from repro.bench.experiments import run_data_movement
+from repro.bench.experiments.e14_data_movement import CFG
+
+
+def test_e14_data_movement(run_experiment):
+    result = run_experiment(run_data_movement)
+    claims = result.claims
+    # Co-location cuts network traffic by a large factor.
+    assert claims["reduction_factor"] > 3.0
+    # Under co-location, what remains is essentially the unavoidable
+    # ingress of the upload itself (one network crossing).
+    assert claims["colocate_net_bytes"] < 1.5 * CFG.upload_nbytes
+    # The intermediate handoff became local copies.
+    assert claims["colocate_mostly_local"] or \
+        claims["colocate_net_bytes"] <= CFG.upload_nbytes * 1.01

@@ -1,0 +1,15 @@
+"""E15 — merge-based CRDTs vs central server vs eventual RMW."""
+
+from repro.bench.experiments import run_crdt_counters
+
+
+def test_e15_crdt_counters(run_experiment):
+    result = run_experiment(run_crdt_counters)
+    claims = result.claims
+    # Both principled implementations are exact.
+    assert claims["crdt_exact"]
+    assert claims["central_exact"]
+    # Faking a counter on LWW eventual storage silently loses updates.
+    assert claims["lww_lost_updates"] > 0
+    # The CRDT gets its exactness at lower latency than centralizing.
+    assert claims["crdt_faster_than_central"]

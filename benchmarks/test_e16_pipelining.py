@@ -1,0 +1,12 @@
+"""E16 — pipelined vs sequential composition through FIFOs."""
+
+from repro.bench.experiments import run_pipelining
+
+
+def test_e16_pipelining(run_experiment):
+    result = run_experiment(run_pipelining)
+    claims = result.claims
+    # Overlap is real: meaningfully faster than sequential...
+    assert claims["speedup"] > 1.2
+    # ...but bounded by the two-equal-stages ideal.
+    assert claims["speedup"] < 2.0

@@ -1,0 +1,14 @@
+"""E17 — the keep-alive window: cold starts vs held sandbox memory."""
+
+from repro.bench.experiments import run_keepalive
+
+
+def test_e17_keepalive(run_experiment):
+    result = run_experiment(run_keepalive)
+    claims = result.claims
+    # The cliff: a window shorter than the inter-arrival gap makes
+    # (nearly) every request a cold start.
+    assert claims["cliff_between_short_and_long"]
+    assert claims["short_latency_s"] > 5 * claims["long_latency_s"]
+    # The price of warmth: idle sandbox memory held.
+    assert claims["memory_tradeoff"]

@@ -1,0 +1,16 @@
+"""E18 — platform shootout: boot dominates cold, isolation is noise."""
+
+from repro.bench.experiments import run_platform_shootout
+
+
+def test_e18_platform_shootout(run_experiment):
+    result = run_experiment(run_platform_shootout)
+    claims = result.claims
+    # Cold-invoke ordering mirrors sandbox boot times exactly.
+    assert claims["cold_order_matches_boot"]
+    # Warm invocations differ by well under a millisecond across all
+    # four isolation technologies, despite 200 boundary crossings.
+    assert claims["warm_within_epsilon"] < 0.001
+    # And the per-op totals reflect Table 1's rows.
+    assert claims["wasm_isolation_total_s"] < \
+        claims["microvm_isolation_total_s"] / 10

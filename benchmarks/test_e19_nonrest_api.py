@@ -1,0 +1,17 @@
+"""E19 — 'a simple translation is unlikely to suffice', measured."""
+
+from repro.bench.experiments import run_nonrest_api
+
+
+def test_e19_nonrest_api(run_experiment):
+    result = run_experiment(run_nonrest_api)
+    claims = result.claims
+    # Dropping REST for a session helps...
+    assert claims["translation_gain"] > 1.2
+    # ...but the interface change buys much more on top of it.
+    assert claims["interface_gain_beyond_translation"] > \
+        claims["translation_gain"]
+    # The full ladder is strictly ordered.
+    assert (claims["pcsi_cached_s"] < claims["pcsi_eventual_s"]
+            < claims["pcsi_strong_s"] < claims["session_kv_s"]
+            < claims["rest_kv_s"])

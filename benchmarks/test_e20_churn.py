@@ -1,0 +1,16 @@
+"""E20 — reliability under machine churn, with and without retries."""
+
+from repro.bench.experiments import run_churn
+
+
+def test_e20_churn(run_experiment):
+    result = run_experiment(run_churn)
+    claims = result.claims
+    # Without retries, churn leaks failures to clients.
+    assert claims["no_retry_failures"] > 0
+    # With retries, every request eventually succeeds...
+    assert claims["retry_failures"] == 0
+    assert claims["retry_success"] == 1.0
+    assert claims["retries_used"] >= claims["no_retry_failures"]
+    # ...at bounded tail cost (a re-execution, not a meltdown).
+    assert claims["retry_p99_s"] < 2.0

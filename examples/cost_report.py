@@ -1,0 +1,92 @@
+"""Cost anatomy: what a day of bursty traffic costs, three ways.
+
+Runs the same bursty API workload against (a) a Kubernetes-style
+provisioned deployment sized for peak, (b) a PCSI serverless function,
+and (c) a REST microservice chain, then prints each bill broken down by
+line item — the §2.3/§2.4 economics in one table.
+
+Usage::
+
+    python examples/cost_report.py
+"""
+
+from repro.baselines import ProvisionedDeployment, WebServiceChain
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, PCSICloud
+from repro.faas import MICROVM
+from repro.sim import MINUTE, MS, RandomStream
+from repro.workloads import LoadDriver, bursty_rate
+
+SERVICE_TIME = 0.040           # 40 ms per request
+WORK_OPS = 2e9
+HORIZON = 20 * MINUTE
+RATE = bursty_rate(base=1.0, burst=60.0, period=5 * MINUTE,
+                   burst_fraction=0.1)
+
+
+def report(label: str, driver: LoadDriver, meter) -> None:
+    print(f"{label}")
+    print(f"  served {driver.completed} requests, "
+          f"p50 {driver.latencies.p50 * 1000:.1f} ms, "
+          f"p99 {driver.latencies.p99 * 1000:.1f} ms")
+    for category, usd in meter.breakdown().items():
+        print(f"    {category:<22} ${usd:.5f}")
+    print(f"    {'TOTAL':<22} ${meter.total_usd:.5f}\n")
+
+
+def provisioned() -> None:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, seed=3)
+    nodes = [n.node_id for n in cloud.topology.nodes[:2]]
+    dep = ProvisionedDeployment(cloud.sim, cloud.network, nodes,
+                                service_time=SERVICE_TIME,
+                                resources=cpu_task(cpus=4, memory_gb=8))
+    driver = LoadDriver(cloud.sim, RandomStream(3, "prov"), RATE, HORIZON)
+    client = cloud.client_node()
+    driver.start(lambda i: dep.handle(client))
+    cloud.run()
+    dep.settle_costs()
+    report("Provisioned deployment (2 always-on replicas)", driver,
+           dep.meter)
+
+
+def serverless() -> None:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, seed=3, keep_alive=60.0)
+    fn = cloud.define_function(
+        "api", [FunctionImpl("microvm", MICROVM,
+                             cpu_task(cpus=1, memory_gb=1),
+                             work_ops=WORK_OPS)])
+    driver = LoadDriver(cloud.sim, RandomStream(3, "srvless"), RATE,
+                        HORIZON)
+    client = cloud.client_node()
+
+    def handler(i):
+        yield from cloud.invoke(client, fn)
+
+    driver.start(handler)
+    cloud.run()
+    report("PCSI serverless (scale from zero)", driver, cloud.meter)
+
+
+def microservices() -> None:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, seed=3)
+    chain = WebServiceChain(cloud.sim, cloud.network,
+                            ["rack0-n2", "rack1-n2"],
+                            service_time=SERVICE_TIME / 2)
+    driver = LoadDriver(cloud.sim, RandomStream(3, "chain"), RATE,
+                        HORIZON)
+    client = cloud.client_node()
+    driver.start(lambda i: chain.handle(client))
+    cloud.run()
+    chain.settle_costs()
+    report(f"REST microservice chain (2 hops, "
+           f"{chain.auth_checks()} auth checks)", driver, chain.meter)
+
+
+def main() -> None:
+    provisioned()
+    serverless()
+    microservices()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Dynamic task graphs + layered namespaces: an analytics pipeline.
+
+Shows the second composition style of §3.1 — a driver function that
+spawns mappers at run time (Ray/Ciel-style ``invoke_async``) — plus two
+state-layer features the paper highlights:
+
+* immutable partitions are cached on the nodes that read them, so the
+  second run of the job is markedly faster;
+* a union namespace superimposes an experiment's scratch layer over
+  the read-only dataset layer (Docker-style layering, §3.2), with
+  copy-up isolating modifications.
+
+Usage::
+
+    python examples/data_pipeline.py
+"""
+
+from repro.core import PCSICloud
+from repro.net import SizedPayload
+from repro.workloads import AnalyticsConfig, AnalyticsJob
+
+
+def main() -> None:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, seed=5,
+                      keep_alive=600.0)
+    job = AnalyticsJob(cloud, AnalyticsConfig(partitions=8,
+                                              partition_nbytes=8 * 1024 ** 2))
+    client = cloud.client_node()
+
+    def scenario():
+        # Run the job twice: the second run reads every (immutable)
+        # partition from node-local caches.
+        lat1, result1 = yield from job.run_once(client)
+        lat2, result2 = yield from job.run_once(client)
+        print(f"run 1: {lat1 * 1000:8.1f} ms  "
+              f"(partitions={result1['partitions']})")
+        print(f"run 2: {lat2 * 1000:8.1f} ms  "
+              f"(cache hits so far: {cloud.data.cache_hits})")
+
+        # ---- layered namespaces -----------------------------------
+        # An experiment overlays its scratch layer on the dataset.
+        scratch = cloud.mkdir()
+        cloud.mount_union(scratch, [job.data_dir])
+        print("\nunion view of the dataset:",
+              cloud.listdir(scratch))
+
+        # Copy-up: modify partition 0 *in the scratch layer only*.
+        new_ref = yield from cloud.op_copy_up(client, scratch, "part-0")
+        yield from cloud.op_write(client, new_ref,
+                                  SizedPayload(1024, meta="patched"))
+        patched = yield from cloud.op_read(client, new_ref)
+        original_ref = yield from cloud.resolve(job.data_dir, "part-0")
+        original = yield from cloud.op_read(client, original_ref)
+        print(f"scratch part-0: {patched.nbytes} bytes ({patched.meta})")
+        print(f"dataset part-0: {original.nbytes} bytes "
+              f"({original.meta}) — untouched")
+
+        # Whiteout: hide a partition from the experiment only.
+        cloud.unlink(scratch, "part-7")
+        print("after whiteout, scratch sees:", cloud.listdir(scratch))
+        print("dataset still has:", cloud.listdir(job.data_dir))
+
+    cloud.run_process(scenario())
+
+    mappers = [i for i in cloud.scheduler.history if i.fn_name == "mapper"]
+    print(f"\nmapper invocations: {len(mappers)} across "
+          f"{len({i.executor_node for i in mappers})} nodes")
+
+
+if __name__ == "__main__":
+    main()

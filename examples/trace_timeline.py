@@ -1,0 +1,47 @@
+"""Visualizing a run: trace spans as a text Gantt chart.
+
+Serves a few Figure 2 requests with tracing on and renders the
+invocation timeline — cold starts, stage overlap across concurrent
+requests, and placements, all visible from the terminal.
+
+Usage::
+
+    python examples/trace_timeline.py
+"""
+
+from repro.bench import render_timeline, span_summary
+from repro.cluster import MB
+from repro.core import PCSICloud
+from repro.workloads import ModelServingApp, ModelServingConfig
+
+CFG = ModelServingConfig(upload_nbytes=512 * 1024, weights_nbytes=8 * MB)
+
+
+def main() -> None:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, gpu_nodes_per_rack=2,
+                      seed=6, keep_alive=600.0, trace=True)
+    app = ModelServingApp(cloud, CFG)
+    client = cloud.client_node()
+
+    # One sequential warm-up request, then three concurrent ones.
+    def warmup():
+        yield from app.serve_one(client)
+
+    cloud.run_process(warmup())
+
+    def request():
+        yield from app.serve_one(client)
+
+    for _ in range(3):
+        cloud.sim.spawn(request())
+    cloud.run()
+
+    print(render_timeline(cloud.tracer))
+    print("\nper-function summary:")
+    for fn, stats in sorted(span_summary(cloud.tracer).items()):
+        print(f"  {fn:<12} {stats['count']} invocations, "
+              f"{stats['cold']} cold, busy {stats['busy_s'] * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

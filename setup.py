@@ -1,0 +1,11 @@
+"""Legacy-toolchain shim.
+
+All packaging metadata lives in pyproject.toml; this file exists so
+environments without the ``wheel`` package (where PEP 660 editable
+installs fail) can still run ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` with old setuptools.
+"""
+
+from setuptools import setup
+
+setup()

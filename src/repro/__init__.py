@@ -1,0 +1,10 @@
+"""repro — a reference implementation of the Portable Cloud System
+Interface (PCSI) from "The RESTless Cloud" (HotOS '21).
+
+Public entry points are re-exported from :mod:`repro.core.system` once
+the full stack is imported; the simulation substrate lives in
+:mod:`repro.sim` and the cluster/storage/network substrates in their
+respective subpackages.
+"""
+
+__version__ = "1.0.0"

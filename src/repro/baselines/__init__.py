@@ -1,0 +1,15 @@
+"""Baselines the paper argues against, on the same simulated substrate."""
+
+from .faas_silo import SiloedFaaS
+from .k8s import ProvisionedDeployment, Replica
+from .monolith import MonolithicServer, PipelineStageSpec
+from .ssi import SSIFileSystem
+from .webservice import ChainStage, WebServiceChain
+
+__all__ = [
+    "MonolithicServer", "PipelineStageSpec",
+    "SSIFileSystem",
+    "ProvisionedDeployment", "Replica",
+    "SiloedFaaS",
+    "WebServiceChain", "ChainStage",
+]

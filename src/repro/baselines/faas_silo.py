@@ -1,0 +1,102 @@
+"""Today's serverless, faithfully siloed (§2.4).
+
+"A major shortcoming of serverless computing as it exists today is that
+it comprises disparate technologies residing in their own silos.
+Programmers are burdened with using disjoint application paradigms,
+data models, and security policies. Performance and efficiency also
+suffer."
+
+A :class:`SiloedFaaS` function autoscales like PCSI's pools, but every
+interaction with state leaves the platform: each read/write is a full
+REST call (marshal + HTTP + per-request auth) to a separately-operated
+managed KV service, and the scheduler has no visibility into data
+access patterns, so placement is naive. This is the architecture PCSI
+evolves *from*; experiments compare it against the integrated design.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster.network import Network
+from ..cluster.resources import ResourceVector
+from ..cost.accounting import CostMeter
+from ..faas.autoscale import WarmPool
+from ..faas.platforms import PlatformSpec
+from ..net.marshal import SizedPayload
+from ..net.rest import RestTransport
+from ..security.acl import AclAuthenticator, Token
+from ..security.capabilities import Right
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStream
+from ..storage.kvstore import ManagedKVService
+
+
+class SiloedFaaS:
+    """One serverless function wired to external storage over REST."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 platform: PlatformSpec, resources: ResourceVector,
+                 kv: ManagedKVService, work_ops: float,
+                 meter: Optional[CostMeter] = None,
+                 rng: Optional[RandomStream] = None,
+                 keep_alive: float = 60.0,
+                 token: Optional[Token] = None,
+                 authenticator: Optional[AclAuthenticator] = None):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.kv = kv
+        self.work_ops = work_ops
+        self.meter = meter if meter is not None else CostMeter()
+        self.rng = rng if rng is not None else RandomStream(0, f"silo:{name}")
+        self.token = token if token is not None else Token("function-role")
+        self.rest = RestTransport(network, authenticator=authenticator)
+        self.pool = WarmPool(sim, name, platform, resources,
+                             placer=self._random_placer(),
+                             keep_alive=keep_alive)
+        self.invocations = 0
+
+    def _random_placer(self):
+        def place(resources, platform, preferred_node=None):
+            # The silo has no data-locality information: random fit.
+            nodes = [n for n in self.network.topology.live_nodes()
+                     if n.has_device(platform.device_kind)
+                     and n.can_fit(resources)]
+            return self.rng.choice(nodes) if nodes else None
+        return place
+
+    def invoke(self, client_node: str, read_keys: List[str],
+               write_keys: List[str], value_nbytes: int = 1024
+               ) -> Generator:
+        """One invocation: REST-read inputs, compute, REST-write outputs.
+
+        Returns end-to-end latency.
+        """
+        start = self.sim.now
+        # Trigger: the client's REST call to the FaaS front end is
+        # approximated by a dispatch round trip.
+        yield from self.network.round_trip(client_node, self.kv.node_id,
+                                           512, 128, purpose="faas-trigger")
+        executor = yield from self.pool.acquire()
+        try:
+            node = executor.node.node_id
+            for key in read_keys:
+                yield self.sim.timeout(executor.isolation_cost(1))
+                yield from self.rest.call(
+                    node, self.kv, "get", {"key": key, "consistent": True},
+                    token=self.token, right=Right.READ)
+            if self.work_ops:
+                yield from executor.compute(self.work_ops)
+            for key in write_keys:
+                yield self.sim.timeout(executor.isolation_cost(1))
+                yield from self.rest.call(
+                    node, self.kv, "put",
+                    {"key": key, "payload": SizedPayload(value_nbytes)},
+                    token=self.token, right=Right.WRITE)
+        finally:
+            self.pool.release(executor)
+        memory_gb = executor.resources.memory / 1024 ** 3
+        self.meter.invocation(self.sim.now - start, memory_gb)
+        self.invocations += 1
+        return self.sim.now - start

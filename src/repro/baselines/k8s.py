@@ -1,0 +1,93 @@
+"""A Kubernetes-style provisioned deployment (§2.3).
+
+"Kubernetes and its ilk have been quite successful within their domain:
+scheduling of lightweight server instances. However they have little to
+offer in the way of state management or security."
+
+A :class:`ProvisionedDeployment` is a replica set: a fixed number of
+always-on server instances behind a load balancer. Capacity is chosen
+up front; requests queue when replicas are saturated; the operator pays
+for every replica-hour whether traffic arrives or not. Experiment E13
+runs bursty/diurnal load against this and against PCSI's
+scale-from-zero pools and compares cost and latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster.network import Network
+from ..cluster.resources import ResourceVector
+from ..cost.accounting import CostMeter, ProvisionedFleet
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+
+
+class Replica:
+    """One always-on server instance."""
+
+    def __init__(self, sim: Simulator, node_id: str, concurrency: int):
+        self.node_id = node_id
+        self.slots = Resource(sim, concurrency, name=f"replica:{node_id}")
+        self.served = 0
+
+
+class ProvisionedDeployment:
+    """A fixed replica set with round-robin load balancing."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 replica_nodes: List[str], service_time: float,
+                 resources: ResourceVector,
+                 concurrency_per_replica: int = 4,
+                 meter: Optional[CostMeter] = None,
+                 gpu: bool = False, name: str = "deployment"):
+        if not replica_nodes:
+            raise ValueError("deployment needs at least one replica")
+        if service_time <= 0:
+            raise ValueError("service time must be positive")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.service_time = service_time
+        self.meter = meter if meter is not None else CostMeter()
+        self.replicas: List[Replica] = []
+        for node_id in replica_nodes:
+            node = network.topology.node(node_id)
+            node.allocate(resources)  # capacity reserved up front
+            self.replicas.append(Replica(sim, node_id,
+                                         concurrency_per_replica))
+        self.fleet = ProvisionedFleet(sim, self.meter, name,
+                                      servers=float(len(replica_nodes)),
+                                      gpu=gpu)
+        self._rr = 0
+        self.requests = 0
+
+    def handle(self, client_node: str, request_nbytes: int = 1024,
+               response_nbytes: int = 1024) -> Generator:
+        """One request through the load balancer; returns latency."""
+        start = self.sim.now
+        replica = self.replicas[self._rr % len(self.replicas)]
+        self._rr += 1
+        yield from self.network.transfer(client_node, replica.node_id,
+                                         request_nbytes, purpose="lb-in")
+        yield replica.slots.acquire()
+        try:
+            yield self.sim.timeout(self.service_time)
+        finally:
+            replica.slots.release()
+        yield from self.network.transfer(replica.node_id, client_node,
+                                         response_nbytes, purpose="lb-out")
+        replica.served += 1
+        self.requests += 1
+        return self.sim.now - start
+
+    def settle_costs(self) -> None:
+        """Bill replica-hours up to now."""
+        self.fleet.settle()
+
+    def utilization_proxy(self, window: float) -> float:
+        """Requests per replica-second over a window (load indicator)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        return self.requests * self.service_time / (len(self.replicas)
+                                                    * window)

@@ -1,0 +1,85 @@
+"""The monolithic single-server baseline (§4.1's yardstick).
+
+"This implementation would achieve performance similar to a monolithic
+server-based service" — so we need that monolith to compare against. A
+:class:`MonolithicServer` owns one big machine, keeps all state in
+local memory, and runs a whole pipeline inline: stage compute on local
+devices, device copies between stages, no network, no isolation
+boundaries between stages. It is as fast as the hardware allows — and
+it bills for the whole reserved machine around the clock, which is the
+efficiency argument of §4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..cluster.network import Network
+from ..cluster.node import Node
+from ..cost.accounting import CostMeter, ProvisionedFleet
+from ..sim.engine import Simulator
+from ..sim.resources import Resource
+
+
+class PipelineStageSpec:
+    """One stage of a monolithic pipeline."""
+
+    def __init__(self, name: str, device_kind: str, work_ops: float,
+                 output_nbytes: int):
+        if work_ops < 0 or output_nbytes < 0:
+            raise ValueError("negative stage parameters")
+        self.name = name
+        self.device_kind = device_kind
+        self.work_ops = work_ops
+        self.output_nbytes = output_nbytes
+
+
+class MonolithicServer:
+    """A dedicated machine running an entire pipeline in-process."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str,
+                 stages: List[PipelineStageSpec],
+                 meter: Optional[CostMeter] = None,
+                 concurrency: int = 8, gpu: bool = True):
+        self.sim = sim
+        self.network = network
+        self.node: Node = network.topology.node(node_id)
+        for stage in stages:
+            if not self.node.has_device(stage.device_kind):
+                raise ValueError(
+                    f"monolith node lacks {stage.device_kind!r} "
+                    f"needed by stage {stage.name!r}")
+        self.stages = list(stages)
+        self.meter = meter if meter is not None else CostMeter()
+        self.fleet = ProvisionedFleet(sim, self.meter, "monolith",
+                                      servers=1.0, gpu=gpu)
+        self._slots = Resource(sim, concurrency, name="monolith")
+        self.requests_served = 0
+
+    def handle(self, client_node: str, input_nbytes: int) -> Generator:
+        """Serve one request end to end; returns (latency, output size)."""
+        start = self.sim.now
+        # Request travels from the client to the server once.
+        yield from self.network.transfer(client_node, self.node.node_id,
+                                         input_nbytes, purpose="monolith-in")
+        yield self._slots.acquire()
+        try:
+            nbytes = input_nbytes
+            for stage in self.stages:
+                # Inter-stage handoff is a local device copy.
+                yield self.sim.timeout(
+                    self.network.profile.device_copy_time(nbytes))
+                device = self.node.device(stage.device_kind)
+                yield self.sim.timeout(device.compute_time(stage.work_ops))
+                nbytes = stage.output_nbytes
+        finally:
+            self._slots.release()
+        # Response goes back.
+        yield from self.network.transfer(self.node.node_id, client_node,
+                                         nbytes, purpose="monolith-out")
+        self.requests_served += 1
+        return self.sim.now - start, nbytes
+
+    def settle_costs(self) -> None:
+        """Bill the reserved machine up to now."""
+        self.fleet.settle()

@@ -1,0 +1,91 @@
+"""A POSIX/SSI distributed OS baseline: location transparency (§2.2).
+
+"The problem with POSIX and locality-transparent operating system
+designs is the inverse of the problem with web services ... a remote
+file system that becomes unreachable may cause API responses not
+possible with a local file system."
+
+The :class:`SSIFileSystem` presents a single-system-image ``read``/
+``write`` API: callers cannot tell (and cannot specify) whether a path
+is served locally or remotely. The price of that transparency is
+faithful: when the backing node becomes unreachable, the call simply
+*blocks* — like a hard NFS mount — because the interface has no way to
+express "this might be remote and might fail". Experiment E12 contrasts
+this with PCSI's explicit, bounded-time error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..cluster.network import Network
+from ..sim.engine import Simulator
+from ..storage.blockstore import KeyNotFoundError, LocalStore, Medium, NVME, Record
+
+
+class SSIFileSystem:
+    """A location-transparent file namespace over cluster nodes.
+
+    Files are assigned to backing nodes by the administrator; the client
+    API never reveals this. All remote traffic uses the
+    location-transparent (non-fail-fast) network path.
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 medium: Medium = NVME):
+        self.sim = sim
+        self.network = network
+        self._stores: Dict[str, LocalStore] = {}
+        self._placement: Dict[str, str] = {}   # path -> node_id
+        self.ops_completed = 0
+
+    def _store_for(self, node_id: str) -> LocalStore:
+        if node_id not in self._stores:
+            self.network.topology.node(node_id)  # validate
+            self._stores[node_id] = LocalStore(self.sim, node_id, NVME)
+        return self._stores[node_id]
+
+    def place_file(self, path: str, node_id: str, nbytes: int) -> None:
+        """Administrator-side: create a file on a chosen backing node."""
+        store = self._store_for(node_id)
+        store._records[path] = Record(version=(1, "admin"), nbytes=nbytes,
+                                      timestamp=self.sim.now)
+        store.bytes_stored += nbytes
+        self._placement[path] = node_id
+
+    def read(self, client_node: str, path: str) -> Generator:
+        """POSIX-style read: local and remote are indistinguishable.
+
+        Blocks indefinitely if the backing node is unreachable — the
+        §2.2 pathology. Returns the file size.
+        """
+        backing = self._placement.get(path)
+        if backing is None:
+            raise KeyNotFoundError(path)
+        # Request reaches the backing node (transparently; no timeout).
+        yield from self.network.transfer(client_node, backing, 64,
+                                         fail_fast=False, purpose="ssi-req")
+        record = yield from self._stores[backing].read(path)
+        yield from self.network.transfer(backing, client_node,
+                                         record.nbytes, fail_fast=False,
+                                         purpose="ssi-data")
+        self.ops_completed += 1
+        return record.nbytes
+
+    def write(self, client_node: str, path: str, nbytes: int) -> Generator:
+        """POSIX-style write through the transparent layer."""
+        backing = self._placement.get(path)
+        if backing is None:
+            raise KeyNotFoundError(path)
+        yield from self.network.transfer(client_node, backing, nbytes,
+                                         fail_fast=False, purpose="ssi-wr")
+        store = self._stores[backing]
+        old = store.peek(path)
+        version = (old.version[0] + 1, client_node) if old else (1,
+                                                                 client_node)
+        yield from store.write(path, Record(version=version, nbytes=nbytes,
+                                            timestamp=self.sim.now))
+        yield from self.network.transfer(backing, client_node, 64,
+                                         fail_fast=False, purpose="ssi-ack")
+        self.ops_completed += 1
+        return nbytes

@@ -1,0 +1,97 @@
+"""A REST microservice chain: the web-services architecture of §2.1.
+
+An application built "the cloud way today": a pipeline of independently
+deployed web services, each fronted by a stateless REST endpoint. Every
+hop pays the full protocol tax; every service re-authenticates the
+caller. The chain is provisioned (each service has fixed replicas), so
+it also inherits the §2.3 cost profile.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster.network import Network
+from ..cost.accounting import CostMeter, ProvisionedFleet
+from ..net.rest import RestTransport
+from ..net.service import RequestContext, Service
+from ..security.acl import AclAuthenticator, Token
+from ..security.capabilities import Right
+from ..sim.engine import Simulator
+
+
+class ChainStage(Service):
+    """One microservice in the chain; does ``service_time`` of work."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str,
+                 name: str, service_time: float):
+        super().__init__(sim, network, node_id, name,
+                         service_time=service_time)
+        self.register("process", self._handle)
+
+    def _handle(self, ctx: RequestContext) -> Generator:
+        yield self.sim.timeout(0)
+        return {"stage": self.name, "bytes": ctx.body.get("bytes", 0)}
+
+
+class WebServiceChain:
+    """A pipeline deployed as N REST microservices."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 stage_nodes: List[str], service_time: float,
+                 meter: Optional[CostMeter] = None,
+                 authenticated: bool = True):
+        if not stage_nodes:
+            raise ValueError("chain needs at least one stage")
+        self.sim = sim
+        self.network = network
+        self.meter = meter if meter is not None else CostMeter()
+        self.authenticator: Optional[AclAuthenticator] = None
+        if authenticated:
+            self.authenticator = AclAuthenticator()
+        self.rest = RestTransport(network, authenticator=self.authenticator)
+        self.stages: List[ChainStage] = []
+        for i, node_id in enumerate(stage_nodes):
+            stage = ChainStage(sim, network, node_id, f"stage{i}",
+                               service_time)
+            if self.authenticator is not None:
+                self.authenticator.grant(stage.name, "caller", Right.READ)
+                self.authenticator.grant(stage.name, "service-account",
+                                         Right.READ)
+            self.stages.append(stage)
+        self.fleet = ProvisionedFleet(sim, self.meter, "webservice-chain",
+                                      servers=float(len(stage_nodes)))
+        self.requests = 0
+
+    def handle(self, client_node: str, payload_nbytes: int = 1024
+               ) -> Generator:
+        """One request through every stage; returns end-to-end latency.
+
+        The client calls stage0; each stage calls the next (service-to-
+        service REST, re-marshaled and re-authenticated at every hop).
+        """
+        start = self.sim.now
+        caller_node = client_node
+        token = Token("caller")
+        for stage in self.stages:
+            yield from self.rest.call(
+                caller_node, stage, "process",
+                {"bytes": payload_nbytes}, token=token,
+                resource=stage.name, right=Right.READ,
+                response_size_hint=payload_nbytes)
+            caller_node = stage.node_id
+            token = Token("service-account")
+        # Response hops back to the client directly from the last stage.
+        yield from self.network.transfer(self.stages[-1].node_id,
+                                         client_node, payload_nbytes,
+                                         purpose="chain-response")
+        self.requests += 1
+        return self.sim.now - start
+
+    def auth_checks(self) -> int:
+        """Total access-control checks performed (one per hop)."""
+        return (self.authenticator.checks_performed
+                if self.authenticator is not None else 0)
+
+    def settle_costs(self) -> None:
+        self.fleet.settle()

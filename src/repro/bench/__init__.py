@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment runners and table rendering."""
+
+from .result import ExperimentResult
+from .timeline import render_timeline, span_summary
+from .tables import (
+    fmt_bytes,
+    fmt_ms,
+    fmt_ns,
+    fmt_us,
+    fmt_usd_per_million,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentResult", "format_table",
+    "fmt_ns", "fmt_us", "fmt_ms", "fmt_usd_per_million", "fmt_bytes",
+    "render_timeline", "span_summary",
+]

@@ -1,0 +1,31 @@
+"""Run every experiment and print its table.
+
+Usage::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench E2 E4      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def main(argv) -> int:
+    wanted = [a.upper() for a in argv] or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for exp_id in wanted:
+        result = ALL_EXPERIMENTS[exp_id]()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

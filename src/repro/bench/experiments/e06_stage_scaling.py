@@ -1,0 +1,117 @@
+"""E6 — §4.2: independent per-stage scaling vs monolithic scaling.
+
+"Preprocessing functions can be scaled independently of the GPU-enabled
+model functions, precisely matching resource demands."
+
+We drive the Figure 2 pipeline with an open-loop stream. PCSI grows a
+separate warm pool per stage, so the CPU-heavy preprocess stage scales
+to many sandboxes while the short postprocess stage stays at one or
+two, and GPUs are held only for the inference stage's busy time. The
+monolithic alternative must replicate *whole GPU servers* sized for
+the end-to-end pipeline time, so its reserved GPU-seconds dwarf the
+GPU time actually used.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator
+
+from ...cluster.resources import KB, MB
+from ...core.system import PCSICloud
+from ...sim.rng import RandomStream
+from ...workloads.arrivals import LoadDriver, constant_rate
+from ...workloads.ml_serving import ModelServingApp, ModelServingConfig
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+#: Preprocess is deliberately the heavy CPU stage here (e.g. video
+#: transcode before a cheap model): 60 ms CPU, 25 ms GPU, 2 ms post.
+CFG = ModelServingConfig(upload_nbytes=512 * KB, weights_nbytes=16 * MB,
+                         pre_work=2.1e9, infer_work=2.5e10, post_work=1e8)
+RATE = 40.0
+HORIZON = 10.0
+MONOLITH_CONCURRENCY = 4
+
+
+def run_stage_scaling() -> ExperimentResult:
+    """Regenerate the independent-scaling comparison."""
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, gpu_nodes_per_rack=2,
+                      seed=61, keep_alive=600.0)
+    app = ModelServingApp(cloud, CFG)
+    client = cloud.client_node()
+
+    def warmup() -> Generator:
+        # Avoid a cold-start thundering herd confounding pool sizes:
+        # serve a few sequential requests so each stage has one warm
+        # sandbox before load begins.
+        for _ in range(3):
+            yield from app.serve_one(client)
+
+    cloud.run_process(warmup())
+    warmup_invocations = len(cloud.scheduler.history)
+    driver = LoadDriver(cloud.sim, RandomStream(61, "e06"),
+                        constant_rate(RATE),
+                        horizon=cloud.sim.now + HORIZON)
+
+    def handler(i: int) -> Generator:
+        yield from app.serve_one(client)
+
+    driver.start(handler)
+    cloud.run()
+    del cloud.scheduler.history[:warmup_invocations]
+
+    pool_peaks = cloud.scheduler.pool_peaks()
+    stage_pools: Dict[str, int] = {
+        name.split("/")[0]: size for name, size in pool_peaks.items()}
+    busy: Dict[str, float] = {}
+    for inv in cloud.scheduler.history:
+        busy[inv.fn_name] = busy.get(inv.fn_name, 0.0) + inv.service_time
+
+    # The load window, not the post-horizon keep-alive drain.
+    elapsed = HORIZON
+    pipeline_time = sum(busy.values()) / max(driver.completed, 1)
+    monolith_servers = max(1, math.ceil(
+        RATE * pipeline_time / MONOLITH_CONCURRENCY))
+    # The monolith reserves whole accelerator machines (4 GPUs each)
+    # for the duration; PCSI bills only the inference stage's busy
+    # device time (§2.4 pay-per-use).
+    gpus_per_server = 4
+    monolith_gpu_seconds = monolith_servers * elapsed * gpus_per_server
+    pcsi_gpu_seconds = busy.get("infer", 0.0)
+
+    rows = []
+    for stage in ("preprocess", "infer", "postprocess"):
+        rows.append((stage, stage_pools.get(stage, 0),
+                     f"{busy.get(stage, 0.0):.1f}",
+                     fmt_ms(busy.get(stage, 0.0)
+                            / max(driver.completed, 1))))
+    rows.append(("monolith equivalent", monolith_servers,
+                 f"{monolith_gpu_seconds:.1f}", "whole pipeline"))
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Independent stage scaling under load "
+              f"({RATE:.0f} req/s, {driver.completed} served)",
+        headers=("Stage", "Peak sandboxes", "Busy seconds",
+                 "Per-request"),
+        rows=rows,
+        claims={
+            "stage_pools": stage_pools,
+            "pools_differ": (max(stage_pools.values())
+                             >= 2 * max(1, min(stage_pools.values()))),
+            "pcsi_gpu_seconds": pcsi_gpu_seconds,
+            "monolith_gpu_seconds": monolith_gpu_seconds,
+            "gpu_savings_factor": monolith_gpu_seconds
+            / max(pcsi_gpu_seconds, 1e-9),
+            "p99_s": driver.latencies.p99,
+            "completed": driver.completed,
+        },
+        notes=[
+            "Each stage's pool scales independently "
+            f"({stage_pools}); a monolithic deployment would hold "
+            f"{monolith_servers} whole GPU server(s) for the same load.",
+            "The GPU pool's peak includes cold-start amplification "
+            "(requests arriving during a 2 s GPU sandbox boot each "
+            "provision their own) — the FaaS behavior the paper's "
+            "pay-per-use model accepts in exchange for scale-to-zero.",
+        ])

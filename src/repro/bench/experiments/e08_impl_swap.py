@@ -1,0 +1,103 @@
+"""E8 — §4.3 "Making it Flexible": drop-in hardware replacement.
+
+"To take advantage of the latest accelerator, PCSI developers may need
+to modify their neural network function implementation, but the rest of
+the application would remain unchanged."
+
+We serve the Figure 2 pipeline on its GPU implementation, then register
+an additional NPU implementation of *only* the inference function —
+same name, same arguments, same graph — on machines that carry the new
+accelerator. The optimizer (INFaaS-style, with cold starts amortized
+over a steady stream) migrates traffic; preprocess and postprocess are
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...cluster.resources import KB, MB, ResourceVector
+from ...cluster.topology import build_cluster
+from ...cluster.resources import server_node
+from ...core.functions import FunctionImpl
+from ...core.system import PCSICloud
+from ...faas.platforms import NPU_CONTAINER
+from ...sim.engine import Simulator
+from ...sim.metrics import Histogram
+from ...workloads.ml_serving import ModelServingApp, ModelServingConfig
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+CFG = ModelServingConfig(upload_nbytes=256 * KB, weights_nbytes=16 * MB,
+                         infer_work=1e11)  # 100 ms GPU / 25 ms NPU
+WARM_REQUESTS = 8
+
+
+def run_impl_swap() -> ExperimentResult:
+    """Regenerate the hardware-swap experiment."""
+    # A cluster whose accelerator nodes carry both GPUs and the
+    # newly-deployed NPUs.
+    sim = Simulator()
+    topology = build_cluster(
+        sim, racks=4, nodes_per_rack=8, gpu_nodes_per_rack=2,
+        gpu_node_capacity=server_node(gpu=4, npu=4))
+    cloud = PCSICloud(sim, topology=topology, seed=81, keep_alive=600.0)
+    cloud.optimizer.cold_start_amortization = 50
+    app = ModelServingApp(cloud, CFG)
+    client = cloud.client_node()
+
+    before = Histogram("gpu-era")
+    after = Histogram("npu-era")
+
+    def flow() -> Generator:
+        # Era 1: GPU implementation only.
+        for i in range(WARM_REQUESTS + 1):
+            latency, _result = yield from app.serve_one(client)
+            if i > 0:
+                before.observe(latency)
+        # Deploy the new accelerator implementation — one line of
+        # application change, scoped to the inference function.
+        cloud.function_def(app.infer).add_impl(FunctionImpl(
+            "npu", NPU_CONTAINER,
+            ResourceVector(cpus=2, memory=8 * 1024 ** 3,
+                           accelerators={"npu": 1}),
+            work_ops=CFG.infer_work))
+        # Era 2: the optimizer migrates inference traffic.
+        for i in range(WARM_REQUESTS + 1):
+            latency, _result = yield from app.serve_one(client)
+            if i > 0:
+                after.observe(latency)
+
+    cloud.run_process(flow())
+
+    npu_invocations = sum(1 for inv in cloud.scheduler.history
+                          if inv.fn_name == "infer"
+                          and inv.impl_name == "npu")
+    other_stage_impls = {inv.fn_name: inv.impl_name
+                         for inv in cloud.scheduler.history
+                         if inv.fn_name != "infer"}
+    speedup = before.mean / after.mean
+    rows = [
+        ("GPU era (warm)", fmt_ms(before.mean), fmt_ms(before.p99)),
+        ("NPU era (warm)", fmt_ms(after.mean), fmt_ms(after.p99)),
+    ]
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Drop-in accelerator swap: infer impl GPU -> NPU",
+        headers=("Era", "Mean latency", "p99"),
+        rows=rows,
+        claims={
+            "before_mean_s": before.mean,
+            "after_mean_s": after.mean,
+            "speedup": speedup,
+            "npu_served": npu_invocations,
+            "other_stages_unchanged": other_stage_impls
+            == {"preprocess": "wasm", "postprocess": "container"},
+        },
+        notes=[
+            f"End-to-end latency improved {speedup:.2f}x; only the "
+            "inference function gained an implementation — the graph, "
+            "arguments, and the other two stages are byte-identical.",
+            f"{npu_invocations} of the second era's inferences ran on "
+            "the NPU (the optimizer migrated traffic itself).",
+        ])

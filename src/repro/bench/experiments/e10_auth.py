@@ -1,0 +1,57 @@
+"""E10 — §2.1/§3.2: repeated access checks vs capability references.
+
+"Statelessness is particularly fundamental, and has consequences such
+as repeated access control checks." We issue N operations under both
+models and account for access-control work only: the stateless path
+cryptographically validates a bearer token and walks an ACL on *every*
+call; the stateful path verifies the credential once at session open
+and then performs constant-time capability table checks.
+"""
+
+from __future__ import annotations
+
+from ...security.acl import STATELESS_AUTH_TIME
+from ...security.capabilities import (
+    CAPABILITY_CHECK_TIME,
+    CAPABILITY_MINT_TIME,
+)
+from ..result import ExperimentResult
+from ..tables import fmt_us
+
+OP_COUNTS = (1, 10, 100, 1000, 10000)
+
+
+def run_auth() -> ExperimentResult:
+    """Regenerate the access-control cost comparison."""
+    rows = []
+    crossover = None
+    for n in OP_COUNTS:
+        stateless = n * STATELESS_AUTH_TIME
+        stateful = CAPABILITY_MINT_TIME + n * CAPABILITY_CHECK_TIME
+        ratio = stateless / stateful
+        if crossover is None and stateless > stateful:
+            crossover = n
+        rows.append((n, fmt_us(stateless), fmt_us(stateful),
+                     f"{ratio:.1f}x"))
+    per_op_stateless = STATELESS_AUTH_TIME
+    per_op_stateful = CAPABILITY_CHECK_TIME
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Access-control time: per-request tokens vs capabilities",
+        headers=("Ops", "Stateless total", "Capability total",
+                 "Stateless penalty"),
+        rows=rows,
+        claims={
+            "per_op_stateless_s": per_op_stateless,
+            "per_op_stateful_s": per_op_stateful,
+            "per_op_ratio": per_op_stateless / per_op_stateful,
+            "crossover_ops": crossover,
+            "asymptotic_ratio": STATELESS_AUTH_TIME
+            / CAPABILITY_CHECK_TIME,
+        },
+        notes=[
+            "One cryptographic validation amortized over a session vs "
+            "one per request: the stateless design re-pays "
+            f"{fmt_us(STATELESS_AUTH_TIME)} on every call where a "
+            f"capability check costs {fmt_us(CAPABILITY_CHECK_TIME)}.",
+        ])

@@ -1,0 +1,116 @@
+"""E13 — §2.3/§2.4: provisioned capacity vs scale-from-zero.
+
+Kubernetes-style deployments reserve replicas for peak; serverless
+"abstraction that hides servers, pay-per-use without capacity
+reservations, and autoscaling from zero" bills only for work done. We
+run the same bursty workload (long idle valleys, short sharp bursts)
+against a peak-sized provisioned deployment and a PCSI function pool,
+and compare dollars and latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from ...baselines.k8s import ProvisionedDeployment
+from ...cluster.resources import cpu_task
+from ...core.functions import FunctionImpl
+from ...core.system import PCSICloud
+from ...faas.platforms import MICROVM
+from ...sim.engine import MINUTE, MS
+from ...sim.rng import RandomStream
+from ...workloads.arrivals import LoadDriver, bursty_rate
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+SERVICE_TIME_WORK = 6e9              # ~120 ms on a core
+SERVICE_TIME = 0.120
+BASE_RATE = 0.5                      # requests/s in the valley
+BURST_RATE = 120.0                   # requests/s during bursts
+BURST_PERIOD = 10 * MINUTE
+BURST_FRACTION = 0.05                # 30 s of burst every 10 min
+HORIZON = 30 * MINUTE
+CONCURRENCY_PER_REPLICA = 2
+
+
+def _provisioned() -> dict:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, gpu_nodes_per_rack=0,
+                      seed=131)
+    # Sized for the peak, as an always-on deployment must be.
+    replicas_needed = math.ceil(BURST_RATE * SERVICE_TIME
+                                / CONCURRENCY_PER_REPLICA)
+    nodes = [n.node_id for n in cloud.topology.nodes[:replicas_needed]]
+    dep = ProvisionedDeployment(
+        cloud.sim, cloud.network, nodes, service_time=SERVICE_TIME,
+        resources=cpu_task(cpus=4, memory_gb=8),
+        concurrency_per_replica=CONCURRENCY_PER_REPLICA)
+    driver = LoadDriver(cloud.sim, RandomStream(131, "prov"),
+                        bursty_rate(BASE_RATE, BURST_RATE, BURST_PERIOD,
+                                    BURST_FRACTION), horizon=HORIZON)
+    client = cloud.client_node()
+
+    def handler(i: int) -> Generator:
+        yield from dep.handle(client)
+
+    driver.start(handler)
+    cloud.run()
+    dep.settle_costs()
+    return {"label": f"provisioned ({replicas_needed} replicas)",
+            "usd": dep.meter.total_usd,
+            "driver": driver}
+
+
+def _serverless() -> dict:
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, gpu_nodes_per_rack=0,
+                      seed=131, keep_alive=60.0)
+    fn = cloud.define_function(
+        "api", [FunctionImpl("microvm", MICROVM,
+                             cpu_task(cpus=1, memory_gb=1),
+                             work_ops=SERVICE_TIME_WORK)])
+    driver = LoadDriver(cloud.sim, RandomStream(131, "srvless"),
+                        bursty_rate(BASE_RATE, BURST_RATE, BURST_PERIOD,
+                                    BURST_FRACTION), horizon=HORIZON)
+    client = cloud.client_node()
+
+    def handler(i: int) -> Generator:
+        yield from cloud.invoke(client, fn)
+
+    driver.start(handler)
+    cloud.run()
+    return {"label": "serverless (scale from zero)",
+            "usd": cloud.meter.total_usd,
+            "driver": driver,
+            "cold_starts": cloud.scheduler.cold_start_count()}
+
+
+def run_provisioned_vs_serverless() -> ExperimentResult:
+    """Regenerate the provisioning-vs-pay-per-use comparison."""
+    prov = _provisioned()
+    srvless = _serverless()
+
+    rows = []
+    for r in (prov, srvless):
+        d = r["driver"]
+        rows.append((r["label"], d.completed, f"${r['usd']:.4f}",
+                     fmt_ms(d.latencies.p50), fmt_ms(d.latencies.p99)))
+    savings = prov["usd"] / srvless["usd"]
+    return ExperimentResult(
+        experiment_id="E13",
+        title=f"Bursty load for {HORIZON / 60:.0f} min "
+              f"({BASE_RATE}/s valleys, {BURST_RATE:.0f}/s bursts)",
+        headers=("Deployment", "Served", "Cost", "p50", "p99"),
+        rows=rows,
+        claims={
+            "provisioned_usd": prov["usd"],
+            "serverless_usd": srvless["usd"],
+            "cost_savings_factor": savings,
+            "provisioned_p99_s": prov["driver"].latencies.p99,
+            "serverless_p99_s": srvless["driver"].latencies.p99,
+            "serverless_cold_starts": srvless["cold_starts"],
+        },
+        notes=[
+            f"Pay-per-use is {savings:.1f}x cheaper on this duty cycle; "
+            "the price is cold-start latency at the leading edge of "
+            f"each burst ({srvless['cold_starts']} cold starts).",
+        ])

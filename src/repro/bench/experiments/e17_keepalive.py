@@ -1,0 +1,93 @@
+"""E17 (extension) — the keep-alive knob: cold starts vs held memory.
+
+DESIGN.md calls out scale-to-zero as a design choice worth ablating.
+The warm-pool keep-alive window trades two provider/user costs against
+each other:
+
+* reap aggressively → sandboxes vanish between requests → every
+  request pays a cold start;
+* keep warm for minutes → latency is flat → the platform holds idle
+  sandbox memory the whole time (the §2.4 "abstraction that hides
+  servers" has a real footprint behind it).
+
+We sweep the window under periodic traffic whose inter-arrival time
+(5 s) sits between the settings, so the knob's cliff is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ...cluster.resources import cpu_task
+from ...core.functions import FunctionImpl
+from ...core.system import PCSICloud
+from ...faas.platforms import CONTAINER
+from ..result import ExperimentResult
+from ..tables import fmt_ms
+
+REQUESTS = 40
+INTER_ARRIVAL = 5.0
+KEEP_ALIVES = (1.0, 10.0, 60.0)
+WORK_OPS = 1e9  # ~20 ms
+
+
+def _run(keep_alive: float) -> dict:
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=171, keep_alive=keep_alive)
+    fn = cloud.define_function(
+        "periodic", [FunctionImpl("container", CONTAINER,
+                                  cpu_task(cpus=1, memory_gb=1),
+                                  work_ops=WORK_OPS)])
+    client = cloud.client_node()
+    latencies = []
+
+    def flow() -> Generator:
+        for _ in range(REQUESTS):
+            t0 = cloud.sim.now
+            yield from cloud.invoke(client, fn)
+            latencies.append(cloud.sim.now - t0)
+            yield cloud.sim.timeout(INTER_ARRIVAL)
+
+    cloud.run_process(flow())
+    window_end = cloud.sim.now
+    pool = next(iter(cloud.scheduler._pools.values()))
+    return {
+        "keep_alive": keep_alive,
+        "cold_starts": pool.cold_starts,
+        "mean_latency": sum(latencies) / len(latencies),
+        "held_seconds": pool.live_executor_seconds(window_end),
+    }
+
+
+def run_keepalive() -> ExperimentResult:
+    """Regenerate the keep-alive ablation."""
+    runs = [_run(ka) for ka in KEEP_ALIVES]
+    rows = [(f"{r['keep_alive']:.0f} s", r["cold_starts"],
+             fmt_ms(r["mean_latency"]), f"{r['held_seconds']:.0f} s")
+            for r in runs]
+    short, mid, long_ = runs
+    return ExperimentResult(
+        experiment_id="E17",
+        title=f"Keep-alive sweep: {REQUESTS} requests, one every "
+              f"{INTER_ARRIVAL:.0f} s",
+        headers=("Keep-alive", "Cold starts", "Mean latency",
+                 "Sandbox-seconds held"),
+        rows=rows,
+        claims={
+            "short_cold": short["cold_starts"],
+            "long_cold": long_["cold_starts"],
+            "short_latency_s": short["mean_latency"],
+            "long_latency_s": long_["mean_latency"],
+            "short_held_s": short["held_seconds"],
+            "long_held_s": long_["held_seconds"],
+            "cliff_between_short_and_long":
+                short["cold_starts"] > 10 * long_["cold_starts"],
+            "memory_tradeoff":
+                long_["held_seconds"] > 3 * short["held_seconds"],
+        },
+        notes=[
+            "Below the inter-arrival time every request cold-starts; "
+            "above it latency flattens and the platform pays in idle "
+            "sandbox memory instead — the knob behind serverless "
+            "latency folklore.",
+        ])

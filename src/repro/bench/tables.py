@@ -1,0 +1,72 @@
+"""ASCII tables for experiment output.
+
+Every experiment renders to the same row/column format the paper's
+tables use so EXPERIMENTS.md and terminal output stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("need headers")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def fmt_ns(seconds: float) -> str:
+    """Format a latency the way Table 1 does (nanoseconds, grouped)."""
+    return f"{seconds / 1e-9:,.0f} ns"
+
+
+def fmt_us(seconds: float) -> str:
+    """Microseconds with one decimal."""
+    return f"{seconds / 1e-6:,.1f} us"
+
+
+def fmt_ms(seconds: float) -> str:
+    """Milliseconds with two decimals."""
+    return f"{seconds / 1e-3:,.2f} ms"
+
+
+def fmt_usd_per_million(usd: float) -> str:
+    """The paper's cost unit: USD per million operations."""
+    return f"{usd:,.4f} USD/M"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-scaled byte counts."""
+    for unit, scale in (("GB", 1024 ** 3), ("MB", 1024 ** 2),
+                        ("KB", 1024)):
+        if abs(nbytes) >= scale:
+            return f"{nbytes / scale:,.1f} {unit}"
+    return f"{nbytes:,.0f} B"

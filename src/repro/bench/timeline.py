@@ -1,0 +1,91 @@
+"""Text Gantt charts from invocation trace spans.
+
+With ``PCSICloud(trace=True)``, every invocation leaves an
+``invoke.span`` record in the tracer. :func:`render_timeline` turns
+those records into an aligned text chart — the quickest way to *see*
+pipelining, cold starts, and co-location without leaving the terminal.
+
+Example output::
+
+    0.000s                                            0.450s
+    preprocess   [####......................................]
+    infer              [..........##################........]
+    postprocess                                 [......####..]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.trace import TraceRecord, Tracer
+
+#: Characters available for the bar area.
+DEFAULT_WIDTH = 60
+
+
+def render_timeline(tracer: Tracer, width: int = DEFAULT_WIDTH,
+                    max_rows: int = 40,
+                    label: Optional[str] = None) -> str:
+    """Render every ``invoke.span`` in ``tracer`` as one chart row.
+
+    Each row shows the invocation's full latency window (``#`` for the
+    executing portion, ``.`` for queueing/dispatch), labelled with the
+    function, implementation, and node. Rows beyond ``max_rows`` are
+    summarized.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    spans = tracer.select("invoke.span")
+    if label is not None:
+        spans = [s for s in spans if s.payload.get("fn") == label]
+    if not spans:
+        return "(no invocation spans recorded — construct the cloud "\
+               "with trace=True)"
+
+    rows: List[tuple] = []
+    for record in spans:
+        p = record.payload
+        end = record.time
+        start = end - p["latency"]
+        exec_start = end - p["service"]
+        tag = f"{p['fn']}/{p['impl']}@{p['node']}" + \
+            (" COLD" if p.get("cold") else "")
+        rows.append((start, exec_start, end, tag))
+
+    t0 = min(r[0] for r in rows)
+    t1 = max(r[2] for r in rows)
+    span_total = max(t1 - t0, 1e-12)
+    label_width = min(max(len(r[3]) for r in rows), 40)
+
+    def col(t: float) -> int:
+        return int((t - t0) / span_total * (width - 1))
+
+    lines = [f"{t0:.3f}s".ljust(label_width + 1 + width - 8)
+             + f"{t1:.3f}s"]
+    clipped = rows[:max_rows]
+    for start, exec_start, end, tag in clipped:
+        bar = [" "] * width
+        for i in range(col(start), col(end) + 1):
+            bar[i] = "."
+        for i in range(col(exec_start), col(end) + 1):
+            bar[i] = "#"
+        lines.append(f"{tag[:label_width].ljust(label_width)} "
+                     f"[{''.join(bar)}]")
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more spans")
+    return "\n".join(lines)
+
+
+def span_summary(tracer: Tracer) -> dict:
+    """Aggregate statistics over recorded spans (counts by function,
+    cold starts, total busy time)."""
+    spans = tracer.select("invoke.span")
+    by_fn: dict = {}
+    for record in spans:
+        p = record.payload
+        stats = by_fn.setdefault(p["fn"], {"count": 0, "cold": 0,
+                                           "busy_s": 0.0})
+        stats["count"] += 1
+        stats["cold"] += 1 if p.get("cold") else 0
+        stats["busy_s"] += p["service"]
+    return by_fn

@@ -1,0 +1,37 @@
+"""Warehouse-scale cluster substrate: nodes, topology, network, failures."""
+
+from .failures import FailureInjector
+from .latency import (
+    DC_2005,
+    DC_2021,
+    FAST_NET,
+    GENERATIONS,
+    LatencyProfile,
+    profile_named,
+    table1_rows,
+    with_overrides,
+)
+from .network import Network, NetworkUnreachableError, Partition
+from .node import (
+    CPU_DEVICE,
+    DEVICE_SPECS,
+    GPU_DEVICE,
+    NPU_DEVICE,
+    AllocationError,
+    DeviceSpec,
+    Node,
+)
+from .resources import GB, KB, MB, ResourceVector, cpu_task, gpu_task, server_node
+from .topology import Topology, build_cluster
+
+__all__ = [
+    "LatencyProfile", "DC_2005", "DC_2021", "FAST_NET", "GENERATIONS",
+    "profile_named", "table1_rows", "with_overrides",
+    "Network", "NetworkUnreachableError", "Partition",
+    "Node", "DeviceSpec", "AllocationError",
+    "CPU_DEVICE", "GPU_DEVICE", "NPU_DEVICE", "DEVICE_SPECS",
+    "ResourceVector", "cpu_task", "gpu_task", "server_node",
+    "GB", "MB", "KB",
+    "Topology", "build_cluster",
+    "FailureInjector",
+]

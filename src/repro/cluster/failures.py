@@ -1,0 +1,68 @@
+"""Failure injection: scheduled node crashes and network partitions.
+
+Experiment E12 uses this to compare failure *semantics*: a POSIX/SSI
+client hangs on an unreachable store, while a PCSI client receives an
+explicit error within a bounded detection window.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..sim.engine import Simulator
+from .network import Network, Partition
+from .topology import Topology
+
+
+class FailureInjector:
+    """Schedules failures against a topology and its network."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 network: Optional[Network] = None):
+        self.sim = sim
+        self.topology = topology
+        self.network = network
+        self.injected: List[str] = []
+
+    def crash_node(self, node_id: str, at: float,
+                   recover_at: Optional[float] = None) -> None:
+        """Crash ``node_id`` at time ``at``; optionally recover later."""
+        if recover_at is not None and recover_at <= at:
+            raise ValueError("recovery must come after the crash")
+
+        def injector():
+            node = self.topology.node(node_id)
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            node.crash()
+            # Publish a recovery event so location-transparent waiters
+            # can be woken if recovery ever happens.
+            node.recovery_event = self.sim.event(name=f"recover:{node_id}")
+            self.injected.append(f"crash:{node_id}@{self.sim.now}")
+            if recover_at is not None:
+                yield self.sim.timeout(recover_at - self.sim.now)
+                node.recover()
+                node.recovery_event.succeed()
+                self.injected.append(f"recover:{node_id}@{self.sim.now}")
+
+        self.sim.spawn(injector(), name=f"crash:{node_id}")
+
+    def partition(self, group_a: Set[str], group_b: Set[str], at: float,
+                  heal_at: Optional[float] = None) -> None:
+        """Partition two node groups at ``at``; optionally heal later."""
+        if self.network is None:
+            raise RuntimeError("partitioning requires a network")
+        if heal_at is not None and heal_at <= at:
+            raise ValueError("heal must come after the partition")
+
+        def injector():
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            part: Partition = self.network.partition(group_a, group_b)
+            self.injected.append(f"partition@{self.sim.now}")
+            if heal_at is not None:
+                yield self.sim.timeout(heal_at - self.sim.now)
+                self.network.heal(part)
+                self.injected.append(f"heal@{self.sim.now}")
+
+        self.sim.spawn(injector(), name="partition")

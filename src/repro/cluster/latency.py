@@ -1,0 +1,132 @@
+"""Latency profiles calibrated to Table 1 of the paper.
+
+Table 1 ("Representative latency of various operations") is the paper's
+quantitative backbone: web-service overheads (marshaling, HTTP protocol,
+socket) are fixed costs that were negligible against a 2005 datacenter
+RTT, comparable to a 2021 RTT, and utterly dominant against emerging
+microsecond-scale networks — while isolation costs (hypervisor call,
+system call, WebAssembly call) stay far below all of them.
+
+Every latency in this module is in **seconds** (the simulator's unit);
+the constants mirror the paper's nanosecond values exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..sim.engine import NS
+
+# -- Table 1 rows, verbatim (converted from ns to seconds) -----------------
+DC_2005_RTT = 1_000_000 * NS        #: 2005 data center network RTT
+DC_2021_RTT = 200_000 * NS          #: 2021 data center network RTT
+OBJECT_MARSHALING_1K = 50_000 * NS  #: Object marshaling (1 KB), lower bound
+HTTP_PROTOCOL = 50_000 * NS         #: HTTP protocol overhead
+SOCKET_OVERHEAD = 5_000 * NS        #: Socket overhead
+FAST_NET_RTT = 1_000 * NS           #: Emerging fast network RTT
+HYPERVISOR_CALL = 700 * NS          #: KVM hypervisor call
+SYSCALL = 500 * NS                  #: Linux system call
+WASM_CALL = 17 * NS                 #: WebAssembly call (V8 engine)
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """A coherent set of latency parameters for one network generation.
+
+    ``network_rtt`` is the cross-rack round-trip; intra-rack traffic pays
+    ``same_rack_factor`` of it. Fixed protocol costs (marshal/HTTP/socket)
+    are per-message; bandwidth converts payload size into serialization
+    delay on the wire.
+    """
+
+    name: str
+    network_rtt: float
+    bandwidth_bytes_per_sec: float
+    marshal_per_kb: float = OBJECT_MARSHALING_1K
+    http_protocol: float = HTTP_PROTOCOL
+    socket_overhead: float = SOCKET_OVERHEAD
+    hypervisor_call: float = HYPERVISOR_CALL
+    syscall: float = SYSCALL
+    wasm_call: float = WASM_CALL
+    same_rack_factor: float = 0.5
+    #: Local interconnect (PCIe/NVLink-class) bandwidth for device copies
+    #: within one machine — the ``cudaMemcpy`` path of Section 4.1.
+    local_copy_bandwidth: float = 12e9
+    local_copy_setup: float = 5_000 * NS
+
+    def one_way(self, same_rack: bool = False) -> float:
+        """One-way network latency between two distinct nodes."""
+        rtt = self.network_rtt * (self.same_rack_factor if same_rack else 1.0)
+        return rtt / 2.0
+
+    def wire_time(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to serialize onto the wire."""
+        if nbytes < 0:
+            raise ValueError("negative payload size")
+        return nbytes / self.bandwidth_bytes_per_sec
+
+    def marshal_time(self, nbytes: int) -> float:
+        """CPU time to marshal/unmarshal a payload of ``nbytes``.
+
+        Table 1 gives >50 us for a 1 KB object; we scale linearly with a
+        1 KB floor so small messages still pay the fixed encoding cost.
+        """
+        if nbytes < 0:
+            raise ValueError("negative payload size")
+        kilobytes = max(nbytes, 1024) / 1024.0
+        return self.marshal_per_kb * kilobytes
+
+    def device_copy_time(self, nbytes: int) -> float:
+        """Local device-to-device copy (the co-located fast path)."""
+        if nbytes < 0:
+            raise ValueError("negative payload size")
+        return self.local_copy_setup + nbytes / self.local_copy_bandwidth
+
+
+#: The 2005-era datacenter of Table 1 (1 ms RTT, ~1 Gb/s).
+DC_2005 = LatencyProfile(
+    name="dc-2005", network_rtt=DC_2005_RTT, bandwidth_bytes_per_sec=125e6)
+
+#: The 2021-era datacenter of Table 1 (200 us RTT, ~10 Gb/s).
+DC_2021 = LatencyProfile(
+    name="dc-2021", network_rtt=DC_2021_RTT, bandwidth_bytes_per_sec=1.25e9)
+
+#: The "emerging fast network" of Table 1 (1 us RTT, ~100 Gb/s).
+FAST_NET = LatencyProfile(
+    name="fast-net", network_rtt=FAST_NET_RTT, bandwidth_bytes_per_sec=12.5e9)
+
+#: All profiles, in chronological order, for generation sweeps.
+GENERATIONS: Tuple[LatencyProfile, ...] = (DC_2005, DC_2021, FAST_NET)
+
+
+def profile_named(name: str) -> LatencyProfile:
+    """Look up a built-in profile by name."""
+    for prof in GENERATIONS:
+        if prof.name == name:
+            return prof
+    raise KeyError(f"unknown latency profile: {name!r}")
+
+
+def with_overrides(base: LatencyProfile, **overrides: float) -> LatencyProfile:
+    """A copy of ``base`` with selected fields replaced."""
+    return replace(base, **overrides)
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """The rows of Table 1 as (operation, latency-in-ns) records.
+
+    Used by experiment E1 to print the table the paper shows and to
+    check the simulator's parameters against it.
+    """
+    return [
+        {"operation": "2005 data center network RTT", "ns": DC_2005_RTT / NS},
+        {"operation": "2021 data center network RTT", "ns": DC_2021_RTT / NS},
+        {"operation": "Object marshaling (1k)", "ns": OBJECT_MARSHALING_1K / NS},
+        {"operation": "HTTP protocol", "ns": HTTP_PROTOCOL / NS},
+        {"operation": "Socket overhead", "ns": SOCKET_OVERHEAD / NS},
+        {"operation": "Emerging fast network RTT", "ns": FAST_NET_RTT / NS},
+        {"operation": "KVM Hypervisor call", "ns": HYPERVISOR_CALL / NS},
+        {"operation": "Linux System call", "ns": SYSCALL / NS},
+        {"operation": "WebAssembly call - V8 Engine", "ns": WASM_CALL / NS},
+    ]

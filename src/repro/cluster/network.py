@@ -1,0 +1,231 @@
+"""The datacenter network: transfers, messaging, and partitions.
+
+Latency composition per remote message (one direction)::
+
+    socket_overhead + one_way(rtt) + nbytes / bandwidth
+
+Marshaling is *not* charged here — it is a property of the protocol
+layer (REST charges it per request; PCSI's session transport avoids
+repeated marshaling of capability state). See :mod:`repro.net`.
+
+Transfers between co-located endpoints (same node) bypass the network
+entirely and cost a local device copy — the §4.1 fast path.
+
+Partitions support two client semantics, which is exactly the §2.2
+argument: ``fail_fast=True`` surfaces an explicit
+:class:`NetworkUnreachableError` after a detection delay (PCSI-style
+explicit remoteness), while ``fail_fast=False`` blocks until the
+partition heals (POSIX/SSI-style location transparency).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Set, Tuple
+
+from ..sim.engine import Event, Simulator
+from ..sim.metrics import MetricsRegistry
+from ..sim.resources import Resource, Store
+from ..sim.trace import Tracer
+from .latency import LatencyProfile
+from .topology import Topology
+
+
+class NetworkUnreachableError(Exception):
+    """Raised on fail-fast sends to an unreachable or dead destination."""
+
+
+class Partition:
+    """An active network partition between two node groups."""
+
+    def __init__(self, sim: Simulator, group_a: Set[str], group_b: Set[str]):
+        self.group_a = frozenset(group_a)
+        self.group_b = frozenset(group_b)
+        self.healed = sim.event(name="partition-heal")
+
+    def separates(self, src: str, dst: str) -> bool:
+        """True if this partition blocks src -> dst traffic."""
+        return ((src in self.group_a and dst in self.group_b)
+                or (src in self.group_b and dst in self.group_a))
+
+
+class Network:
+    """Message transport over a :class:`Topology`."""
+
+    #: Detection delay for fail-fast unreachability (a connect timeout),
+    #: expressed as a multiple of the profile RTT.
+    FAIL_FAST_RTT_MULTIPLIER = 3.0
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 profile: LatencyProfile,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 model_contention: bool = True):
+        self.sim = sim
+        self.topology = topology
+        self.profile = profile
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._partitions: List[Partition] = []
+        #: Per-node egress NICs: a sender occupies its link for the
+        #: payload's wire time, so concurrent large transfers from one
+        #: machine queue instead of enjoying free parallel bandwidth.
+        self.model_contention = model_contention
+        self._egress: dict = {}
+
+    # -- reachability ---------------------------------------------------
+    def is_reachable(self, src: str, dst: str) -> bool:
+        """True if a message sent now from src would arrive at dst."""
+        if not self.topology.node(dst).alive:
+            return False
+        if src == dst:
+            return True
+        return not any(p.separates(src, dst) for p in self._partitions)
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> Partition:
+        """Install a partition between two node groups."""
+        overlap = set(group_a) & set(group_b)
+        if overlap:
+            raise ValueError(f"partition groups overlap: {overlap}")
+        part = Partition(self.sim, set(group_a), set(group_b))
+        self._partitions.append(part)
+        return part
+
+    def heal(self, part: Partition) -> None:
+        """Remove a partition, waking location-transparent waiters."""
+        if part not in self._partitions:
+            raise ValueError("partition is not active")
+        self._partitions.remove(part)
+        part.healed.succeed()
+
+    # -- latency building blocks -----------------------------------------
+    def one_way_delay(self, src: str, dst: str, nbytes: int) -> float:
+        """Latency of one message, excluding reachability concerns."""
+        if src == dst:
+            return self.profile.device_copy_time(nbytes)
+        same_rack = self.topology.same_rack(src, dst)
+        return (self.profile.socket_overhead
+                + self.profile.one_way(same_rack=same_rack)
+                + self.profile.wire_time(nbytes))
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Bare round-trip (no payload) between two nodes."""
+        if src == dst:
+            return 0.0
+        same_rack = self.topology.same_rack(src, dst)
+        factor = self.profile.same_rack_factor if same_rack else 1.0
+        return self.profile.network_rtt * factor
+
+    # -- transfer primitives (generators; use with ``yield from``) --------
+    def transfer(self, src: str, dst: str, nbytes: int,
+                 fail_fast: bool = True,
+                 purpose: str = "data") -> Generator:
+        """Move ``nbytes`` from src to dst, yielding simulated delay.
+
+        Returns the delay experienced. Unreachable destinations either
+        raise (fail-fast) or block until the partition heals / node
+        recovers (location-transparent).
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        waited = yield from self._await_reachable(src, dst, fail_fast)
+        start = self.sim.now
+        if src != dst and self.model_contention and nbytes > 0:
+            # Serialize onto the sender's NIC: hold the egress link for
+            # the wire time (queueing behind concurrent senders), then
+            # pay the propagation/processing parts without the link.
+            link = self._egress_link(src)
+            yield link.acquire()
+            try:
+                yield self.sim.timeout(self.profile.wire_time(nbytes))
+            finally:
+                link.release()
+            yield self.sim.timeout(self.profile.socket_overhead
+                                   + self.profile.one_way(
+                                       same_rack=self.topology.same_rack(
+                                           src, dst)))
+        else:
+            yield self.sim.timeout(self.one_way_delay(src, dst, nbytes))
+        delay = self.sim.now - start
+        if src != dst:
+            self.metrics.counter("network.bytes").add(nbytes)
+            self.metrics.counter("network.messages").add(1)
+            self.tracer.record(self.sim.now, "net.transfer", src=src,
+                               dst=dst, nbytes=nbytes, purpose=purpose)
+        else:
+            self.metrics.counter("network.local_bytes").add(nbytes)
+            self.tracer.record(self.sim.now, "net.local_copy", node=src,
+                               nbytes=nbytes, purpose=purpose)
+        return delay + waited
+
+    def round_trip(self, src: str, dst: str, request_nbytes: int,
+                   response_nbytes: int, fail_fast: bool = True,
+                   purpose: str = "rpc") -> Generator:
+        """A request/response pair; returns total delay."""
+        d1 = yield from self.transfer(src, dst, request_nbytes,
+                                      fail_fast=fail_fast, purpose=purpose)
+        d2 = yield from self.transfer(dst, src, response_nbytes,
+                                      fail_fast=fail_fast, purpose=purpose)
+        return d1 + d2
+
+    def send(self, src: str, dst: str, inbox: Store, message: object,
+             nbytes: int, fail_fast: bool = True) -> None:
+        """Fire-and-forget delivery of ``message`` into ``inbox``.
+
+        The caller does not wait; a background process models the
+        propagation delay. Fail-fast sends to unreachable destinations
+        are silently dropped (the sender cannot observe the loss —
+        callers needing acknowledgement use :meth:`round_trip`).
+        """
+        def deliver():
+            try:
+                yield from self.transfer(src, dst, nbytes,
+                                         fail_fast=fail_fast,
+                                         purpose="message")
+            except NetworkUnreachableError:
+                self.metrics.counter("network.dropped").add(1)
+                return
+            inbox.put(message)
+
+        self.sim.spawn(deliver(), name=f"send:{src}->{dst}")
+
+    # -- internals ---------------------------------------------------------
+    def _egress_link(self, node_id: str) -> Resource:
+        link = self._egress.get(node_id)
+        if link is None:
+            link = Resource(self.sim, capacity=1, name=f"nic:{node_id}")
+            self._egress[node_id] = link
+        return link
+
+    def _await_reachable(self, src: str, dst: str,
+                         fail_fast: bool) -> Generator:
+        """Yield until src can reach dst; returns the time spent blocked."""
+        start = self.sim.now
+        while not self.is_reachable(src, dst):
+            if fail_fast:
+                # Model a connect timeout: the sender learns of the
+                # failure only after a few RTTs of silence.
+                detect = max(self.rtt(src, dst), self.profile.network_rtt)
+                yield self.sim.timeout(detect * self.FAIL_FAST_RTT_MULTIPLIER)
+                self.metrics.counter("network.unreachable").add(1)
+                raise NetworkUnreachableError(f"{src} cannot reach {dst}")
+            blocker = self._current_blocker(src, dst)
+            yield blocker
+        return self.sim.now - start
+
+    def _current_blocker(self, src: str, dst: str) -> Event:
+        """An event that fires when the current obstruction may be gone."""
+        for part in self._partitions:
+            if part.separates(src, dst):
+                return part.healed
+        # Destination node is dead and nothing announces recovery:
+        # location-transparent callers simply hang, exactly the pathology
+        # Section 2.2 describes. A pending event models the hang; failure
+        # injection may fire node recovery events in the future.
+        node = self.topology.node(dst)
+        if not node.alive:
+            recovery = getattr(node, "recovery_event", None)
+            if recovery is not None and not recovery.processed:
+                return recovery
+            return self.sim.event(name=f"dead:{dst}")
+        # Became reachable between checks; no wait needed.
+        return self.sim.timeout(0)

@@ -1,0 +1,169 @@
+"""Cluster nodes: machines with capacity, devices, and liveness.
+
+A :class:`Node` tracks resource allocations made by the scheduler, its
+attached accelerator devices (for the co-location fast path of §4.1),
+and whether it is alive (failure injection flips this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.metrics import TimeWeightedGauge
+from .resources import ResourceVector
+
+
+class AllocationError(Exception):
+    """Raised when an allocation cannot be satisfied on a node."""
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance description of one accelerator device kind.
+
+    ``ops_per_sec`` is the device's throughput in abstract work units
+    per second (FLOP-like); execution platforms divide a task's work by
+    it. ``memory`` bounds resident data.
+    """
+
+    kind: str
+    ops_per_sec: float
+    memory: float
+
+    def compute_time(self, work_ops: float) -> float:
+        """Seconds to execute ``work_ops`` units of work."""
+        if work_ops < 0:
+            raise ValueError("negative work")
+        return work_ops / self.ops_per_sec
+
+
+#: A CPU core as a "device": ~50 Gop/s of abstract work.
+CPU_DEVICE = DeviceSpec(kind="cpu", ops_per_sec=5e10, memory=0)
+#: A datacenter GPU: ~20x a core on accelerator-friendly work.
+GPU_DEVICE = DeviceSpec(kind="gpu", ops_per_sec=1e12, memory=16 * 1024 ** 3)
+#: A next-generation NPU (used by the E8 hardware-swap experiment):
+#: 4x the GPU on the same abstract work.
+NPU_DEVICE = DeviceSpec(kind="npu", ops_per_sec=4e12, memory=32 * 1024 ** 3)
+
+DEVICE_SPECS: Dict[str, DeviceSpec] = {
+    "cpu": CPU_DEVICE,
+    "gpu": GPU_DEVICE,
+    "npu": NPU_DEVICE,
+}
+
+
+#: How strongly co-tenants slow each other down: at 100% CPU
+#: allocation, compute takes (1 + alpha) times as long. Models shared
+#: memory-bandwidth/LLC interference on packed machines — the
+#: §4.2 "even though this may affect performance" effect.
+INTERFERENCE_ALPHA = 0.5
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(self, sim: Simulator, node_id: str, rack: str,
+                 capacity: ResourceVector,
+                 device_specs: Optional[Dict[str, DeviceSpec]] = None,
+                 interference_alpha: float = INTERFERENCE_ALPHA):
+        if interference_alpha < 0:
+            raise ValueError("negative interference")
+        self.sim = sim
+        self.node_id = node_id
+        self.rack = rack
+        self.capacity = capacity
+        self.allocated = ResourceVector()
+        self.alive = True
+        self.device_specs = dict(device_specs or DEVICE_SPECS)
+        self.interference_alpha = interference_alpha
+        self._cpu_util = TimeWeightedGauge(f"{node_id}.cpu",
+                                           start_time=sim.now)
+
+    # -- allocation ----------------------------------------------------
+    @property
+    def free(self) -> ResourceVector:
+        """Unallocated capacity."""
+        return self.capacity - self.allocated
+
+    def can_fit(self, demand: ResourceVector) -> bool:
+        """True if ``demand`` fits in the free capacity of a live node."""
+        return self.alive and demand.fits_within(self.free)
+
+    def allocate(self, demand: ResourceVector) -> None:
+        """Reserve ``demand``; raises :class:`AllocationError` if it
+        does not fit or the node is down."""
+        if not self.alive:
+            raise AllocationError(f"node {self.node_id} is down")
+        if not demand.fits_within(self.free):
+            raise AllocationError(
+                f"node {self.node_id}: demand {demand.describe()} exceeds "
+                f"free {self.free.describe()}"
+            )
+        self.allocated = self.allocated + demand
+        self._cpu_util.set(self._cpu_fraction(), self.sim.now)
+
+    def release(self, demand: ResourceVector) -> None:
+        """Return a previous allocation."""
+        if not demand.fits_within(self.allocated):
+            raise AllocationError(
+                f"node {self.node_id}: releasing more than allocated")
+        held = self.allocated
+        self.allocated = ResourceVector(
+            cpus=max(held.cpus - demand.cpus, 0.0),
+            memory=max(held.memory - demand.memory, 0.0),
+            accelerators={
+                k: max(held.accelerators.get(k, 0)
+                       - demand.accelerators.get(k, 0), 0)
+                for k in set(held.accelerators) | set(demand.accelerators)
+            },
+        )
+        self._cpu_util.set(self._cpu_fraction(), self.sim.now)
+
+    def _cpu_fraction(self) -> float:
+        if self.capacity.cpus == 0:
+            return 0.0
+        return self.allocated.cpus / self.capacity.cpus
+
+    def cpu_utilization(self) -> float:
+        """Time-weighted mean CPU allocation fraction so far."""
+        return self._cpu_util.mean(self.sim.now)
+
+    def interference_factor(self) -> float:
+        """Compute slowdown from co-tenancy, >= 1.
+
+        Linear in the machine's current CPU allocation fraction:
+        an empty machine runs at full speed, a fully packed one takes
+        ``1 + interference_alpha`` times as long per unit of work.
+        """
+        return 1.0 + self.interference_alpha * self._cpu_fraction()
+
+    # -- devices ---------------------------------------------------------
+    def has_device(self, kind: str) -> bool:
+        """True if this node carries at least one ``kind`` accelerator."""
+        if kind == "cpu":
+            return self.capacity.cpus > 0
+        return self.capacity.accelerators.get(kind, 0) > 0
+
+    def device(self, kind: str) -> DeviceSpec:
+        """The spec of an attached device kind."""
+        if not self.has_device(kind):
+            raise KeyError(f"node {self.node_id} has no {kind!r} device")
+        return self.device_specs[kind]
+
+    # -- liveness --------------------------------------------------------
+    def crash(self) -> None:
+        """Mark the node dead (failure injection)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the node back (allocations made before the crash are
+        considered lost; the scheduler is responsible for cleanup)."""
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return (f"<Node {self.node_id} rack={self.rack} {state} "
+                f"alloc={self.allocated.describe()}/"
+                f"{self.capacity.describe()}>")

@@ -1,0 +1,119 @@
+"""Resource vectors for nodes and function implementations.
+
+A :class:`ResourceVector` describes either a machine's capacity or a
+task's demand: CPU cores, memory bytes, and counts of named accelerator
+devices (``{"gpu": 1}``, ``{"npu": 2}``). Vectors support the arithmetic
+the scheduler needs (add, subtract, fits) and validate non-negativity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+KB = 1024
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An immutable bundle of resource quantities."""
+
+    cpus: float = 0.0
+    memory: float = 0.0  # bytes
+    accelerators: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cpus < 0:
+            raise ValueError(f"negative cpus: {self.cpus}")
+        if self.memory < 0:
+            raise ValueError(f"negative memory: {self.memory}")
+        for kind, count in self.accelerators.items():
+            if count < 0:
+                raise ValueError(f"negative accelerator count for {kind!r}")
+        # Freeze the mapping so hashing/sharing is safe.
+        object.__setattr__(self, "accelerators", dict(self.accelerators))
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        kinds = set(self.accelerators) | set(other.accelerators)
+        return ResourceVector(
+            cpus=self.cpus + other.cpus,
+            memory=self.memory + other.memory,
+            accelerators={
+                k: self.accelerators.get(k, 0) + other.accelerators.get(k, 0)
+                for k in kinds
+            },
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        kinds = set(self.accelerators) | set(other.accelerators)
+        return ResourceVector(
+            cpus=self.cpus - other.cpus,
+            memory=self.memory - other.memory,
+            accelerators={
+                k: self.accelerators.get(k, 0) - other.accelerators.get(k, 0)
+                for k in kinds
+            },
+        )
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """True if this demand fits inside ``capacity``."""
+        if self.cpus > capacity.cpus + 1e-9:
+            return False
+        if self.memory > capacity.memory + 1e-9:
+            return False
+        return all(
+            count <= capacity.accelerators.get(kind, 0)
+            for kind, count in self.accelerators.items()
+        )
+
+    def dominant_share(self, capacity: "ResourceVector") -> float:
+        """Largest fraction of any capacity dimension this vector uses.
+
+        Used for scavenging-placement scoring (DRF-style).
+        """
+        shares = []
+        if capacity.cpus > 0:
+            shares.append(self.cpus / capacity.cpus)
+        if capacity.memory > 0:
+            shares.append(self.memory / capacity.memory)
+        for kind, count in self.accelerators.items():
+            cap = capacity.accelerators.get(kind, 0)
+            if cap > 0:
+                shares.append(count / cap)
+            elif count > 0:
+                shares.append(float("inf"))
+        return max(shares) if shares else 0.0
+
+    def is_zero(self) -> bool:
+        """True if every dimension is zero."""
+        return (self.cpus == 0 and self.memory == 0
+                and all(v == 0 for v in self.accelerators.values()))
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``2cpu/4.0GB/gpu:1``."""
+        parts = [f"{self.cpus:g}cpu", f"{self.memory / GB:.1f}GB"]
+        parts.extend(f"{k}:{v}" for k, v in sorted(self.accelerators.items())
+                     if v)
+        return "/".join(parts)
+
+
+def cpu_task(cpus: float = 1.0, memory_gb: float = 1.0) -> ResourceVector:
+    """Demand vector for a CPU-only task."""
+    return ResourceVector(cpus=cpus, memory=memory_gb * GB)
+
+
+def gpu_task(cpus: float = 1.0, memory_gb: float = 4.0,
+             gpus: int = 1) -> ResourceVector:
+    """Demand vector for a GPU task."""
+    return ResourceVector(cpus=cpus, memory=memory_gb * GB,
+                          accelerators={"gpu": gpus})
+
+
+def server_node(cpus: float = 32.0, memory_gb: float = 128.0,
+                **accelerators: int) -> ResourceVector:
+    """Capacity vector for a typical server."""
+    return ResourceVector(cpus=cpus, memory=memory_gb * GB,
+                          accelerators=dict(accelerators))

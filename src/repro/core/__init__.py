@@ -1,0 +1,69 @@
+"""PCSI core: the paper's proposed Portable Cloud System Interface."""
+
+from .consistency import DataLayer
+from .errors import (
+    InvalidTransitionError,
+    InvocationError,
+    MutabilityError,
+    NamespaceError,
+    ObjectNotFoundError,
+    ObjectTypeError,
+    PCSIError,
+    SLOViolationError,
+)
+from .functions import (
+    MAX_INLINE_REQUEST_BYTES,
+    FunctionDef,
+    FunctionImpl,
+)
+from .gc import GarbageCollector, GCStats
+from .invoke import FunctionContext, Invocation, validate_request
+from .mutability import (
+    ALLOWED_TRANSITIONS,
+    Mutability,
+    can_transition,
+    check_transition,
+    transition_matrix,
+)
+from .namespace import NamespaceManager, split_path
+from .objects import (
+    Consistency,
+    DirEntry,
+    ObjectKind,
+    ObjectTable,
+    PCSIObject,
+)
+from .optimizer import ImplEstimate, ImplOptimizer
+from .placement import (
+    ColocatePlacement,
+    NaivePlacement,
+    PlacementPolicy,
+    ScavengePlacement,
+    SpreadPlacement,
+    make_policy,
+)
+from .references import Reference, ReferenceManager
+from .scheduler import FunctionScheduler
+from .system import PCSICloud
+from .taskgraph import GraphResult, Intermediate, Stage, TaskGraph
+
+__all__ = [
+    "PCSICloud",
+    "ObjectKind", "Consistency", "PCSIObject", "ObjectTable", "DirEntry",
+    "Mutability", "ALLOWED_TRANSITIONS", "can_transition",
+    "check_transition", "transition_matrix",
+    "Reference", "ReferenceManager",
+    "NamespaceManager", "split_path",
+    "DataLayer",
+    "FunctionDef", "FunctionImpl", "MAX_INLINE_REQUEST_BYTES",
+    "FunctionContext", "Invocation", "validate_request",
+    "FunctionScheduler",
+    "ImplOptimizer", "ImplEstimate",
+    "PlacementPolicy", "NaivePlacement", "ColocatePlacement",
+    "ScavengePlacement", "SpreadPlacement", "make_policy",
+    "TaskGraph", "Stage", "Intermediate", "GraphResult",
+    "GarbageCollector", "GCStats",
+    "PCSIError", "ObjectNotFoundError", "MutabilityError",
+    "InvalidTransitionError", "NamespaceError", "ObjectTypeError",
+    "InvocationError", "SLOViolationError",
+]

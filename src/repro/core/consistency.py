@@ -1,0 +1,290 @@
+"""The data layer: object content, the consistency menu, and caching.
+
+Section 3.3's design: every operation on an object executes at one of
+two consistency levels — linearizable or eventual — chosen per object,
+with the mechanism (quorums, anti-entropy) deliberately hidden from the
+application. This module enforces that menu on top of
+:class:`~repro.storage.replication.ReplicatedStore`, and enforces the
+Figure 1 mutability rules on every write.
+
+It also implements the optimization the mutability lattice exists to
+enable: per-node read caches that may serve IMMUTABLE content (and the
+stable prefix of APPEND_ONLY content) without touching the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..cluster.network import Network
+from ..net.marshal import SizedPayload
+from ..sim.engine import Simulator, US
+from ..sim.rng import RandomStream
+from ..storage.blockstore import Medium, NVME, RAM, Record
+from ..storage.replication import ReplicatedStore
+from .errors import MutabilityError, ObjectTypeError
+from .mutability import (
+    Mutability,
+    allows_append,
+    allows_overwrite,
+    allows_resize,
+)
+from .objects import Consistency, ObjectKind, PCSIObject
+
+
+class DataLayer:
+    """Content storage for regular-file objects."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 replica_nodes: List[str], medium: Medium = NVME,
+                 rng: Optional[RandomStream] = None,
+                 propagation_delay_mean: float = 0.050):
+        self.sim = sim
+        self.network = network
+        self.store = ReplicatedStore(
+            sim, network, replica_nodes, medium=medium, name="data",
+            propagation_delay_mean=propagation_delay_mean, rng=rng)
+        # (node_id, object_id) -> cached Record; only populated for
+        # cache-stable mutability levels.
+        self._cache: Dict[Tuple[str, str], Record] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Ephemeral (intermediate) content: object_id -> Record, living
+        # in memory on obj.host_node.
+        self._ephemeral: Dict[str, Record] = {}
+
+    # -- writes ---------------------------------------------------------------
+    def write(self, client_node: str, obj: PCSIObject,
+              payload: SizedPayload, append: bool = False,
+              consistency: Optional[Consistency] = None) -> Generator:
+        """Replace (or append to) an object's content.
+
+        Operations may override the object's default consistency level
+        (§3.3 phrases the menu per *operation*). Enforces the mutability
+        contract *before* any cost is paid, so rejected writes are cheap
+        and explicit.
+        """
+        obj.require_kind(ObjectKind.REGULAR)
+        self._check_write_allowed(obj, payload.nbytes, append)
+        new_size = obj.size + payload.nbytes if append else payload.nbytes
+        if obj.ephemeral:
+            yield from self._write_ephemeral(client_node, obj, payload,
+                                             new_size)
+            obj.size = new_size
+            return new_size
+        level = consistency if consistency is not None else obj.consistency
+        if level == Consistency.LINEARIZABLE:
+            yield from self.store.write_linearizable(
+                client_node, obj.object_id, new_size, meta=payload.meta)
+        else:
+            yield from self.store.write_eventual(
+                client_node, obj.object_id, new_size, meta=payload.meta)
+        obj.size = new_size
+        self._invalidate(obj.object_id)
+        return new_size
+
+    def _check_write_allowed(self, obj: PCSIObject, nbytes: int,
+                             append: bool) -> None:
+        level = obj.mutability
+        if append:
+            if not allows_append(level):
+                raise MutabilityError(
+                    f"object {obj.object_id} is {level.value}; "
+                    "append denied")
+            return
+        if not allows_overwrite(level):
+            raise MutabilityError(
+                f"object {obj.object_id} is {level.value}; "
+                "overwrite denied")
+        if level == Mutability.FIXED_SIZE and obj.size != 0 \
+                and nbytes != obj.size:
+            raise MutabilityError(
+                f"object {obj.object_id} is fixed-size ({obj.size}B); "
+                f"cannot resize to {nbytes}B")
+
+    # -- reads ------------------------------------------------------------------
+    def read(self, client_node: str, obj: PCSIObject,
+             consistency: Optional[Consistency] = None) -> Generator:
+        """Read an object's content; returns a :class:`SizedPayload`.
+
+        Cache-stable objects may be served from the reader node's local
+        cache at RAM cost.
+        """
+        obj.require_kind(ObjectKind.REGULAR)
+        if obj.ephemeral:
+            payload = yield from self._read_ephemeral(client_node, obj)
+            return payload
+        cache_key = (client_node, obj.object_id)
+        if self._cacheable(obj):
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                yield self.sim.timeout(RAM.access_time(cached.nbytes))
+                self.cache_hits += 1
+                return SizedPayload(cached.nbytes, meta=cached.meta)
+        self.cache_misses += 1
+        level = consistency if consistency is not None else obj.consistency
+        if level == Consistency.LINEARIZABLE:
+            record = yield from self.store.read_linearizable(
+                client_node, obj.object_id)
+        else:
+            record = yield from self.store.read_eventual(
+                client_node, obj.object_id)
+        if self._cacheable(obj):
+            self._cache[cache_key] = record
+        return SizedPayload(record.nbytes, meta=record.meta)
+
+    def read_range(self, client_node: str, obj: PCSIObject, offset: int,
+                   length: int,
+                   consistency: Optional[Consistency] = None) -> Generator:
+        """Read ``length`` bytes at ``offset`` — only those bytes move.
+
+        The building block for scatter/gather (§2.1 contrasts this with
+        REST's stream-oriented whole-object transfers).
+        """
+        obj.require_kind(ObjectKind.REGULAR)
+        if offset < 0 or length < 0:
+            raise ValueError("negative range")
+        if offset + length > obj.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) beyond object "
+                f"size {obj.size}")
+        # Version/placement resolution costs what a full read's control
+        # traffic costs, but the payload on the wire is just the range.
+        if obj.ephemeral:
+            whole = yield from self._read_ephemeral(client_node, obj)
+            return SizedPayload(length, meta=whole.meta)
+        level = consistency if consistency is not None else obj.consistency
+        if level == Consistency.LINEARIZABLE:
+            # Version agreement needs quorum control messages, but only
+            # the requested extent leaves the winning replica's medium
+            # and crosses the wire.
+            record = yield from self._quorum_range(client_node, obj,
+                                                   length)
+        else:
+            target = self.store.closest_replica(client_node)
+            yield from self.network.transfer(client_node, target, 64,
+                                             purpose="range-req")
+            record = yield from self._replica_extent(target, obj, length)
+            yield from self.network.transfer(target, client_node,
+                                             64 + length,
+                                             purpose="range-resp")
+        return SizedPayload(length, meta=record.meta)
+
+    def _replica_extent(self, replica: str, obj: PCSIObject,
+                        length: int) -> Generator:
+        """Read one extent at a replica: medium time for the extent."""
+        from ..storage.blockstore import KeyNotFoundError
+        store = self.store.replicas[replica]
+        record = store.peek(obj.object_id)
+        yield self.sim.timeout(store.medium.access_time(length))
+        if record is None:
+            raise KeyNotFoundError(obj.object_id)
+        return record
+
+    def _quorum_range(self, client_node: str, obj: PCSIObject,
+                      length: int) -> Generator:
+        """Version check at a majority, extent from the closest member."""
+        from ..storage.replication import gather_first_k
+        versions = yield from gather_first_k(
+            self.sim,
+            [self.store._replica_version(client_node, nid, obj.object_id)
+             for nid in self.store.replica_nodes],
+            self.store.majority)
+        del versions  # agreement established; extent follows
+        target = self.store.closest_replica(client_node)
+        record = yield from self._replica_extent(target, obj, length)
+        yield from self.network.transfer(target, client_node, 64 + length,
+                                         purpose="range-resp")
+        return record
+
+    def read_vectored(self, client_node: str, obj: PCSIObject,
+                      extents: List[Tuple[int, int]]) -> Generator:
+        """Gather many extents in ONE round trip (eventual path).
+
+        This is the §2.1 point about scatter/gather: k extents cost one
+        request/response pair carrying ``sum(lengths)`` bytes, not k
+        full protocol exchanges.
+        """
+        obj.require_kind(ObjectKind.REGULAR)
+        if not extents:
+            raise ValueError("need at least one extent")
+        for offset, length in extents:
+            if offset < 0 or length < 0 or offset + length > obj.size:
+                raise ValueError(f"bad extent ({offset}, {length})")
+        total = sum(length for _off, length in extents)
+        target = self.store.closest_replica(client_node)
+        yield from self.network.transfer(client_node, target,
+                                         64 + 16 * len(extents),
+                                         purpose="readv-req")
+        # The replica seeks per extent but answers with one response.
+        record = None
+        for _offset, length in extents:
+            record = yield from self._replica_extent(target, obj, length)
+        yield from self.network.transfer(target, client_node, 64 + total,
+                                         purpose="readv-resp")
+        return [SizedPayload(length, meta=record.meta)
+                for _off, length in extents]
+
+    # -- ephemeral (intermediate) content ----------------------------------
+    def _write_ephemeral(self, client_node: str, obj: PCSIObject,
+                         payload: SizedPayload, new_size: int) -> Generator:
+        """Keep the content in memory where it was produced (§4.1)."""
+        yield self.sim.timeout(RAM.access_time(payload.nbytes))
+        obj.host_node = client_node
+        version = self._ephemeral.get(obj.object_id)
+        counter = version.version[0] + 1 if version is not None else 1
+        self._ephemeral[obj.object_id] = Record(
+            version=(counter, client_node), nbytes=new_size,
+            meta=payload.meta, timestamp=self.sim.now)
+
+    def _read_ephemeral(self, client_node: str,
+                        obj: PCSIObject) -> Generator:
+        from ..storage.blockstore import KeyNotFoundError
+        record = self._ephemeral.get(obj.object_id)
+        if record is None or obj.host_node is None:
+            yield self.sim.timeout(RAM.access_time(0))
+            raise KeyNotFoundError(obj.object_id)
+        if client_node == obj.host_node:
+            # The co-located fast path: a single device copy.
+            yield self.sim.timeout(
+                self.network.profile.device_copy_time(record.nbytes))
+        else:
+            # Not co-located: one network hop (still no quorum).
+            yield from self.network.transfer(obj.host_node, client_node,
+                                             record.nbytes,
+                                             purpose="ephemeral-fetch")
+            yield self.sim.timeout(RAM.access_time(record.nbytes))
+        return SizedPayload(record.nbytes, meta=record.meta)
+
+    def _cacheable(self, obj: PCSIObject) -> bool:
+        """Stable-content levels may be cached anywhere (§3.3)."""
+        return obj.mutability in (Mutability.IMMUTABLE,
+                                  Mutability.APPEND_ONLY)
+
+    def _invalidate(self, object_id: str) -> None:
+        stale = [k for k in self._cache if k[1] == object_id]
+        for key in stale:
+            del self._cache[key]
+
+    # -- deletion (GC sweep) -------------------------------------------------------
+    def purge(self, object_id: str) -> Generator:
+        """Remove an object's content from every replica.
+
+        Returns bytes reclaimed (summed over replicas).
+        """
+        reclaimed = 0
+        ephemeral = self._ephemeral.pop(object_id, None)
+        if ephemeral is not None:
+            reclaimed += ephemeral.nbytes
+        for store in self.store.replicas.values():
+            record = store.peek(object_id)
+            if record is not None:
+                yield from store.delete(object_id)
+                reclaimed += record.nbytes
+        self._invalidate(object_id)
+        return reclaimed
+
+    def bytes_stored(self) -> int:
+        """Total bytes across replicas and ephemerals (GC accounting)."""
+        return (sum(s.bytes_stored for s in self.store.replicas.values())
+                + sum(r.nbytes for r in self._ephemeral.values()))

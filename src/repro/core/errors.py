@@ -1,0 +1,44 @@
+"""PCSI error hierarchy.
+
+A design point from §2.2: PCSI never hides remoteness, so every error a
+caller can see is explicit and prompt — there is no "hang forever
+because a remote mount vanished" failure mode in the interface itself.
+"""
+
+from __future__ import annotations
+
+
+class PCSIError(Exception):
+    """Base class for all PCSI interface errors."""
+
+
+class ObjectNotFoundError(PCSIError):
+    """A reference or path names an object that does not exist."""
+
+
+class MutabilityError(PCSIError):
+    """An operation violates the object's mutability level (Figure 1)."""
+
+
+class InvalidTransitionError(MutabilityError):
+    """A mutability transition not allowed by the Figure 1 lattice."""
+
+
+class NamespaceError(PCSIError):
+    """Path resolution failure (missing entry, non-directory, depth)."""
+
+
+class NotADirectoryError_(NamespaceError):
+    """Resolution descended into a non-directory object."""
+
+
+class ObjectTypeError(PCSIError):
+    """The operation does not apply to this object kind."""
+
+
+class InvocationError(PCSIError):
+    """A function invocation failed structurally (bad args, no impl)."""
+
+
+class SLOViolationError(PCSIError):
+    """Raised by harnesses when an SLO assertion is violated."""

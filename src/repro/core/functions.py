@@ -1,0 +1,119 @@
+"""PCSI functions (§3.1): the universal compute interface.
+
+Three properties from the paper, and where this module enforces them:
+
+* **Universal compute interface** — a :class:`FunctionDef` is a name,
+  an external contract (argument names), and one or more
+  interchangeable :class:`FunctionImpl`\\ s. Re-implementing a function
+  (new platform, new hardware) never changes its interface; several
+  implementations can be registered *simultaneously* and an optimizer
+  picks among them per invocation (:mod:`repro.core.optimizer`).
+* **No implicit state** — a function body only touches state through
+  its :class:`~repro.core.invoke.FunctionContext` (explicit data-layer
+  references) and receives a small pass-by-value request. Nothing
+  survives an invocation inside the sandbox.
+* **Narrow and heterogeneous implementations** — each impl binds to one
+  execution platform and one resource shape, so the scheduler can scale
+  and specialize each independently.
+
+Functions themselves are stored as objects in the data layer (§3.1:
+"Users store functions themselves as objects"), so invoking a function
+requires an EXECUTE reference like any other object access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..cluster.resources import ResourceVector
+from ..faas.platforms import PlatformSpec
+from .errors import InvocationError
+
+#: Maximum size of the pass-by-value request body (§3.1: "a small
+#: pass-by-value request body"); larger inputs must travel as data-layer
+#: references.
+MAX_INLINE_REQUEST_BYTES = 32 * 1024
+
+
+@dataclass(frozen=True)
+class FunctionImpl:
+    """One concrete implementation of a function.
+
+    ``work_ops`` is the abstract work one invocation performs on the
+    impl's device; bodies may additionally call ``ctx.compute`` for
+    data-dependent work.
+    """
+
+    name: str
+    platform: PlatformSpec
+    resources: ResourceVector
+    work_ops: float = 0.0
+    #: Estimated state operations per invocation; used only by the
+    #: optimizer's cost model, never enforced.
+    est_state_calls: int = 4
+
+    def __post_init__(self):
+        if self.work_ops < 0:
+            raise ValueError("negative work_ops")
+        if self.est_state_calls < 0:
+            raise ValueError("negative est_state_calls")
+
+
+#: A function body: a generator function over a FunctionContext.
+Body = Callable[["FunctionContext"], Generator]  # noqa: F821 (doc only)
+
+
+@dataclass
+class FunctionDef:
+    """The durable definition stored in the data layer."""
+
+    name: str
+    impls: List[FunctionImpl] = field(default_factory=list)
+    #: Optional programmable body. When None, the default body runs:
+    #: read every arg named in ``reads``, compute the impl's work_ops,
+    #: write ``output_nbytes`` to every arg named in ``writes``.
+    body: Optional[Callable] = None
+    reads: List[str] = field(default_factory=list)
+    writes: List[str] = field(default_factory=list)
+    #: Output size for the default body: either an int or a callable
+    #: ``f(input_bytes_total, request) -> int``.
+    output_nbytes: Any = 0
+
+    def __post_init__(self):
+        if not self.impls:
+            raise InvocationError(
+                f"function {self.name!r} needs at least one implementation")
+        names = [impl.name for impl in self.impls]
+        if len(set(names)) != len(names):
+            raise InvocationError(
+                f"function {self.name!r} has duplicate impl names")
+
+    def impl_named(self, name: str) -> FunctionImpl:
+        """Look an implementation up by name."""
+        for impl in self.impls:
+            if impl.name == name:
+                return impl
+        raise InvocationError(f"{self.name!r} has no impl {name!r}")
+
+    def replace_impl(self, old_name: str, new_impl: FunctionImpl) -> None:
+        """Drop-in replacement (§3.1): swap an implementation without
+        touching the function's external interface."""
+        for i, impl in enumerate(self.impls):
+            if impl.name == old_name:
+                self.impls[i] = new_impl
+                return
+        raise InvocationError(f"{self.name!r} has no impl {old_name!r}")
+
+    def add_impl(self, impl: FunctionImpl) -> None:
+        """Register an additional simultaneous implementation."""
+        if any(existing.name == impl.name for existing in self.impls):
+            raise InvocationError(
+                f"{self.name!r} already has impl {impl.name!r}")
+        self.impls.append(impl)
+
+    def resolve_output_size(self, input_bytes: int, request: Dict) -> int:
+        """Default-body output size."""
+        if callable(self.output_nbytes):
+            return int(self.output_nbytes(input_bytes, request))
+        return int(self.output_nbytes)

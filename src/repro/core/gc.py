@@ -1,0 +1,87 @@
+"""Reachability garbage collection (§3.2).
+
+"PCSI makes object reachability explicit. ... Another benefit is
+automated resource reclamation for unreachable objects."
+
+Reachability roots are tenant root directories plus objects pinned by
+live invocations. Edges are directory entries (including union lower
+layers). A mark/sweep pass removes unreachable rows from the object
+table and purges their content from the data layer, reporting bytes
+reclaimed — experiment E11's metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Set
+
+from ..sim.engine import US, Simulator
+
+#: Control-plane time to examine one object during marking.
+MARK_STEP_TIME = 1 * US
+
+
+@dataclass
+class GCStats:
+    """Outcome of one collection."""
+
+    scanned: int
+    collected: int
+    bytes_reclaimed: int
+    duration: float
+
+
+class GarbageCollector:
+    """Mark/sweep over a PCSI kernel's object graph."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def mark(self) -> Set[str]:
+        """Object ids reachable from the current roots (no cost model;
+        the generator :meth:`collect` charges time)."""
+        table = self.kernel.table
+        reachable: Set[str] = set()
+        frontier: List[str] = [oid for oid in self.kernel.refs.gc_roots()
+                               if oid in table]
+        while frontier:
+            oid = frontier.pop()
+            if oid in reachable:
+                continue
+            reachable.add(oid)
+            obj = table.get(oid)
+            if obj is None:
+                continue
+            if obj.is_directory:
+                for entry in obj.entries.values():
+                    if not entry.whiteout and entry.object_id in table:
+                        frontier.append(entry.object_id)
+                for layer_id in obj.lower_layers or []:
+                    if layer_id in table:
+                        frontier.append(layer_id)
+        return reachable
+
+    def collect(self) -> Generator:
+        """One full mark/sweep; returns :class:`GCStats`."""
+        sim: Simulator = self.kernel.sim
+        start = sim.now
+        reachable = self.mark()
+        all_ids = self.kernel.table.all_ids()
+        yield sim.timeout(len(all_ids) * MARK_STEP_TIME)
+
+        collected = 0
+        bytes_reclaimed = 0
+        for oid in all_ids:
+            if oid in reachable:
+                continue
+            reclaimed = yield from self.kernel.data.purge(oid)
+            bytes_reclaimed += reclaimed
+            self.kernel.table.remove(oid)
+            self.kernel.drop_transient_state(oid)
+            collected += 1
+        stats = GCStats(scanned=len(all_ids), collected=collected,
+                        bytes_reclaimed=bytes_reclaimed,
+                        duration=sim.now - start)
+        self.kernel.metrics.counter("gc.collected").add(collected)
+        self.kernel.metrics.counter("gc.bytes_reclaimed").add(bytes_reclaimed)
+        return stats

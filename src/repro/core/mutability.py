@@ -1,0 +1,105 @@
+"""Object mutability levels and the Figure 1 transition lattice.
+
+The paper's Figure 1 shows four levels — MUTABLE, APPEND_ONLY,
+FIXED_SIZE, IMMUTABLE — with allowable transitions between them. The
+text pins the semantics: "IMMUTABLE objects can be implemented with the
+proven efficiency and scalability of cloud object storage", and "once
+written, the content of an APPEND_ONLY object may be safely cached
+anywhere".
+
+We implement the lattice as *monotone restriction*: an object can only
+move toward fewer write capabilities, never back. This is the property
+all the optimization claims rest on — a cache that observed an object
+at APPEND_ONLY may keep its written prefix forever precisely because no
+future transition can re-open it for arbitrary writes.
+
+    MUTABLE ──► APPEND_ONLY ──► IMMUTABLE
+       │                            ▲
+       └──────► FIXED_SIZE ─────────┘
+
+(MUTABLE may also jump straight to IMMUTABLE.)
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, List, Tuple
+
+from .errors import InvalidTransitionError
+
+
+class Mutability(Enum):
+    """The four levels of Figure 1."""
+
+    MUTABLE = "mutable"
+    APPEND_ONLY = "append_only"
+    FIXED_SIZE = "fixed_size"
+    IMMUTABLE = "immutable"
+
+
+#: Figure 1's allowable transitions (source -> permitted destinations).
+ALLOWED_TRANSITIONS: Dict[Mutability, FrozenSet[Mutability]] = {
+    Mutability.MUTABLE: frozenset({Mutability.APPEND_ONLY,
+                                   Mutability.FIXED_SIZE,
+                                   Mutability.IMMUTABLE}),
+    Mutability.APPEND_ONLY: frozenset({Mutability.IMMUTABLE}),
+    Mutability.FIXED_SIZE: frozenset({Mutability.IMMUTABLE}),
+    Mutability.IMMUTABLE: frozenset(),
+}
+
+
+def can_transition(src: Mutability, dst: Mutability) -> bool:
+    """True if Figure 1 permits moving from ``src`` to ``dst``."""
+    if src == dst:
+        return True  # no-op transitions are always fine
+    return dst in ALLOWED_TRANSITIONS[src]
+
+
+def check_transition(src: Mutability, dst: Mutability) -> None:
+    """Raise :class:`InvalidTransitionError` unless permitted."""
+    if not can_transition(src, dst):
+        raise InvalidTransitionError(
+            f"mutability cannot move from {src.value} to {dst.value}")
+
+
+def allows_overwrite(level: Mutability) -> bool:
+    """May existing bytes be rewritten in place?"""
+    return level in (Mutability.MUTABLE, Mutability.FIXED_SIZE)
+
+
+def allows_append(level: Mutability) -> bool:
+    """May new bytes be added at the end?"""
+    return level in (Mutability.MUTABLE, Mutability.APPEND_ONLY)
+
+
+def allows_resize(level: Mutability) -> bool:
+    """May the object's size change at all?"""
+    return level in (Mutability.MUTABLE, Mutability.APPEND_ONLY)
+
+
+def cacheable_fraction(level: Mutability, written: bool) -> float:
+    """How much of the object's content a remote cache may retain.
+
+    The payoff of restrictions (§3.3): IMMUTABLE content is fully
+    cacheable; APPEND_ONLY's written prefix is stable and cacheable;
+    everything else can change under the cache's feet.
+    """
+    if level == Mutability.IMMUTABLE:
+        return 1.0
+    if level == Mutability.APPEND_ONLY and written:
+        return 1.0  # the prefix observed so far is stable
+    return 0.0
+
+
+def transition_matrix() -> List[Tuple[str, str, bool]]:
+    """All (src, dst, allowed) triples — experiment E3's table."""
+    rows = []
+    for src in Mutability:
+        for dst in Mutability:
+            rows.append((src.value, dst.value, can_transition(src, dst)))
+    return rows
+
+
+def is_terminal(level: Mutability) -> bool:
+    """True if no further (non-trivial) transition is possible."""
+    return not ALLOWED_TRANSITIONS[level]

@@ -1,0 +1,146 @@
+"""Naming: per-function roots, resolution, and links (§3.2).
+
+PCSI has **no global namespace**. Every function (and every tenant)
+sees a directory object as its file-system root, and reaches other
+namespaces only through directories passed to it. Resolution is a walk
+over directory objects: each step requires the RESOLVE right on the
+directory being traversed, and the reference handed back is attenuated
+to the rights recorded on the winning entry — names can only narrow
+authority.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..security.capabilities import Right
+from ..sim.engine import US
+from .errors import (
+    NamespaceError,
+    NotADirectoryError_,
+    ObjectNotFoundError,
+)
+from .objects import DirEntry, ObjectKind, ObjectTable, PCSIObject
+from .references import Reference, ReferenceManager
+from .unionfs import union_list, union_lookup, whiteout
+
+#: Control-plane cost per resolution step (a metadata lookup).
+RESOLVE_STEP_TIME = 2 * US
+#: Safety bound on path depth.
+MAX_DEPTH = 64
+
+
+def split_path(path: str) -> List[str]:
+    """Split a relative path into components, rejecting absolutes.
+
+    PCSI paths are always relative to some directory reference —
+    there is no global root for an absolute path to start from.
+    """
+    if path.startswith("/"):
+        raise NamespaceError(
+            "PCSI has no global namespace; paths are root-relative "
+            f"(got absolute path {path!r})")
+    parts = [p for p in path.split("/") if p not in ("", ".")]
+    if any(p == ".." for p in parts):
+        raise NamespaceError("'..' traversal is not part of PCSI naming")
+    if len(parts) > MAX_DEPTH:
+        raise NamespaceError(f"path deeper than {MAX_DEPTH}")
+    return parts
+
+
+class NamespaceManager:
+    """Resolution and link management over the object table."""
+
+    def __init__(self, table: ObjectTable, refs: ReferenceManager):
+        self.table = table
+        self.refs = refs
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, root: Reference, path: str) -> Tuple[Reference, int]:
+        """Walk ``path`` from the directory ``root`` references.
+
+        Rights attenuate monotonically: the result carries the
+        intersection of the root reference's rights and every entry's
+        rights along the walk, and traversal of an intermediate
+        directory requires RESOLVE to survive that intersection.
+        Returns ``(reference, steps)``; the kernel charges
+        ``steps * RESOLVE_STEP_TIME`` of control-plane time.
+        """
+        parts = split_path(path)
+        if not parts:
+            return root, 0
+        self.refs.check(root, Right.RESOLVE)
+        current = self._directory_of(root)
+        granted = root.rights
+        steps = 0
+        for i, name in enumerate(parts):
+            entry = union_lookup(self.table, current, name)
+            steps += 1
+            if entry is None:
+                raise ObjectNotFoundError(
+                    f"{'/'.join(parts[:i + 1])!r} not found")
+            granted = granted & entry.rights
+            target = self.table.get(entry.object_id)
+            if target is None:
+                raise ObjectNotFoundError(entry.object_id)
+            if i == len(parts) - 1:
+                return self.refs.mint(target.object_id, granted), steps
+            if target.kind != ObjectKind.DIRECTORY:
+                raise NotADirectoryError_(f"{name!r} is not a directory")
+            if not granted & Right.RESOLVE:
+                raise NamespaceError(
+                    f"no RESOLVE right through {name!r}")
+            current = target
+        raise AssertionError("unreachable")
+
+    def _directory_of(self, ref: Reference) -> PCSIObject:
+        obj = self.table.get(ref.object_id)
+        if obj is None:
+            raise ObjectNotFoundError(ref.object_id)
+        return obj.require_kind(ObjectKind.DIRECTORY)
+
+    # -- link management ------------------------------------------------------
+    def link(self, dir_ref: Reference, name: str, target: Reference,
+             rights: Optional[Right] = None) -> None:
+        """Bind ``name`` in the directory to the target's object.
+
+        The entry's rights default to (and may not exceed) the rights of
+        the reference being linked — a name grants at most what the
+        linker held.
+        """
+        if "/" in name or name in ("", ".", ".."):
+            raise NamespaceError(f"invalid entry name {name!r}")
+        self.refs.check(dir_ref, Right.WRITE)
+        directory = self._directory_of(dir_ref)
+        granted = rights if rights is not None else target.rights
+        if granted & target.rights != granted:
+            raise NamespaceError(
+                "cannot link with more rights than the reference holds")
+        existing = directory.entries.get(name)
+        if existing is not None and not existing.whiteout:
+            raise NamespaceError(f"name {name!r} already linked")
+        directory.entries[name] = DirEntry(object_id=target.object_id,
+                                           rights=granted)
+
+    def unlink(self, dir_ref: Reference, name: str) -> None:
+        """Remove a name. In a union, lower-layer names get whiteouts."""
+        self.refs.check(dir_ref, Right.WRITE)
+        directory = self._directory_of(dir_ref)
+        entry = directory.entries.get(name)
+        if entry is not None and not entry.whiteout:
+            del directory.entries[name]
+            # If a lower layer still provides the name, hide it.
+            if directory.is_union and \
+                    union_lookup(self.table, directory, name) is not None:
+                whiteout(directory, name)
+            return
+        if directory.is_union and \
+                union_lookup(self.table, directory, name) is not None:
+            whiteout(directory, name)
+            return
+        raise ObjectNotFoundError(f"no entry {name!r}")
+
+    def list_dir(self, dir_ref: Reference) -> List[str]:
+        """Names visible in the directory (union-merged)."""
+        self.refs.check(dir_ref, Right.READ)
+        return union_list(self.table, self._directory_of(dir_ref))

@@ -1,0 +1,113 @@
+"""Implementation selection (§3.1): choosing among simultaneous impls.
+
+"Multiple implementations of the same function can even be provided
+simultaneously, allowing an optimizer to choose dynamically among them
+to meet performance and cost goals" — the INFaaS idea. The optimizer
+scores every registered implementation against the current goal using
+the same models the simulator charges (device rates, cold-start state
+of the warm pools, isolation costs, the price book) and picks the
+argmin. Experiment E8 swaps a GPU impl for an NPU impl and watches the
+optimizer migrate traffic with zero application change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cluster.node import DEVICE_SPECS
+from ..cost.pricing import DEFAULT_PRICES, PriceBook
+from ..faas.autoscale import WarmPool
+from .errors import InvocationError
+from .functions import FunctionDef, FunctionImpl
+
+GOALS = ("latency", "cost")
+
+
+@dataclass(frozen=True)
+class ImplEstimate:
+    """The optimizer's view of one implementation, for one invocation."""
+
+    impl: FunctionImpl
+    est_latency: float
+    est_cost: float
+    warm: bool
+
+
+class ImplOptimizer:
+    """Scores and selects implementations."""
+
+    def __init__(self, goal: str = "latency",
+                 prices: Optional[PriceBook] = None,
+                 cold_start_amortization: int = 1,
+                 slo: Optional[float] = None):
+        if goal not in GOALS:
+            raise ValueError(f"goal must be one of {GOALS}, got {goal!r}")
+        if cold_start_amortization < 1:
+            raise ValueError("amortization must be >= 1")
+        if slo is not None and slo <= 0:
+            raise ValueError("slo must be positive")
+        self.goal = goal
+        self.prices = prices if prices is not None else DEFAULT_PRICES
+        #: How many future invocations a cold start is expected to serve.
+        #: 1 = fully pessimistic (per-invocation view); larger values
+        #: model a steady stream that keeps the new pool warm, letting
+        #: the optimizer migrate traffic onto a better-but-cold impl.
+        self.cold_start_amortization = cold_start_amortization
+        #: §4.2: "many applications come with SLOs ... and experience
+        #: little or no benefit from lower latency." With an SLO set,
+        #: the optimizer prefers the *cheapest* implementation whose
+        #: estimated latency meets it, regardless of the base goal,
+        #: falling back to the fastest when none qualifies.
+        self.slo = slo
+
+    def estimate(self, impl: FunctionImpl,
+                 pool: Optional[WarmPool]) -> ImplEstimate:
+        """Model one invocation on ``impl`` given its pool's warmth."""
+        device = DEVICE_SPECS.get(impl.platform.device_kind)
+        if device is None:
+            raise InvocationError(
+                f"unknown device kind {impl.platform.device_kind!r}")
+        compute = (impl.work_ops / device.ops_per_sec
+                   / impl.platform.compute_efficiency)
+        isolation = impl.est_state_calls * impl.platform.isolation_call
+        warm = bool(pool is not None and pool.idle)
+        startup = 0.0 if warm else (impl.platform.cold_start
+                                    / self.cold_start_amortization)
+        latency = startup + compute + isolation
+
+        memory_gb = impl.resources.memory / 1024 ** 3
+        duration = compute + isolation
+        gpus = impl.resources.accelerators.get("gpu", 0) \
+            + impl.resources.accelerators.get("npu", 0)
+        cost = (self.prices.invocations(1)
+                + self.prices.compute(duration, memory_gb)
+                + self.prices.gpu_time(duration, gpus))
+        return ImplEstimate(impl=impl, est_latency=latency, est_cost=cost,
+                            warm=warm)
+
+    def rank(self, fn_def: FunctionDef,
+             pools: Dict[str, WarmPool]) -> List[ImplEstimate]:
+        """All impls scored, best first, under the current goal/SLO."""
+        estimates = [self.estimate(impl, pools.get(impl.name))
+                     for impl in fn_def.impls]
+        if self.slo is not None:
+            meeting = [e for e in estimates if e.est_latency <= self.slo]
+            if meeting:
+                rest = [e for e in estimates if e not in meeting]
+                return (sorted(meeting,
+                               key=lambda e: (e.est_cost, e.est_latency))
+                        + sorted(rest,
+                                 key=lambda e: (e.est_latency,
+                                                e.est_cost)))
+            return sorted(estimates,
+                          key=lambda e: (e.est_latency, e.est_cost))
+        key = (lambda e: (e.est_latency, e.est_cost)) \
+            if self.goal == "latency" \
+            else (lambda e: (e.est_cost, e.est_latency))
+        return sorted(estimates, key=key)
+
+    def choose(self, fn_def: FunctionDef,
+               pools: Dict[str, WarmPool]) -> FunctionImpl:
+        """The winning implementation for the next invocation."""
+        return self.rank(fn_def, pools)[0].impl

@@ -1,0 +1,95 @@
+"""References: capabilities over objects, reachability, and pinning.
+
+"References are the primary method for accessing objects, as names are
+optional in PCSI" (§3.2). A reference *is* a capability — holding it is
+holding the authority — and PCSI makes object reachability explicit: an
+object is accessible only through a reference or through a namespace
+(directory) the caller can reach. That explicitness is what enables
+automated reclamation (:mod:`repro.core.gc`).
+
+The :class:`ReferenceManager` wraps the capability registry and tracks
+GC roots: tenant root directories plus objects pinned by live
+invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..security.capabilities import (
+    Capability,
+    CapabilityRegistry,
+    Right,
+)
+from .errors import ObjectNotFoundError
+from .objects import ObjectTable
+
+#: A reference in PCSI is exactly a capability.
+Reference = Capability
+
+
+class ReferenceManager:
+    """Mints references and tracks reachability roots."""
+
+    def __init__(self, table: ObjectTable):
+        self.table = table
+        self.registry = CapabilityRegistry()
+        self._roots: Set[str] = set()          # root directory object ids
+        self._pins: Dict[str, int] = {}        # object_id -> pin count
+
+    # -- minting ------------------------------------------------------------
+    def mint(self, object_id: str, rights: Right = Right.all()) -> Reference:
+        """Create a reference to an existing object."""
+        if object_id not in self.table:
+            raise ObjectNotFoundError(object_id)
+        return self.registry.mint(object_id, rights)
+
+    def check(self, ref: Reference, right: Right) -> None:
+        """Authorize one operation through ``ref``."""
+        self.registry.check(ref, right)
+        if ref.object_id not in self.table:
+            raise ObjectNotFoundError(ref.object_id)
+
+    def revoke(self, ref: Reference) -> None:
+        """Revoke ``ref`` and all references derived from it."""
+        self.registry.revoke(ref)
+
+    # -- GC roots -------------------------------------------------------------
+    def add_root(self, object_id: str) -> None:
+        """Mark a directory as a tenant root (always reachable)."""
+        if object_id not in self.table:
+            raise ObjectNotFoundError(object_id)
+        self._roots.add(object_id)
+
+    def remove_root(self, object_id: str) -> None:
+        """Unmark a tenant root (its subtree becomes collectable)."""
+        self._roots.discard(object_id)
+
+    @property
+    def roots(self) -> Set[str]:
+        """Current tenant roots."""
+        return set(self._roots)
+
+    # -- pinning (live invocations hold their argument objects) ---------------
+    def pin(self, object_id: str) -> None:
+        """Prevent collection while an invocation holds the object."""
+        self._pins[object_id] = self._pins.get(object_id, 0) + 1
+
+    def unpin(self, object_id: str) -> None:
+        """Release one pin."""
+        count = self._pins.get(object_id, 0)
+        if count <= 0:
+            raise ValueError(f"unpin of unpinned object {object_id}")
+        if count == 1:
+            del self._pins[object_id]
+        else:
+            self._pins[object_id] = count - 1
+
+    @property
+    def pinned(self) -> Set[str]:
+        """Object ids currently pinned by live invocations."""
+        return set(self._pins)
+
+    def gc_roots(self) -> List[str]:
+        """All root object ids for a mark phase."""
+        return sorted(self._roots | set(self._pins))

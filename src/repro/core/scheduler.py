@@ -1,0 +1,213 @@
+"""The function scheduler: pools, dispatch, execution, metering.
+
+One :class:`WarmPool` exists per (function, implementation) pair, so
+every implementation scales independently (§4.2: "preprocessing
+functions can be scaled independently of the GPU-enabled model
+functions"). The scheduler dispatches an invocation by asking the
+optimizer for an implementation, acquiring an executor (warm or cold)
+from the chosen pool — honoring co-location hints — running the body
+through its :class:`~repro.core.invoke.FunctionContext`, and metering
+pay-per-use costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..cluster.network import NetworkUnreachableError
+from ..faas.autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
+from ..faas.platforms import ExecutorLostError
+from ..net.marshal import estimate_size
+from ..security.capabilities import Right
+from ..storage.replication import QuorumUnavailableError
+from .errors import InvocationError, ObjectTypeError
+from .functions import FunctionDef, FunctionImpl
+from .invoke import FunctionContext, Invocation, default_body, validate_request
+from .objects import ObjectKind
+from .optimizer import ImplOptimizer
+from .placement import PlacementPolicy
+from .references import Reference
+
+#: Wire size of a dispatch request/ack to the control plane.
+DISPATCH_MSG_BYTES = 256
+
+
+class FunctionScheduler:
+    """Executes invocations for a PCSI kernel."""
+
+    def __init__(self, kernel, policy: PlacementPolicy,
+                 optimizer: ImplOptimizer,
+                 keep_alive: float = DEFAULT_KEEP_ALIVE,
+                 control_node: Optional[str] = None):
+        self.kernel = kernel
+        self.policy = policy
+        self.optimizer = optimizer
+        self.keep_alive = keep_alive
+        self.control_node = control_node or \
+            kernel.topology.nodes[0].node_id
+        self._pools: Dict[Tuple[str, str], WarmPool] = {}
+        self.history: list = []
+
+    # -- pools ------------------------------------------------------------
+    def pool_for(self, fn_def: FunctionDef, impl: FunctionImpl) -> WarmPool:
+        """Get or create the warm pool for one implementation."""
+        key = (fn_def.name, impl.name)
+        if key not in self._pools:
+            self._pools[key] = WarmPool(
+                self.kernel.sim, name=f"{fn_def.name}/{impl.name}",
+                platform=impl.platform, resources=impl.resources,
+                placer=self.policy.placer(), keep_alive=self.keep_alive,
+                metrics=self.kernel.metrics)
+        return self._pools[key]
+
+    def pools_by_impl(self, fn_def: FunctionDef) -> Dict[str, WarmPool]:
+        """Existing pools keyed by impl name (for the optimizer)."""
+        return {impl.name: self._pools[(fn_def.name, impl.name)]
+                for impl in fn_def.impls
+                if (fn_def.name, impl.name) in self._pools}
+
+    # -- invocation -----------------------------------------------------------
+    #: Failures that are safe to retry: because PCSI functions carry
+    #: no implicit state (§3.1), re-executing an invocation is always
+    #: semantically safe (at-least-once), so transient infrastructure
+    #: failures need not surface to callers.
+    RETRIABLE = (NetworkUnreachableError, QuorumUnavailableError,
+                 PlacementFailedError, ExecutorLostError)
+
+    def invoke(self, client_node: str, fn_ref: Reference,
+               args: Dict[str, Reference], request: Dict[str, Any],
+               preferred_node: Optional[str] = None,
+               impl_name: Optional[str] = None,
+               max_attempts: int = 1) -> Generator:
+        """Run one invocation end to end; returns the body's result.
+
+        ``max_attempts > 1`` retries transient infrastructure failures
+        (unreachable replicas, lost quorums, placement races) with a
+        short backoff; application exceptions always propagate.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        kernel = self.kernel
+        sim = kernel.sim
+        validate_request(request)
+        kernel.refs.check(fn_ref, Right.EXECUTE)
+        fn_obj = kernel.table.get(fn_ref.object_id)
+        fn_def = fn_obj.meta if fn_obj is not None else None
+        if not isinstance(fn_def, FunctionDef):
+            raise ObjectTypeError(
+                f"reference {fn_ref.object_id} is not a function object")
+
+        # Dispatch: tell the control plane, which queues the invocation.
+        yield from kernel.network.round_trip(
+            client_node, self.control_node, DISPATCH_MSG_BYTES,
+            DISPATCH_MSG_BYTES, purpose="dispatch")
+
+        attempt = 0
+        backoff = kernel.profile.network_rtt * 4
+        while True:
+            attempt += 1
+            try:
+                result = yield from self._attempt(
+                    client_node, fn_ref, fn_def, args, request,
+                    preferred_node, impl_name)
+                return result
+            except self.RETRIABLE:
+                if attempt >= max_attempts:
+                    raise
+                kernel.metrics.counter("invoke.retries").add(1)
+                yield sim.timeout(backoff)
+                backoff = min(backoff * 2, 1.0)  # exponential, capped
+
+    def _attempt(self, client_node: str, fn_ref: Reference,
+                 fn_def: FunctionDef, args: Dict[str, Reference],
+                 request: Dict[str, Any], preferred_node: Optional[str],
+                 impl_name: Optional[str]) -> Generator:
+        kernel = self.kernel
+        sim = kernel.sim
+        if impl_name is not None:
+            impl = fn_def.impl_named(impl_name)
+        else:
+            impl = self.optimizer.choose(fn_def, self.pools_by_impl(fn_def))
+        pool = self.pool_for(fn_def, impl)
+
+        inv = Invocation(fn_name=fn_def.name, impl_name=impl.name,
+                         args=dict(args), request=dict(request),
+                         submitted_at=sim.now, client_node=client_node)
+        size_before = pool.cold_starts
+        executor = yield from pool.acquire(preferred_node=preferred_node)
+        inv.cold_start = pool.cold_starts > size_before
+        inv.executor_node = executor.node.node_id
+        inv.started_at = sim.now
+
+        for ref in args.values():
+            kernel.refs.pin(ref.object_id)
+        kernel.refs.pin(fn_ref.object_id)
+        try:
+            body = fn_def.body
+            run_request = inv.request
+            if body is None:
+                body = default_body
+                run_request = dict(inv.request)
+                run_request["__fn_def__"] = fn_def
+                inv.request = run_request
+            ctx = FunctionContext(kernel, inv, executor, impl)
+            result = yield from body(ctx)
+        finally:
+            for ref in args.values():
+                kernel.refs.unpin(ref.object_id)
+            kernel.refs.unpin(fn_ref.object_id)
+            pool.release(executor)
+
+        inv.finished_at = sim.now
+        inv.result = result
+        self.history.append(inv)
+        kernel.tracer.record(sim.now, "invoke.span",
+                             fn=fn_def.name, impl=impl.name,
+                             node=inv.executor_node,
+                             cold=inv.cold_start,
+                             start=inv.started_at,
+                             latency=inv.latency,
+                             service=inv.service_time,
+                             state_calls=ctx.state_calls)
+
+        # Pay-per-use metering (§2.4 / §4.2).
+        memory_gb = impl.resources.memory / 1024 ** 3
+        gpus = (impl.resources.accelerators.get("gpu", 0)
+                + impl.resources.accelerators.get("npu", 0))
+        kernel.meter.invocation(inv.service_time, memory_gb, gpus=gpus)
+        kernel.metrics.histogram(f"invoke.{fn_def.name}").observe(inv.latency)
+        if inv.cold_start:
+            kernel.metrics.counter(f"invoke.{fn_def.name}.cold").add(1)
+
+        # The (small) result travels back to the caller.
+        result_size = DISPATCH_MSG_BYTES
+        try:
+            result_size += estimate_size(result)
+        except TypeError:
+            pass  # opaque results modeled as control-message sized
+        yield from kernel.network.transfer(executor.node.node_id,
+                                           client_node, result_size,
+                                           purpose="invoke-result")
+        return result
+
+    # -- introspection -------------------------------------------------------------
+    def last_invocation(self, fn_name: str) -> Invocation:
+        """Most recent invocation of a function (placement hints)."""
+        for inv in reversed(self.history):
+            if inv.fn_name == fn_name:
+                return inv
+        raise InvocationError(f"no invocation of {fn_name!r} yet")
+
+    def cold_start_count(self) -> int:
+        """Total cold starts across all pools."""
+        return sum(p.cold_starts for p in self._pools.values())
+
+    def pool_sizes(self) -> Dict[str, int]:
+        """Live executors per pool."""
+        return {f"{fn}/{impl}": pool.size
+                for (fn, impl), pool in sorted(self._pools.items())}
+
+    def pool_peaks(self) -> Dict[str, int]:
+        """Peak concurrent executors per pool over the whole run."""
+        return {f"{fn}/{impl}": pool.peak_size
+                for (fn, impl), pool in sorted(self._pools.items())}

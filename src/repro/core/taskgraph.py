@@ -1,0 +1,138 @@
+"""Task graphs (§3.1): ahead-of-time composition of functions.
+
+"In addition to invoking individual functions, users can build task
+graphs, which opens up optimization opportunities such as pipelining or
+physical co-location. Such task graphs can either be specified
+ahead-of-time, as in Cloudburst, or dynamically as in Ray or Ciel."
+
+This module is the ahead-of-time form. A graph's stages name functions
+and their argument bindings; edges declare producer → consumer
+composition. The runner executes stages in dependency order, passing
+each consumer the producer's landing node as a co-location hint, and
+materializing per-request *intermediate* objects for the data that is
+"intended only for the next task". Dynamic graphs need no machinery:
+``ctx.invoke`` / ``ctx.invoke_async`` inside a body already spawn
+children at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Union
+
+from .errors import InvocationError
+from .references import Reference
+
+
+@dataclass(frozen=True)
+class Intermediate:
+    """A per-request object created by the runner and shared between
+    the stages that name it.
+
+    ``nbytes_hint`` sizes the object for ephemeral-placement decisions;
+    actual content size comes from what producers write.
+    """
+
+    name: str
+    nbytes_hint: int = 0
+
+
+ArgBinding = Union[Reference, Intermediate]
+
+
+@dataclass
+class Stage:
+    """One node of the graph."""
+
+    name: str
+    fn_ref: Reference
+    args: Dict[str, ArgBinding] = field(default_factory=dict)
+    request: Dict[str, Any] = field(default_factory=dict)
+    impl_name: Optional[str] = None
+
+
+class TaskGraph:
+    """A DAG of stages with explicit composition edges."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._stages: Dict[str, Stage] = {}
+        self._edges: List[tuple] = []  # (producer, consumer)
+
+    def add_stage(self, name: str, fn_ref: Reference,
+                  args: Optional[Dict[str, ArgBinding]] = None,
+                  request: Optional[Dict[str, Any]] = None,
+                  impl_name: Optional[str] = None) -> Stage:
+        """Add a stage; names must be unique."""
+        if name in self._stages:
+            raise InvocationError(f"duplicate stage {name!r}")
+        stage = Stage(name=name, fn_ref=fn_ref, args=dict(args or {}),
+                      request=dict(request or {}), impl_name=impl_name)
+        self._stages[name] = stage
+        return stage
+
+    def link(self, producer: str, consumer: str) -> None:
+        """Declare that ``consumer`` composes on ``producer``'s output."""
+        for stage in (producer, consumer):
+            if stage not in self._stages:
+                raise InvocationError(f"unknown stage {stage!r}")
+        if producer == consumer:
+            raise InvocationError("a stage cannot feed itself")
+        self._edges.append((producer, consumer))
+
+    @property
+    def stages(self) -> List[Stage]:
+        return list(self._stages.values())
+
+    def stage(self, name: str) -> Stage:
+        return self._stages[name]
+
+    def upstream_of(self, name: str) -> List[str]:
+        """Producers feeding a stage."""
+        return [p for p, c in self._edges if c == name]
+
+    def intermediates(self) -> List[Intermediate]:
+        """All distinct intermediates referenced by any stage."""
+        seen: Dict[str, Intermediate] = {}
+        for stage in self._stages.values():
+            for binding in stage.args.values():
+                if isinstance(binding, Intermediate):
+                    if binding.name in seen and seen[binding.name] != binding:
+                        raise InvocationError(
+                            f"intermediate {binding.name!r} declared "
+                            "inconsistently")
+                    seen[binding.name] = binding
+        return list(seen.values())
+
+    def topo_order(self) -> List[str]:
+        """Stage names in dependency order; raises on cycles."""
+        indegree = {name: 0 for name in self._stages}
+        for _p, c in self._edges:
+            indegree[c] += 1
+        ready = [name for name in self._stages if indegree[name] == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for p, c in self._edges:
+                if p == name:
+                    indegree[c] -= 1
+                    if indegree[c] == 0:
+                        ready.append(c)
+        if len(order) != len(self._stages):
+            raise InvocationError(f"graph {self.name!r} has a cycle")
+        return order
+
+
+@dataclass
+class GraphResult:
+    """Outcome of one graph execution."""
+
+    results: Dict[str, Any]
+    latency: float
+    placements: Dict[str, str]        # stage -> executor node
+    intermediate_refs: Dict[str, Reference]
+
+    def colocated(self, a: str, b: str) -> bool:
+        """Did stages a and b land on the same machine?"""
+        return self.placements[a] == self.placements[b]

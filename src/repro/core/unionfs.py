@@ -1,0 +1,112 @@
+"""Union (layered) namespaces: Docker-style file-system layering (§3.2).
+
+"File system layering has proven valuable in building cloud
+applications ... PCSI will include support for union file systems,
+allowing one namespace to be superimposed on top of another."
+
+A union directory is an ordinary DIRECTORY object whose
+``lower_layers`` lists read-only lower directories (top-most first).
+The directory's own ``entries`` form the writable upper layer.
+Semantics follow unionfs/overlayfs:
+
+* lookup: upper layer wins; a **whiteout** entry in the upper layer
+  hides a lower-layer name;
+* listing: the merged view minus whiteouts;
+* writes to lower-layer files go through **copy-up**: the kernel copies
+  the object into the upper layer first (planned here, executed by the
+  kernel since it owns the data layer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..security.capabilities import Right
+from .errors import NamespaceError, ObjectTypeError
+from .objects import DirEntry, ObjectKind, ObjectTable, PCSIObject
+
+
+def mount_union(upper: PCSIObject, lowers: List[PCSIObject]) -> None:
+    """Superimpose ``upper`` on top of ``lowers`` (top-most first)."""
+    upper.require_kind(ObjectKind.DIRECTORY)
+    for low in lowers:
+        low.require_kind(ObjectKind.DIRECTORY)
+    if any(low.object_id == upper.object_id for low in lowers):
+        raise NamespaceError("directory cannot be its own lower layer")
+    upper.lower_layers = [low.object_id for low in lowers]
+
+
+def union_lookup(table: ObjectTable, directory: PCSIObject,
+                 name: str) -> Optional[DirEntry]:
+    """Resolve ``name`` through the layer stack; None if absent.
+
+    Whiteouts in any layer hide the name in all layers below it.
+    """
+    directory.require_kind(ObjectKind.DIRECTORY)
+    entry = directory.entries.get(name)
+    if entry is not None:
+        return None if entry.whiteout else entry
+    for layer_id in directory.lower_layers or []:
+        layer = table.get(layer_id)
+        if layer is None:
+            continue
+        entry = layer.entries.get(name)
+        if entry is not None:
+            return None if entry.whiteout else entry
+        # Lower layers may themselves be unions.
+        if layer.is_union:
+            entry = union_lookup(table, layer, name)
+            if entry is not None:
+                return entry
+    return None
+
+
+def union_list(table: ObjectTable, directory: PCSIObject) -> List[str]:
+    """Merged, whiteout-respecting listing of a (possibly union) dir."""
+    directory.require_kind(ObjectKind.DIRECTORY)
+    seen: Dict[str, bool] = {}  # name -> visible
+    stack_layers = [directory]
+    for layer_id in directory.lower_layers or []:
+        layer = table.get(layer_id)
+        if layer is not None:
+            stack_layers.append(layer)
+    for layer in stack_layers:
+        for name, entry in layer.entries.items():
+            if name not in seen:
+                seen[name] = not entry.whiteout
+    return sorted(name for name, visible in seen.items() if visible)
+
+
+def whiteout(directory: PCSIObject, name: str) -> None:
+    """Hide ``name`` (which may exist only in lower layers)."""
+    directory.require_kind(ObjectKind.DIRECTORY)
+    directory.entries[name] = DirEntry(object_id="", rights=Right(0),
+                                       whiteout=True)
+
+
+def needs_copy_up(directory: PCSIObject, name: str) -> bool:
+    """True if writing ``name`` through this union requires copy-up.
+
+    Copy-up is needed when the name resolves only via a lower layer:
+    the upper layer has no (non-whiteout) entry of its own.
+    """
+    if not directory.is_union:
+        return False
+    entry = directory.entries.get(name)
+    return entry is None
+
+
+def layer_of(table: ObjectTable, directory: PCSIObject,
+             name: str) -> Optional[str]:
+    """Which layer's object id provides ``name`` (None if absent)."""
+    entry = directory.entries.get(name)
+    if entry is not None:
+        return None if entry.whiteout else directory.object_id
+    for layer_id in directory.lower_layers or []:
+        layer = table.get(layer_id)
+        if layer is None:
+            continue
+        sub = layer_of(table, layer, name)
+        if sub is not None:
+            return sub
+    return None

@@ -1,0 +1,15 @@
+"""Cost accounting: the price book and usage meters."""
+
+from .accounting import CostMeter, ProvisionedFleet
+from .pricing import (
+    DEFAULT_PRICES,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MONTH,
+    PriceBook,
+)
+
+__all__ = [
+    "PriceBook", "DEFAULT_PRICES",
+    "CostMeter", "ProvisionedFleet",
+    "SECONDS_PER_HOUR", "SECONDS_PER_MONTH",
+]

@@ -1,0 +1,126 @@
+"""Usage metering and cost attribution.
+
+A :class:`CostMeter` accumulates USD line items by category; a
+:class:`ProvisionedFleet` integrates server-seconds over virtual time
+(the cost a Kubernetes-style always-on deployment pays even when idle —
+experiment E13's denominator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Simulator
+from .pricing import DEFAULT_PRICES, PriceBook
+
+
+class CostMeter:
+    """Accumulates costs by category."""
+
+    def __init__(self, prices: Optional[PriceBook] = None):
+        self.prices = prices if prices is not None else DEFAULT_PRICES
+        self._usd: Dict[str, float] = {}
+        self._units: Dict[str, float] = {}
+
+    def add(self, category: str, usd: float, units: float = 1.0) -> None:
+        """Record a line item."""
+        if usd < 0:
+            raise ValueError("negative cost")
+        self._usd[category] = self._usd.get(category, 0.0) + usd
+        self._units[category] = self._units.get(category, 0.0) + units
+
+    # -- typed conveniences --------------------------------------------------
+    def kv_read(self, n: int = 1) -> None:
+        self.add("kv.read", self.prices.kv_read(n), n)
+
+    def kv_write(self, n: int = 1) -> None:
+        self.add("kv.write", self.prices.kv_write(n), n)
+
+    def object_get(self, n: int = 1) -> None:
+        self.add("object.get", self.prices.object_get(n), n)
+
+    def object_put(self, n: int = 1) -> None:
+        self.add("object.put", self.prices.object_put(n), n)
+
+    def invocation(self, duration_s: float, memory_gb: float,
+                   gpus: int = 0) -> None:
+        """One serverless invocation: request fee + metered compute."""
+        self.add("compute.requests", self.prices.invocations(1), 1)
+        self.add("compute.duration",
+                 self.prices.compute(duration_s, memory_gb), duration_s)
+        if gpus:
+            self.add("compute.gpu", self.prices.gpu_time(duration_s, gpus),
+                     duration_s)
+
+    def provisioned(self, duration_s: float, servers: float = 1.0,
+                    gpu: bool = False) -> None:
+        self.add("provisioned.gpu" if gpu else "provisioned.servers",
+                 self.prices.provisioned(duration_s, servers, gpu),
+                 duration_s * servers)
+
+    def egress(self, nbytes: float) -> None:
+        self.add("network.egress", self.prices.egress(nbytes), nbytes)
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def total_usd(self) -> float:
+        """Grand total across categories."""
+        return sum(self._usd.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """USD by category, sorted by name."""
+        return dict(sorted(self._usd.items()))
+
+    def units(self, category: str) -> float:
+        """Accumulated units (requests, seconds, bytes) in a category."""
+        return self._units.get(category, 0.0)
+
+    def usd(self, category: str) -> float:
+        """USD accumulated in one category."""
+        return self._usd.get(category, 0.0)
+
+    def per_million(self, category: str) -> float:
+        """USD per million units in a category (the paper's unit)."""
+        units = self._units.get(category, 0.0)
+        if units == 0:
+            return 0.0
+        return self._usd[category] / units * 1e6
+
+
+class ProvisionedFleet:
+    """Integrates provisioned server time into a meter.
+
+    Call :meth:`scale_to` whenever the fleet size changes; call
+    :meth:`settle` at the end of a run to bill the final interval.
+    """
+
+    def __init__(self, sim: Simulator, meter: CostMeter, name: str,
+                 servers: float = 0.0, gpu: bool = False):
+        self.sim = sim
+        self.meter = meter
+        self.name = name
+        self.gpu = gpu
+        self._servers = servers
+        self._since = sim.now
+
+    @property
+    def servers(self) -> float:
+        """Current fleet size."""
+        return self._servers
+
+    def scale_to(self, servers: float) -> None:
+        """Bill the elapsed interval, then change the fleet size."""
+        if servers < 0:
+            raise ValueError("negative fleet size")
+        self._bill()
+        self._servers = servers
+
+    def settle(self) -> None:
+        """Bill any un-billed tail interval (idempotent)."""
+        self._bill()
+
+    def _bill(self) -> None:
+        elapsed = self.sim.now - self._since
+        if elapsed > 0 and self._servers > 0:
+            self.meter.provisioned(elapsed, self._servers, gpu=self.gpu)
+        self._since = self.sim.now

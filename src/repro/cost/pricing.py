@@ -1,0 +1,90 @@
+"""Cloud price book.
+
+Prices follow 2021-era public list prices of the big managed services;
+the KV read price is set to the paper's own measured figure (Section
+2.1: fetching 1 KB from DynamoDB costs 0.18 USD per million requests,
+vs 0.003 USD per million for the same fetch over NFS from a provisioned
+server). The paper speculates the gap partly reflects the provider
+passing the cost of the RESTful front end on to the customer — the
+managed-KV model in :mod:`repro.storage.kvstore` makes that structure
+explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per billing hour / month, for conversions.
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_MONTH = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """USD prices for metered cloud resources."""
+
+    # Managed, pay-per-request services.
+    kv_read_per_million: float = 0.18          # paper's DynamoDB figure
+    kv_write_per_million: float = 0.90
+    object_get_per_million: float = 0.40
+    object_put_per_million: float = 5.00
+    # Serverless compute.
+    invocation_per_million: float = 0.20
+    compute_gb_second: float = 1.6667e-5       # FaaS GB-s
+    gpu_second: float = 9.0e-4                 # accelerator surcharge
+    # Storage & network.
+    storage_gb_month: float = 0.023
+    egress_per_gb: float = 0.09
+    # Provisioned servers (per wall-clock hour, whether busy or idle).
+    server_hour: float = 0.10
+    gpu_server_hour: float = 3.00
+
+    def kv_read(self, n: int = 1) -> float:
+        """Cost of ``n`` managed-KV reads."""
+        return n * self.kv_read_per_million / 1e6
+
+    def kv_write(self, n: int = 1) -> float:
+        """Cost of ``n`` managed-KV writes."""
+        return n * self.kv_write_per_million / 1e6
+
+    def object_get(self, n: int = 1) -> float:
+        """Cost of ``n`` object-store GETs."""
+        return n * self.object_get_per_million / 1e6
+
+    def object_put(self, n: int = 1) -> float:
+        """Cost of ``n`` object-store PUTs."""
+        return n * self.object_put_per_million / 1e6
+
+    def invocations(self, n: int = 1) -> float:
+        """Per-request cost of ``n`` function invocations."""
+        return n * self.invocation_per_million / 1e6
+
+    def compute(self, duration_s: float, memory_gb: float) -> float:
+        """Metered FaaS compute cost."""
+        if duration_s < 0 or memory_gb < 0:
+            raise ValueError("negative usage")
+        return duration_s * memory_gb * self.compute_gb_second
+
+    def gpu_time(self, duration_s: float, gpus: int = 1) -> float:
+        """Metered accelerator time."""
+        if duration_s < 0 or gpus < 0:
+            raise ValueError("negative usage")
+        return duration_s * gpus * self.gpu_second
+
+    def provisioned(self, duration_s: float, servers: float = 1.0,
+                    gpu: bool = False) -> float:
+        """Cost of keeping servers allocated for ``duration_s``."""
+        if duration_s < 0 or servers < 0:
+            raise ValueError("negative usage")
+        rate = self.gpu_server_hour if gpu else self.server_hour
+        return servers * rate * duration_s / SECONDS_PER_HOUR
+
+    def egress(self, nbytes: float) -> float:
+        """Network egress cost."""
+        if nbytes < 0:
+            raise ValueError("negative usage")
+        return self.egress_per_gb * nbytes / 1024 ** 3
+
+
+#: The default book used across experiments.
+DEFAULT_PRICES = PriceBook()

@@ -1,0 +1,13 @@
+"""CRDTs and the merge-based replicated service (parallel to PCSI)."""
+
+from .service import (
+    CRDT_MSG_BYTES,
+    ReplicatedCRDTService,
+    UnknownCRDTError,
+)
+from .types import CRDT_TYPES, GCounter, LWWRegister, ORSet, PNCounter
+
+__all__ = [
+    "GCounter", "PNCounter", "LWWRegister", "ORSet", "CRDT_TYPES",
+    "ReplicatedCRDTService", "UnknownCRDTError", "CRDT_MSG_BYTES",
+]

@@ -1,0 +1,179 @@
+"""The replicated CRDT service: merge-based state, parallel to PCSI.
+
+Each replica node holds full CRDT states. An update applies at the
+replica closest to the caller (one short hop, no quorum) and gossips
+the *merged state* to the other replicas after a delay; reads return
+the closest replica's view. Convergence — not freshness — is the
+contract, but unlike last-writer-wins eventual storage, **no update is
+ever lost**: concurrent increments all survive the merge.
+
+The service is exposed to PCSI programs through a DEVICE object
+(``cloud.create_device("crdt")``), keeping the merge machinery outside
+the PCSI data layer, exactly as §3.3 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cluster.network import Network, NetworkUnreachableError
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStream
+from .types import CRDT_TYPES, GCounter, LWWRegister, ORSet, PNCounter
+
+#: Wire size of an update/read message.
+CRDT_MSG_BYTES = 128
+#: Estimated state size shipped during gossip.
+CRDT_STATE_BYTES = 512
+
+
+class UnknownCRDTError(KeyError):
+    """The named CRDT instance or type does not exist."""
+
+
+class ReplicatedCRDTService:
+    """Named CRDT instances replicated across a set of nodes."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 replica_nodes: List[str],
+                 gossip_delay_mean: float = 0.020,
+                 rng: Optional[RandomStream] = None):
+        if not replica_nodes:
+            raise ValueError("need at least one replica")
+        self.sim = sim
+        self.network = network
+        self.replica_nodes = list(replica_nodes)
+        self.gossip_delay_mean = gossip_delay_mean
+        self.rng = rng if rng is not None else RandomStream(0, "crdt")
+        # replica node -> instance name -> CRDT state
+        self._states: Dict[str, Dict[str, Any]] = {
+            nid: {} for nid in replica_nodes}
+
+    # -- the device-service entry point -----------------------------------
+    def handle(self, client_node: str, op: str,
+               body: Dict[str, Any]) -> Generator:
+        """Dispatch one device call (generator; returns the response)."""
+        if op == "create":
+            result = yield from self._create(client_node, body)
+        elif op == "update":
+            result = yield from self._update(client_node, body)
+        elif op == "read":
+            result = yield from self._read(client_node, body)
+        else:
+            raise UnknownCRDTError(f"no CRDT op {op!r}")
+        return result
+
+    # -- operations -----------------------------------------------------------
+    def _closest(self, client_node: str) -> str:
+        topo = self.network.topology
+        live = [nid for nid in self.replica_nodes if topo.node(nid).alive]
+        if not live:
+            raise NetworkUnreachableError("no live CRDT replica")
+        if client_node in live:
+            return client_node
+        for nid in live:
+            if topo.same_rack(client_node, nid):
+                return nid
+        return live[0]
+
+    def _create(self, client_node: str, body: Dict[str, Any]) -> Generator:
+        name = body["name"]
+        crdt_type = body["type"]
+        if crdt_type not in CRDT_TYPES:
+            raise UnknownCRDTError(f"no CRDT type {crdt_type!r}")
+        # Creation is broadcast so every replica knows the instance.
+        target = self._closest(client_node)
+        yield from self.network.round_trip(client_node, target,
+                                           CRDT_MSG_BYTES, CRDT_MSG_BYTES,
+                                           purpose="crdt:create")
+        for nid in self.replica_nodes:
+            self._states[nid].setdefault(name, CRDT_TYPES[crdt_type]())
+        return name
+
+    def _update(self, client_node: str, body: Dict[str, Any]) -> Generator:
+        name = body["name"]
+        method = body["method"]
+        args = body.get("args", {})
+        target = self._closest(client_node)
+        yield from self.network.transfer(client_node, target,
+                                         CRDT_MSG_BYTES,
+                                         purpose="crdt:update")
+        state = self._state_of(target, name)
+        self._apply(state, target, method, args)
+        yield from self.network.transfer(target, client_node,
+                                         CRDT_MSG_BYTES,
+                                         purpose="crdt:ack")
+        for nid in self.replica_nodes:
+            if nid != target:
+                self.sim.spawn(self._gossip(target, nid, name),
+                               name=f"crdt-gossip:{name}")
+        return self._snapshot(state)
+
+    def _read(self, client_node: str, body: Dict[str, Any]) -> Generator:
+        name = body["name"]
+        target = self._closest(client_node)
+        yield from self.network.round_trip(client_node, target,
+                                           CRDT_MSG_BYTES,
+                                           CRDT_STATE_BYTES,
+                                           purpose="crdt:read")
+        return self._snapshot(self._state_of(target, name))
+
+    # -- internals --------------------------------------------------------------
+    def _state_of(self, replica: str, name: str) -> Any:
+        state = self._states[replica].get(name)
+        if state is None:
+            raise UnknownCRDTError(name)
+        return state
+
+    def _apply(self, state: Any, replica: str, method: str,
+               args: Dict[str, Any]) -> None:
+        if isinstance(state, (GCounter, PNCounter)) \
+                and method in ("increment", "decrement"):
+            getattr(state, method)(replica, args.get("amount", 1))
+        elif isinstance(state, LWWRegister) and method == "set":
+            state.set(args["value"], self.sim.now, replica)
+        elif isinstance(state, ORSet) and method == "add":
+            state.add(args["element"], replica)
+        elif isinstance(state, ORSet) and method == "remove":
+            state.remove(args["element"])
+        else:
+            raise UnknownCRDTError(
+                f"{type(state).__name__} has no update {method!r}")
+
+    def _snapshot(self, state: Any) -> Any:
+        if isinstance(state, (GCounter, PNCounter)):
+            return state.value
+        if isinstance(state, LWWRegister):
+            return state.value
+        if isinstance(state, ORSet):
+            return sorted(state.elements(), key=repr)
+        raise UnknownCRDTError(type(state).__name__)
+
+    def _gossip(self, src: str, dst: str, name: str) -> Generator:
+        yield self.sim.timeout(self.rng.exponential(self.gossip_delay_mean))
+        try:
+            yield from self.network.transfer(src, dst, CRDT_STATE_BYTES,
+                                             purpose="crdt:gossip")
+        except NetworkUnreachableError:
+            return  # a later update's gossip (or anti-entropy) repairs
+        src_state = self._states[src].get(name)
+        dst_state = self._states[dst].get(name)
+        if src_state is None:
+            return
+        if dst_state is None:
+            self._states[dst][name] = src_state.copy()
+        else:
+            self._states[dst][name] = dst_state.merge(src_state)
+
+    # -- test/experiment helpers ---------------------------------------------------
+    def converged(self, name: str) -> bool:
+        """True when every replica holds an equal state for ``name``."""
+        states = [self._states[nid].get(name)
+                  for nid in self.replica_nodes]
+        if any(s is None for s in states):
+            return False
+        return all(s == states[0] for s in states[1:])
+
+    def replica_value(self, replica: str, name: str) -> Any:
+        """One replica's current view (zero-cost; for assertions)."""
+        return self._snapshot(self._state_of(replica, name))

@@ -1,0 +1,183 @@
+"""Conflict-free replicated data types (§3.3's "largely parallel" track).
+
+The paper: "CRDTs and lattice-based approaches require the state
+management system to support a merge operation, in effect blending the
+notions of state and computation. We believe such techniques will play
+an important role in the cloud, however their implementations should be
+largely parallel to PCSI."
+
+These are state-based (convergent) CRDTs: each replica holds a full
+state, updates mutate the local state, and ``merge`` is a join on a
+semilattice — idempotent, commutative, associative — so replicas
+converge under any delivery order. The property tests in
+``tests/crdt/`` check exactly those laws.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+
+class GCounter:
+    """Grow-only counter: per-replica tallies, merge = pointwise max."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self._counts: Dict[str, int] = dict(counts or {})
+        if any(v < 0 for v in self._counts.values()):
+            raise ValueError("G-counter tallies cannot be negative")
+
+    def increment(self, replica: str, amount: int = 1) -> None:
+        """Add ``amount`` at ``replica`` (must be positive)."""
+        if amount <= 0:
+            raise ValueError("G-counter increments must be positive")
+        self._counts[replica] = self._counts.get(replica, 0) + amount
+
+    @property
+    def value(self) -> int:
+        return sum(self._counts.values())
+
+    def merge(self, other: "GCounter") -> "GCounter":
+        """Join: pointwise maximum of tallies."""
+        keys = set(self._counts) | set(other._counts)
+        return GCounter({k: max(self._counts.get(k, 0),
+                                other._counts.get(k, 0)) for k in keys})
+
+    def copy(self) -> "GCounter":
+        return GCounter(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GCounter):
+            return NotImplemented
+        keys = set(self._counts) | set(other._counts)
+        return all(self._counts.get(k, 0) == other._counts.get(k, 0)
+                   for k in keys)
+
+    def __repr__(self) -> str:
+        return f"GCounter({self.value})"
+
+
+class PNCounter:
+    """Increment/decrement counter: a pair of G-counters."""
+
+    def __init__(self, positive: Optional[GCounter] = None,
+                 negative: Optional[GCounter] = None):
+        self._pos = positive.copy() if positive else GCounter()
+        self._neg = negative.copy() if negative else GCounter()
+
+    def increment(self, replica: str, amount: int = 1) -> None:
+        self._pos.increment(replica, amount)
+
+    def decrement(self, replica: str, amount: int = 1) -> None:
+        self._neg.increment(replica, amount)
+
+    @property
+    def value(self) -> int:
+        return self._pos.value - self._neg.value
+
+    def merge(self, other: "PNCounter") -> "PNCounter":
+        return PNCounter(self._pos.merge(other._pos),
+                         self._neg.merge(other._neg))
+
+    def copy(self) -> "PNCounter":
+        return PNCounter(self._pos, self._neg)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PNCounter):
+            return NotImplemented
+        return self._pos == other._pos and self._neg == other._neg
+
+    def __repr__(self) -> str:
+        return f"PNCounter({self.value})"
+
+
+class LWWRegister:
+    """Last-writer-wins register: merge keeps the later (ts, replica)."""
+
+    def __init__(self, value: Any = None,
+                 stamp: Tuple[float, str] = (-1.0, "")):
+        self.value = value
+        self.stamp = stamp
+
+    def set(self, value: Any, timestamp: float, replica: str) -> None:
+        """Write if the new stamp dominates (ties break by replica id)."""
+        stamp = (timestamp, replica)
+        if stamp > self.stamp:
+            self.value = value
+            self.stamp = stamp
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        winner = self if self.stamp >= other.stamp else other
+        return LWWRegister(winner.value, winner.stamp)
+
+    def copy(self) -> "LWWRegister":
+        return LWWRegister(self.value, self.stamp)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LWWRegister):
+            return NotImplemented
+        return self.stamp == other.stamp and self.value == other.value
+
+    def __repr__(self) -> str:
+        return f"LWWRegister({self.value!r}@{self.stamp})"
+
+
+class ORSet:
+    """Observed-remove set: adds carry unique tags; removes kill only
+    the tags they observed, so a concurrent add wins over a remove."""
+
+    _tag_counter = itertools.count(1)
+
+    def __init__(self, adds: Optional[Dict[Any, Set[str]]] = None,
+                 removed: Optional[Set[str]] = None):
+        self._adds: Dict[Any, Set[str]] = {
+            k: set(v) for k, v in (adds or {}).items()}
+        self._removed: Set[str] = set(removed or ())
+
+    def add(self, element: Any, replica: str) -> str:
+        """Insert ``element``; returns the unique tag minted."""
+        tag = f"{replica}:{next(self._tag_counter)}"
+        self._adds.setdefault(element, set()).add(tag)
+        return tag
+
+    def remove(self, element: Any) -> None:
+        """Remove every currently-observed tag of ``element``."""
+        self._removed |= self._adds.get(element, set())
+
+    def __contains__(self, element: Any) -> bool:
+        return bool(self._adds.get(element, set()) - self._removed)
+
+    def elements(self) -> FrozenSet[Any]:
+        """The visible membership."""
+        return frozenset(e for e, tags in self._adds.items()
+                         if tags - self._removed)
+
+    def merge(self, other: "ORSet") -> "ORSet":
+        adds: Dict[Any, Set[str]] = {}
+        for source in (self._adds, other._adds):
+            for element, tags in source.items():
+                adds.setdefault(element, set()).update(tags)
+        return ORSet(adds, self._removed | other._removed)
+
+    def copy(self) -> "ORSet":
+        return ORSet(self._adds, self._removed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ORSet):
+            return NotImplemented
+        keys = set(self._adds) | set(other._adds)
+        return (self._removed == other._removed
+                and all(self._adds.get(k, set())
+                        == other._adds.get(k, set()) for k in keys))
+
+    def __repr__(self) -> str:
+        return f"ORSet({sorted(map(repr, self.elements()))})"
+
+
+#: Factory registry for the replicated CRDT service.
+CRDT_TYPES = {
+    "gcounter": GCounter,
+    "pncounter": PNCounter,
+    "lww": LWWRegister,
+    "orset": ORSet,
+}

@@ -1,0 +1,23 @@
+"""Serverless execution substrate: platforms, executors, warm pools."""
+
+from .autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
+from .platforms import (
+    CONTAINER,
+    GPU_CONTAINER,
+    MICROVM,
+    NPU_CONTAINER,
+    PLATFORMS,
+    UNIKERNEL,
+    WASM,
+    Executor,
+    ExecutorLostError,
+    ExecutorStateError,
+    PlatformSpec,
+)
+
+__all__ = [
+    "PlatformSpec", "Executor", "ExecutorStateError", "ExecutorLostError",
+    "CONTAINER", "MICROVM", "UNIKERNEL", "WASM",
+    "GPU_CONTAINER", "NPU_CONTAINER", "PLATFORMS",
+    "WarmPool", "PlacementFailedError", "DEFAULT_KEEP_ALIVE",
+]

@@ -1,0 +1,179 @@
+"""Autoscaling warm pools: serverless scale-from-zero (§2.4, §4.2).
+
+A :class:`WarmPool` manages executors for one (function, implementation)
+pair. Invocations grab a warm idle executor when one exists, otherwise
+a new sandbox is provisioned (a cold start). Idle executors are reaped
+after a keep-alive window, so an unused function costs nothing — the
+property experiment E13 contrasts with provisioned fleets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..cluster.node import Node
+from ..cluster.resources import ResourceVector
+from ..sim.engine import Simulator
+from ..sim.metrics import MetricsRegistry, TimeWeightedGauge
+from .platforms import Executor, PlatformSpec
+
+#: Default idle window before a warm sandbox is reaped.
+DEFAULT_KEEP_ALIVE = 60.0
+
+
+class PlacementFailedError(Exception):
+    """No node could host a new executor."""
+
+
+class WarmPool:
+    """Executors for one function implementation, scaled on demand.
+
+    ``placer`` chooses a node for each new executor; the PCSI scheduler
+    supplies policy-specific placers (naive / co-locating / scavenging).
+    It is called as ``placer(resources, platform, preferred_node)`` where
+    the third argument is an optional co-location hint.
+    """
+
+    def __init__(self, sim: Simulator, name: str, platform: PlatformSpec,
+                 resources: ResourceVector,
+                 placer: Callable[..., Optional[Node]],
+                 keep_alive: float = DEFAULT_KEEP_ALIVE,
+                 max_executors: Optional[int] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if keep_alive < 0:
+            raise ValueError("negative keep_alive")
+        self.sim = sim
+        self.name = name
+        self.platform = platform
+        self.resources = resources
+        self.placer = placer
+        self.keep_alive = keep_alive
+        self.max_executors = max_executors
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._executors: List[Executor] = []
+        self._waiters: List = []
+        self._provisioning = 0
+        self.cold_starts = 0
+        self.warm_hits = 0
+        self.queue_waits = 0
+        self.peak_size = 0
+        self._live_gauge = TimeWeightedGauge(f"{name}.live",
+                                             start_time=sim.now)
+
+    # -- pool state ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Live executors (busy + idle)."""
+        return sum(1 for e in self._executors if e.live)
+
+    @property
+    def idle(self) -> List[Executor]:
+        """Warm executors available right now (on live nodes only —
+        sandboxes stranded on crashed machines are never handed out)."""
+        return [e for e in self._executors
+                if e.live and not e.busy and e.node.alive]
+
+    # -- acquisition -------------------------------------------------------
+    def acquire(self, preferred_node: Optional[str] = None) -> Generator:
+        """Obtain an executor (warm if possible); returns it claimed.
+
+        ``preferred_node`` expresses a co-location hint: a warm executor
+        on that node wins; failing that the placer is asked to honor it.
+        When the pool is at its cap — or the cluster cannot host another
+        sandbox — the caller *queues* for the next released executor
+        rather than failing: transient capacity exhaustion shows up as
+        latency, the way production FaaS concurrency limits behave.
+        Only a pool that can never grow (no executor live or coming)
+        raises :class:`PlacementFailedError`.
+        """
+        while True:
+            candidates = self.idle
+            if preferred_node is not None:
+                preferred = [e for e in candidates
+                             if e.node.node_id == preferred_node]
+                if preferred:
+                    candidates = preferred
+            if candidates:
+                executor = candidates[0]
+                executor.mark_busy()
+                self.warm_hits += 1
+                self.metrics.counter(f"{self.name}.warm_hits").add(1)
+                return executor
+
+            capped = (self.max_executors is not None
+                      and self.size + self._provisioning
+                      >= self.max_executors)
+            if not capped:
+                node = self.placer(self.resources, self.platform,
+                                   preferred_node)
+                if node is not None:
+                    executor = Executor(self.sim, node, self.platform,
+                                        self.resources)
+                    self._provisioning += 1
+                    try:
+                        yield from executor.provision()
+                    finally:
+                        self._provisioning -= 1
+                    executor.mark_busy()
+                    self._executors.append(executor)
+                    self.cold_starts += 1
+                    self.peak_size = max(self.peak_size, self.size)
+                    self._live_gauge.set(self.size, self.sim.now)
+                    self.metrics.counter(f"{self.name}.cold_starts").add(1)
+                    return executor
+
+            if self._provisioning == 0 \
+                    and not any(e.live for e in self._executors):
+                raise PlacementFailedError(
+                    f"no node can host {self.name} "
+                    f"({self.resources.describe()}, {self.platform.name}) "
+                    "and no executor exists to wait for")
+            # Starved: wait for a release, then retry.
+            waiter = self.sim.event(name=f"starved:{self.name}")
+            self._waiters.append(waiter)
+            self.queue_waits += 1
+            self.metrics.counter(f"{self.name}.queue_waits").add(1)
+            executor = yield waiter
+            if executor is not None and executor.live \
+                    and not executor.busy and executor.node.alive:
+                executor.mark_busy()
+                self.warm_hits += 1
+                return executor
+            # Handed a stale executor (e.g. its node died meanwhile):
+            # loop and try again.
+
+    def release(self, executor: Executor) -> None:
+        """Return an executor to the warm pool.
+
+        A starved waiter (if any) is handed the executor directly;
+        otherwise the idle-reaper is armed.
+        """
+        executor.mark_idle()
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if not waiter.triggered:
+                waiter.succeed(executor)
+                return
+        self.sim.spawn(self._reap_after_idle(executor),
+                       name=f"reap:{self.name}")
+
+    def _reap_after_idle(self, executor: Executor) -> Generator:
+        """Shut the executor down if it stays idle for the window."""
+        idle_mark = executor.idle_since
+        yield self.sim.timeout(self.keep_alive)
+        if (executor.live and not executor.busy
+                and executor.idle_since == idle_mark):
+            executor.shutdown()
+            self._live_gauge.set(self.size, self.sim.now)
+            self.metrics.counter(f"{self.name}.reaped").add(1)
+
+    def drain(self) -> None:
+        """Immediately shut down all idle executors (tests/teardown)."""
+        for executor in self.idle:
+            executor.shutdown()
+        self._live_gauge.set(self.size, self.sim.now)
+
+    def live_executor_seconds(self, now: float) -> float:
+        """Integrated sandbox-liveness (provider-side memory held),
+        the cost of keep-alive warmth that pay-per-use bills hide."""
+        return self._live_gauge.mean(now) * now

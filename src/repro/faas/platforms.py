@@ -1,0 +1,166 @@
+"""Function execution platforms (§3.1: "narrow and heterogeneous").
+
+PCSI deliberately allows "a wide and evolving range of platforms" to
+implement functions — containers, microVMs, unikernels, WebAssembly,
+accelerators. The *system interface* stays fixed; the platform changes
+two things the paper quantifies:
+
+* the **isolation boundary cost** paid on every interaction with the
+  system (Table 1: KVM hypervisor call 700 ns, Linux syscall 500 ns,
+  WebAssembly call 17 ns), and
+* the **cold-start time** to conjure a fresh sandbox.
+
+An :class:`Executor` is one live sandbox of a platform on a node; it
+charges compute against the node's device (CPU/GPU/NPU) and isolation
+cost per state operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..cluster.latency import HYPERVISOR_CALL, SYSCALL, WASM_CALL
+from ..cluster.node import Node
+from ..cluster.resources import ResourceVector
+from ..sim.engine import MS, Simulator
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """How a function body is isolated and executed."""
+
+    name: str
+    #: Cost of crossing the isolation boundary once (per state op).
+    isolation_call: float
+    #: Time to provision a fresh sandbox (image pull amortized away).
+    cold_start: float
+    #: Which device kind executes the function's compute.
+    device_kind: str = "cpu"
+    #: Fraction of the raw device rate this runtime achieves.
+    compute_efficiency: float = 1.0
+
+    def __post_init__(self):
+        if self.isolation_call < 0 or self.cold_start < 0:
+            raise ValueError("negative platform cost")
+        if not 0 < self.compute_efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+
+#: OCI container (namespaced process): syscall-priced isolation,
+#: hundreds-of-ms cold start.
+CONTAINER = PlatformSpec("container", isolation_call=SYSCALL,
+                         cold_start=400 * MS)
+#: Firecracker-style microVM: hypervisor-call isolation, fast boot.
+MICROVM = PlatformSpec("microvm", isolation_call=HYPERVISOR_CALL,
+                       cold_start=150 * MS)
+#: Unikernel on a minimal monitor: hypervisor-priced, tiny image.
+UNIKERNEL = PlatformSpec("unikernel", isolation_call=HYPERVISOR_CALL,
+                         cold_start=30 * MS)
+#: WebAssembly instance in a shared runtime (Faasm-style).
+WASM = PlatformSpec("wasm", isolation_call=WASM_CALL, cold_start=5 * MS,
+                    compute_efficiency=0.7)
+#: Container with a GPU attached: adds device init to cold start.
+GPU_CONTAINER = PlatformSpec("gpu-container", isolation_call=SYSCALL,
+                             cold_start=2000 * MS, device_kind="gpu")
+#: Container with an NPU attached (the E8 hardware-swap candidate).
+NPU_CONTAINER = PlatformSpec("npu-container", isolation_call=SYSCALL,
+                             cold_start=1500 * MS, device_kind="npu")
+
+PLATFORMS = {p.name: p for p in (CONTAINER, MICROVM, UNIKERNEL, WASM,
+                                 GPU_CONTAINER, NPU_CONTAINER)}
+
+
+class ExecutorStateError(Exception):
+    """An executor was used outside its lifecycle."""
+
+
+class ExecutorLostError(Exception):
+    """The machine hosting the sandbox died while it was computing.
+
+    Retriable: PCSI functions hold no implicit state, so the scheduler
+    may transparently re-run the invocation elsewhere.
+    """
+
+
+class Executor:
+    """One live sandbox on a node.
+
+    Lifecycle: ``provision()`` (cold start, resources held from here) →
+    any number of ``execute()`` / ``state_op()`` calls → ``shutdown()``.
+    """
+
+    def __init__(self, sim: Simulator, node: Node, platform: PlatformSpec,
+                 resources: ResourceVector):
+        if not node.has_device(platform.device_kind):
+            raise ExecutorStateError(
+                f"node {node.node_id} lacks a {platform.device_kind!r} "
+                f"device for platform {platform.name!r}")
+        self.sim = sim
+        self.node = node
+        self.platform = platform
+        self.resources = resources
+        self.live = False
+        self.busy = False
+        self.idle_since: Optional[float] = None
+        self.invocations = 0
+
+    def provision(self) -> Generator:
+        """Allocate resources and pay the cold start."""
+        if self.live:
+            raise ExecutorStateError("executor already provisioned")
+        self.node.allocate(self.resources)
+        yield self.sim.timeout(self.platform.cold_start)
+        self.live = True
+        self.idle_since = self.sim.now
+        return self
+
+    def compute(self, work_ops: float) -> Generator:
+        """Run ``work_ops`` units of work on the platform's device.
+
+        Raises :class:`ExecutorLostError` if the hosting machine dies
+        mid-computation (failure injection).
+        """
+        if not self.live:
+            raise ExecutorStateError("compute on a dead executor")
+        device = self.node.device(self.platform.device_kind)
+        duration = (device.compute_time(work_ops)
+                    / self.platform.compute_efficiency
+                    * self.node.interference_factor())
+        yield self.sim.timeout(duration)
+        if not self.node.alive:
+            raise ExecutorLostError(
+                f"node {self.node.node_id} died during compute")
+        return duration
+
+    def isolation_cost(self, calls: int = 1) -> float:
+        """Boundary-crossing time for ``calls`` state operations."""
+        if calls < 0:
+            raise ValueError("negative call count")
+        return calls * self.platform.isolation_call
+
+    def mark_busy(self) -> None:
+        """Claim the executor for an invocation."""
+        if not self.live:
+            raise ExecutorStateError("claim of a dead executor")
+        if self.busy:
+            raise ExecutorStateError("executor already busy")
+        self.busy = True
+        self.idle_since = None
+
+    def mark_idle(self) -> None:
+        """Return the executor to the warm pool."""
+        if not self.busy:
+            raise ExecutorStateError("idle-marking an idle executor")
+        self.busy = False
+        self.invocations += 1
+        self.idle_since = self.sim.now
+
+    def shutdown(self) -> None:
+        """Release the sandbox's resources (scale-to-zero reaping)."""
+        if not self.live:
+            raise ExecutorStateError("shutdown of a dead executor")
+        if self.busy:
+            raise ExecutorStateError("shutdown of a busy executor")
+        self.node.release(self.resources)
+        self.live = False

@@ -1,0 +1,32 @@
+"""Protocol layer: marshaling, services, REST and session transports."""
+
+from .marshal import (
+    REST_ENVELOPE_BYTES,
+    SESSION_FRAME_BYTES,
+    JsonCodec,
+    SizedPayload,
+    estimate_size,
+)
+from .rest import RestTransport
+from .service import (
+    DEFAULT_SERVICE_TIME,
+    RequestContext,
+    Service,
+    UnknownOperationError,
+)
+from .session import (
+    FRAME_ENCODE_TIME,
+    Session,
+    SessionClosedError,
+    SessionTransport,
+)
+
+__all__ = [
+    "estimate_size", "SizedPayload", "JsonCodec",
+    "REST_ENVELOPE_BYTES", "SESSION_FRAME_BYTES",
+    "Service", "RequestContext", "UnknownOperationError",
+    "DEFAULT_SERVICE_TIME",
+    "RestTransport",
+    "SessionTransport", "Session", "SessionClosedError",
+    "FRAME_ENCODE_TIME",
+]

@@ -1,0 +1,92 @@
+"""Services: named request handlers hosted on cluster nodes.
+
+A :class:`Service` is the unit both transports (REST and session) talk
+to. It lives on a node, has bounded concurrency (a thread pool modeled
+as a :class:`~repro.sim.resources.Resource`), and dispatches operations
+to registered handler generators. Handlers may themselves make nested
+transport calls (a front-end calling storage replicas), which is how
+multi-hop managed services like the DynamoDB model are composed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..sim.engine import US, Simulator
+from ..sim.resources import Resource
+from ..cluster.network import Network
+
+#: Default CPU time a handler burns before its own logic (parsing,
+#: dispatch, logging) — deliberately small; protocol costs dominate.
+DEFAULT_SERVICE_TIME = 10 * US
+
+
+@dataclass
+class RequestContext:
+    """Server-side view of one in-flight request."""
+
+    op: str
+    body: Any
+    client_node: str
+    auth: Any = None
+    principal: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class UnknownOperationError(Exception):
+    """The service has no handler for the requested op."""
+
+
+class Service:
+    """A request/response server bound to one node."""
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str,
+                 name: str, concurrency: int = 16,
+                 service_time: float = DEFAULT_SERVICE_TIME):
+        if node_id not in [n.node_id for n in network.topology.nodes]:
+            raise ValueError(f"unknown node {node_id!r}")
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.name = name
+        self.service_time = service_time
+        self._threads = Resource(sim, concurrency, name=f"{name}.threads")
+        self._handlers: Dict[str, Callable[[RequestContext], Generator]] = {}
+        self.requests_served = 0
+
+    @property
+    def node(self):
+        """The hosting node object."""
+        return self.network.topology.node(self.node_id)
+
+    def register(self, op: str,
+                 handler: Callable[[RequestContext], Generator]) -> None:
+        """Bind ``op`` to a generator-function handler."""
+        if op in self._handlers:
+            raise ValueError(f"{self.name}: duplicate handler for {op!r}")
+        self._handlers[op] = handler
+
+    def serve(self, ctx: RequestContext) -> Generator:
+        """Run one request through the thread pool and its handler.
+
+        Generator usable with ``yield from``; returns the handler's
+        response value.
+        """
+        handler = self._handlers.get(ctx.op)
+        if handler is None:
+            raise UnknownOperationError(f"{self.name}: no op {ctx.op!r}")
+        yield self._threads.acquire()
+        try:
+            if self.service_time > 0:
+                yield self.sim.timeout(self.service_time)
+            response = yield from handler(ctx)
+            self.requests_served += 1
+            return response
+        finally:
+            self._threads.release()
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a server thread."""
+        return self._threads.queue_length

@@ -1,0 +1,27 @@
+"""Access control: PCSI capabilities and the REST ACL/token baseline."""
+
+from .acl import (
+    ACL_LOOKUP_TIME,
+    STATELESS_AUTH_TIME,
+    TOKEN_VALIDATE_TIME,
+    AclAuthenticator,
+    InvalidTokenError,
+    Token,
+)
+from .capabilities import (
+    CAPABILITY_CHECK_TIME,
+    CAPABILITY_MINT_TIME,
+    AccessDeniedError,
+    Capability,
+    CapabilityRegistry,
+    RevokedCapabilityError,
+    Right,
+)
+
+__all__ = [
+    "Right", "Capability", "CapabilityRegistry",
+    "AccessDeniedError", "RevokedCapabilityError",
+    "CAPABILITY_CHECK_TIME", "CAPABILITY_MINT_TIME",
+    "Token", "AclAuthenticator", "InvalidTokenError",
+    "TOKEN_VALIDATE_TIME", "ACL_LOOKUP_TIME", "STATELESS_AUTH_TIME",
+]

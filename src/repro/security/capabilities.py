@@ -1,0 +1,157 @@
+"""Capability-based access control (the PCSI reference model, §3.2).
+
+A :class:`Capability` is an unforgeable reference to an object carrying
+a set of rights, in the style of Capsicum file descriptors. Validation
+is a constant-time local table lookup — the point the paper makes
+against per-request token checks is that the expensive authentication
+work happens *once*, when the reference is minted or a session is
+opened, not on every operation.
+
+Rights can only be *attenuated* (never amplified): ``attenuate`` yields
+a capability whose rights are a subset of the parent's. Revoking a
+capability invalidates it and every capability derived from it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Flag, auto
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..sim.engine import NS, US
+
+
+class Right(Flag):
+    """Access rights a capability can carry."""
+
+    READ = auto()
+    WRITE = auto()
+    APPEND = auto()
+    EXECUTE = auto()     # invoke (for function objects)
+    RESOLVE = auto()     # namespace lookup through a directory
+    MINT = auto()        # delegate: create attenuated children
+
+    @classmethod
+    def all(cls) -> "Right":
+        """The full rights mask."""
+        mask = cls.READ
+        for right in cls:
+            mask |= right
+        return mask
+
+
+#: Validating a capability is a local table hit — syscall-scale.
+CAPABILITY_CHECK_TIME = 300 * NS
+#: Minting (or opening a session with) a capability involves one
+#: cryptographic verification of the bearer — the cost REST re-pays on
+#: every request.
+CAPABILITY_MINT_TIME = 20 * US
+
+
+class AccessDeniedError(Exception):
+    """An operation was attempted without the needed right."""
+
+
+class RevokedCapabilityError(AccessDeniedError):
+    """The capability (or an ancestor) has been revoked."""
+
+
+class Capability:
+    """An unforgeable object reference with rights.
+
+    Instances are only created by :class:`CapabilityRegistry`; holding
+    the Python object *is* holding the authority (there is no token to
+    guess).
+    """
+
+    __slots__ = ("cap_id", "object_id", "rights", "parent", "_registry")
+
+    def __init__(self, cap_id: int, object_id: str, rights: Right,
+                 parent: Optional["Capability"],
+                 registry: "CapabilityRegistry"):
+        self.cap_id = cap_id
+        self.object_id = object_id
+        self.rights = rights
+        self.parent = parent
+        self._registry = registry
+
+    def allows(self, right: Right) -> bool:
+        """True if this capability carries ``right`` and is not revoked."""
+        if self._registry.is_revoked(self):
+            return False
+        return bool(self.rights & right == right)
+
+    def attenuate(self, rights: Right) -> "Capability":
+        """Derive a child capability with a subset of this one's rights.
+
+        Requires the MINT right; the child's rights are the intersection
+        requested ∩ held (minus MINT unless explicitly re-granted).
+        """
+        if not self.allows(Right.MINT):
+            raise AccessDeniedError(
+                f"capability {self.cap_id} lacks MINT; cannot delegate")
+        granted = rights & self.rights
+        if granted != rights:
+            raise AccessDeniedError(
+                f"cannot amplify: requested {rights}, held {self.rights}")
+        return self._registry._derive(self, granted)
+
+    def __repr__(self) -> str:
+        return (f"<Capability #{self.cap_id} obj={self.object_id} "
+                f"rights={self.rights}>")
+
+
+class CapabilityRegistry:
+    """Mints, validates, and revokes capabilities for one PCSI instance."""
+
+    def __init__(self):
+        self._counter = itertools.count(1)
+        self._revoked: Set[int] = set()
+        self._live: Dict[int, Capability] = {}
+
+    def mint(self, object_id: str,
+             rights: Right = Right.all()) -> Capability:
+        """Create a root capability for ``object_id``."""
+        cap = Capability(next(self._counter), object_id, rights,
+                         parent=None, registry=self)
+        self._live[cap.cap_id] = cap
+        return cap
+
+    def _derive(self, parent: Capability, rights: Right) -> Capability:
+        cap = Capability(next(self._counter), parent.object_id, rights,
+                         parent=parent, registry=self)
+        self._live[cap.cap_id] = cap
+        return cap
+
+    def is_revoked(self, cap: Capability) -> bool:
+        """True if ``cap`` or any ancestor has been revoked."""
+        node: Optional[Capability] = cap
+        while node is not None:
+            if node.cap_id in self._revoked:
+                return True
+            node = node.parent
+        return False
+
+    def revoke(self, cap: Capability) -> None:
+        """Invalidate ``cap`` and (transitively) everything derived from it."""
+        self._revoked.add(cap.cap_id)
+
+    def check(self, cap: Capability, right: Right) -> None:
+        """Authorize one operation; raises on failure.
+
+        The *simulated* cost of this check is
+        :data:`CAPABILITY_CHECK_TIME`; callers in the protocol layer
+        charge it.
+        """
+        if self.is_revoked(cap):
+            raise RevokedCapabilityError(
+                f"capability {cap.cap_id} has been revoked")
+        if not cap.rights & right == right:
+            raise AccessDeniedError(
+                f"capability {cap.cap_id} lacks {right} "
+                f"(holds {cap.rights})")
+
+    @property
+    def live_count(self) -> int:
+        """Number of capabilities ever minted and not revoked."""
+        return sum(1 for c in self._live.values() if not self.is_revoked(c))

@@ -1,0 +1,188 @@
+"""Measurement helpers: counters, gauges-over-time, and histograms.
+
+Experiments report simulated latency/cost/utilization numbers that must
+be deterministic, so these classes do exact bookkeeping (sorted samples
+for percentiles) rather than approximate sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a Gauge instead")
+        self.value += amount
+
+
+class Histogram:
+    """Collects samples; reports mean/percentiles exactly."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for v in values:
+            self.observe(v)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via linear interpolation (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._samples:
+            return math.nan
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        data = self._samples
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        lo = int(math.floor(rank))
+        hi = int(math.ceil(rank))
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples <= threshold (SLO attainment)."""
+        if not self._samples:
+            return math.nan
+        return sum(1 for v in self._samples
+                   if v <= threshold) / len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """Dict of the usual summary statistics."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+class TimeWeightedGauge:
+    """A level sampled against virtual time; reports time-weighted mean.
+
+    Used for utilization: call :meth:`set` whenever the level changes and
+    :meth:`mean` at the end of the run.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._level = initial
+        self._start_time = start_time
+        self._last_time = start_time
+        self._area = 0.0
+        self._max = initial
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set(self, level: float, now: float) -> None:
+        """Record that the level became ``level`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self._max = max(self._max, level)
+
+    def add(self, delta: float, now: float) -> None:
+        """Adjust the level by ``delta`` at time ``now``."""
+        self.set(self._level + delta, now)
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean level over [start_time, now]."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        area = self._area + self._level * (now - self._last_time)
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._level
+        return area / elapsed
+
+    @property
+    def peak(self) -> float:
+        return self._max
+
+
+class MetricsRegistry:
+    """Namespace of counters and histograms for one simulation run."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of all histogram summaries."""
+        return {name: h.summary() for name, h in sorted(self._histograms.items())}

@@ -1,0 +1,66 @@
+"""Structured event tracing for simulations.
+
+A :class:`Tracer` records ``(time, category, payload)`` records. Traces
+feed the experiment harness (e.g. counting bytes moved over the network
+in E14) and make simulations debuggable without a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only trace with category filtering.
+
+    Tracing is off by default (``enabled=False`` constructs a no-op
+    tracer) so the hot path stays cheap in large experiments.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 categories: Optional[List[str]] = None):
+        self.enabled = enabled
+        self._categories = set(categories) if categories else None
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, **payload: Any) -> None:
+        """Append a record (no-op if disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(time, category, payload))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(self, category: str,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        """All records in ``category`` matching ``predicate``."""
+        out = [r for r in self._records if r.category == category]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return out
+
+    def sum_field(self, category: str, fieldname: str) -> float:
+        """Sum a numeric payload field over a category."""
+        return sum(r.payload.get(fieldname, 0.0) for r in self._records
+                   if r.category == category)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

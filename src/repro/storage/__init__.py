@@ -1,0 +1,31 @@
+"""Storage substrate: local stores, replication, and managed services."""
+
+from .blockstore import (
+    DISK,
+    MEDIA,
+    NVME,
+    RAM,
+    ZERO_VERSION,
+    KeyNotFoundError,
+    LocalStore,
+    Medium,
+    Record,
+    Version,
+)
+from .kvstore import ManagedKVService
+from .nfs import FileHandleError, NfsServer, nfs_fetch
+from .objectstore import ObjectExistsError, ObjectStoreService
+from .replication import (
+    QuorumUnavailableError,
+    ReplicatedStore,
+    gather_first_k,
+)
+
+__all__ = [
+    "Medium", "RAM", "NVME", "DISK", "MEDIA",
+    "LocalStore", "Record", "Version", "ZERO_VERSION", "KeyNotFoundError",
+    "ReplicatedStore", "QuorumUnavailableError", "gather_first_k",
+    "ObjectStoreService", "ObjectExistsError",
+    "ManagedKVService",
+    "NfsServer", "FileHandleError", "nfs_fetch",
+]

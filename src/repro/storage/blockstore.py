@@ -1,0 +1,122 @@
+"""Node-local storage: media models and the per-replica record store.
+
+A :class:`LocalStore` holds versioned records on one node and charges
+medium-appropriate latency for access. Values are carried as sizes plus
+small metadata (see :class:`~repro.net.marshal.SizedPayload`) — the
+simulator moves *costs*, not gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..sim.engine import MS, NS, US, Simulator
+
+#: A version is (counter, writer-id) — totally ordered, ties broken by
+#: writer identity, as in classic ABD/Dynamo implementations.
+Version = Tuple[int, str]
+
+ZERO_VERSION: Version = (0, "")
+
+
+@dataclass(frozen=True)
+class Medium:
+    """A storage medium's performance envelope."""
+
+    name: str
+    access_latency: float          # fixed cost per operation
+    bandwidth_bytes_per_sec: float
+
+    def access_time(self, nbytes: int) -> float:
+        """Latency to read or write ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative size")
+        return self.access_latency + nbytes / self.bandwidth_bytes_per_sec
+
+
+#: DRAM-resident store (caches, memory-backed objects).
+RAM = Medium(name="ram", access_latency=100 * NS,
+             bandwidth_bytes_per_sec=20e9)
+#: Datacenter NVMe flash.
+NVME = Medium(name="nvme", access_latency=20 * US,
+              bandwidth_bytes_per_sec=2e9)
+#: Spinning disk (archival tier).
+DISK = Medium(name="disk", access_latency=4 * MS,
+              bandwidth_bytes_per_sec=200e6)
+
+MEDIA: Dict[str, Medium] = {m.name: m for m in (RAM, NVME, DISK)}
+
+
+@dataclass
+class Record:
+    """One stored value: a version, a size, and small metadata."""
+
+    version: Version
+    nbytes: int
+    meta: Any = None
+    timestamp: float = 0.0
+
+
+class KeyNotFoundError(KeyError):
+    """Read of a key that has never been written to this store."""
+
+
+class LocalStore:
+    """Versioned records on one node's medium."""
+
+    def __init__(self, sim: Simulator, node_id: str, medium: Medium = NVME):
+        self.sim = sim
+        self.node_id = node_id
+        self.medium = medium
+        self._records: Dict[str, Record] = {}
+        self.bytes_stored = 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def peek(self, key: str) -> Optional[Record]:
+        """Zero-cost metadata inspection (used by tests and gossip)."""
+        return self._records.get(key)
+
+    def read(self, key: str) -> Generator:
+        """Read a record, charging medium latency; returns the Record."""
+        record = self._records.get(key)
+        nbytes = record.nbytes if record is not None else 0
+        yield self.sim.timeout(self.medium.access_time(nbytes))
+        if record is None:
+            raise KeyNotFoundError(key)
+        return record
+
+    def write(self, key: str, record: Record) -> Generator:
+        """Write a record if its version is newer; charges medium latency.
+
+        Stale writes (version <= stored version) are ignored — this is
+        the idempotent replica-side write ABD and anti-entropy rely on.
+        Returns True if the record was applied.
+        """
+        yield self.sim.timeout(self.medium.access_time(record.nbytes))
+        existing = self._records.get(key)
+        if existing is not None and record.version <= existing.version:
+            return False
+        if existing is not None:
+            self.bytes_stored -= existing.nbytes
+        self._records[key] = record
+        self.bytes_stored += record.nbytes
+        return True
+
+    def delete(self, key: str) -> Generator:
+        """Remove a key (used by GC); charges one access."""
+        yield self.sim.timeout(self.medium.access_time(0))
+        record = self._records.pop(key, None)
+        if record is not None:
+            self.bytes_stored -= record.nbytes
+        return record is not None
+
+    def version_of(self, key: str) -> Version:
+        """Current version, or the zero version if absent (no cost)."""
+        record = self._records.get(key)
+        return record.version if record is not None else ZERO_VERSION

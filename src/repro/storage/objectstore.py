@@ -1,0 +1,70 @@
+"""Cloud object storage: the immutable blob service (S3-style).
+
+Immutable objects are the easy case the paper highlights (§3.3): once
+written they can be served from any replica and cached anywhere, so
+GETs use the eventual path (closest replica) while PUTs pay a quorum
+write for durability. Requests are priced per the managed object-store
+rows of the price book.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, List, Optional
+
+from ..cluster.network import Network
+from ..cost.accounting import CostMeter
+from ..net.marshal import SizedPayload
+from ..net.service import RequestContext, Service
+from ..sim.engine import Simulator
+from .blockstore import KeyNotFoundError, Medium, NVME
+from .replication import ReplicatedStore
+
+
+class ObjectExistsError(Exception):
+    """PUT to a key that already holds an (immutable) object."""
+
+
+class ObjectStoreService(Service):
+    """An S3-like service: PUT-once / GET-many blobs.
+
+    Ops (via either transport):
+
+    * ``put``: body ``{"key": str | None, "payload": SizedPayload}`` —
+      returns the object key.
+    * ``get``: body ``{"key": str}`` — returns a :class:`SizedPayload`.
+    * ``head``: body ``{"key": str}`` — returns size or raises.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, frontend_node: str,
+                 replica_nodes: List[str], meter: Optional[CostMeter] = None,
+                 medium: Medium = NVME, name: str = "objectstore"):
+        super().__init__(sim, network, frontend_node, name)
+        self.store = ReplicatedStore(sim, network, replica_nodes,
+                                     medium=medium, name=name)
+        self.meter = meter if meter is not None else CostMeter()
+        self._keygen = itertools.count(1)
+        self.register("put", self._handle_put)
+        self.register("get", self._handle_get)
+        self.register("head", self._handle_head)
+
+    def _handle_put(self, ctx: RequestContext) -> Generator:
+        key = ctx.body.get("key") or f"obj-{next(self._keygen)}"
+        payload: SizedPayload = ctx.body["payload"]
+        if any(key in store for store in self.store.replicas.values()):
+            raise ObjectExistsError(f"object {key!r} is immutable")
+        yield from self.store.write_linearizable(
+            self.node_id, key, payload.nbytes, meta=payload.meta)
+        self.meter.object_put(1)
+        return key
+
+    def _handle_get(self, ctx: RequestContext) -> Generator:
+        key = ctx.body["key"]
+        record = yield from self.store.read_eventual(self.node_id, key)
+        self.meter.object_get(1)
+        return SizedPayload(record.nbytes, meta=record.meta)
+
+    def _handle_head(self, ctx: RequestContext) -> Generator:
+        key = ctx.body["key"]
+        record = yield from self.store.read_eventual(self.node_id, key)
+        return record.nbytes

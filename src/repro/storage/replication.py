@@ -1,0 +1,297 @@
+"""Quorum replication: the LINEARIZABLE half of the consistency menu.
+
+PCSI's Section 3.3 offers exactly two consistency levels and hides the
+mechanism. This module is the strong mechanism: an ABD-style majority
+quorum register per key.
+
+* **write**: read version counters from a majority, pick max+1, write
+  the new version to all replicas, ack after a majority confirms.
+* **read**: fetch from a majority, take the highest version; if the
+  majority disagrees, write the winning version back to a majority
+  before returning (read-repair keeps reads linearizable).
+
+Both paths are client-driven (the caller's node acts as coordinator),
+so latency is what the paper cares about: quorum round trips on the
+critical path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.network import Network, NetworkUnreachableError
+from ..sim.engine import Event, Simulator
+from ..sim.rng import RandomStream
+from .blockstore import (
+    ZERO_VERSION,
+    KeyNotFoundError,
+    LocalStore,
+    Medium,
+    NVME,
+    Record,
+    Version,
+)
+
+#: Size of a control message (version query, ack).
+CONTROL_MSG_BYTES = 64
+
+
+class QuorumUnavailableError(Exception):
+    """Fewer than a majority of replicas are reachable."""
+
+
+def gather_first_k(sim: Simulator, generators: List[Generator],
+                   k: int) -> Generator:
+    """Run ``generators`` concurrently; return the first ``k`` results.
+
+    Failures (e.g. unreachable replicas) are tolerated as long as ``k``
+    successes remain possible; otherwise the gather fails with
+    :class:`QuorumUnavailableError`. Remaining work keeps running in the
+    background — exactly how a quorum write lets stragglers finish.
+    """
+    if k < 1 or k > len(generators):
+        raise ValueError(f"need 1 <= k <= {len(generators)}, got {k}")
+    done: Event = sim.event(name="quorum")
+    results: List[Any] = []
+    failures: List[BaseException] = []
+    total = len(generators)
+
+    def on_complete(ev: Event) -> None:
+        if ev.ok:
+            results.append(ev.value)
+            if len(results) == k and not done.triggered:
+                done.succeed(list(results))
+        else:
+            failures.append(ev.value)
+            if total - len(failures) < k and not done.triggered:
+                done.fail(QuorumUnavailableError(
+                    f"only {total - len(failures)} of {total} replicas "
+                    f"can respond; quorum is {k}"))
+
+    for gen in generators:
+        sim.spawn(gen).callbacks.append(on_complete)
+    value = yield done
+    return value
+
+
+class ReplicatedStore:
+    """A keyed store replicated across a fixed set of nodes.
+
+    Exposes both consistency levels; per-object level selection lives in
+    the PCSI layer above (:mod:`repro.core.consistency`).
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 replica_nodes: List[str], medium: Medium = NVME,
+                 name: str = "store",
+                 propagation_delay_mean: float = 0.050,
+                 rng: Optional[RandomStream] = None):
+        if not replica_nodes:
+            raise ValueError("need at least one replica")
+        if len(set(replica_nodes)) != len(replica_nodes):
+            raise ValueError("duplicate replica nodes")
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.replica_nodes = list(replica_nodes)
+        self.replicas: Dict[str, LocalStore] = {
+            nid: LocalStore(sim, nid, medium) for nid in replica_nodes}
+        self.propagation_delay_mean = propagation_delay_mean
+        self.rng = rng if rng is not None else RandomStream(0, f"repl:{name}")
+        self._seq = itertools.count(1)
+        self.metrics = network.metrics
+
+    @property
+    def majority(self) -> int:
+        """Quorum size: floor(n/2) + 1."""
+        return len(self.replica_nodes) // 2 + 1
+
+    # -- replica-side primitives (one network hop each) -------------------
+    def _replica_get(self, client_node: str, replica_node: str,
+                     key: str) -> Generator:
+        """Fetch (version, record-or-None) from one replica."""
+        yield from self.network.transfer(client_node, replica_node,
+                                         CONTROL_MSG_BYTES,
+                                         purpose="quorum:get-req")
+        store = self.replicas[replica_node]
+        try:
+            record = yield from store.read(key)
+        except KeyNotFoundError:
+            record = None
+        resp_bytes = CONTROL_MSG_BYTES + (record.nbytes if record else 0)
+        yield from self.network.transfer(replica_node, client_node,
+                                         resp_bytes, purpose="quorum:get-resp")
+        return (replica_node, record)
+
+    def _replica_version(self, client_node: str, replica_node: str,
+                         key: str) -> Generator:
+        """Fetch just the version counter from one replica."""
+        yield from self.network.round_trip(client_node, replica_node,
+                                           CONTROL_MSG_BYTES,
+                                           CONTROL_MSG_BYTES,
+                                           purpose="quorum:version")
+        return self.replicas[replica_node].version_of(key)
+
+    def _replica_put(self, client_node: str, replica_node: str, key: str,
+                     record: Record) -> Generator:
+        """Push a record to one replica and wait for its ack."""
+        yield from self.network.transfer(client_node, replica_node,
+                                         CONTROL_MSG_BYTES + record.nbytes,
+                                         purpose="quorum:put-req")
+        yield from self.replicas[replica_node].write(key, record)
+        yield from self.network.transfer(replica_node, client_node,
+                                         CONTROL_MSG_BYTES,
+                                         purpose="quorum:put-ack")
+        return replica_node
+
+    # -- linearizable operations ------------------------------------------
+    def write_linearizable(self, client_node: str, key: str, nbytes: int,
+                           meta: Any = None) -> Generator:
+        """ABD write; returns the installed :class:`Version`."""
+        versions = yield from gather_first_k(
+            self.sim,
+            [self._replica_version(client_node, nid, key)
+             for nid in self.replica_nodes],
+            self.majority)
+        counter = max(v[0] for v in versions) + 1
+        writer = f"{client_node}#{next(self._seq)}"
+        record = Record(version=(counter, writer), nbytes=nbytes, meta=meta,
+                        timestamp=self.sim.now)
+        yield from gather_first_k(
+            self.sim,
+            [self._replica_put(client_node, nid, key, record)
+             for nid in self.replica_nodes],
+            self.majority)
+        self.metrics.counter(f"{self.name}.linearizable_writes").add(1)
+        return record.version
+
+    def read_linearizable(self, client_node: str, key: str) -> Generator:
+        """ABD read with read-repair; returns the winning :class:`Record`."""
+        responses = yield from gather_first_k(
+            self.sim,
+            [self._replica_get(client_node, nid, key)
+             for nid in self.replica_nodes],
+            self.majority)
+        records = [rec for _nid, rec in responses if rec is not None]
+        if not records:
+            self.metrics.counter(f"{self.name}.read_misses").add(1)
+            raise KeyNotFoundError(key)
+        winner = max(records, key=lambda r: r.version)
+        versions_seen = {rec.version for _nid, rec in responses
+                         if rec is not None}
+        holes = [nid for nid, rec in responses
+                 if rec is None or rec.version < winner.version]
+        if len(versions_seen) > 1 or holes:
+            # Read repair: install the winner at a majority before
+            # returning, so a later read cannot observe an older value.
+            yield from gather_first_k(
+                self.sim,
+                [self._replica_put(client_node, nid, key, winner)
+                 for nid in self.replica_nodes],
+                self.majority)
+            self.metrics.counter(f"{self.name}.read_repairs").add(1)
+        self.metrics.counter(f"{self.name}.linearizable_reads").add(1)
+        return winner
+
+    # -- eventual operations ------------------------------------------------
+    def closest_replica(self, client_node: str) -> str:
+        """Replica preference: same node, then same rack, then first live."""
+        topo = self.network.topology
+        live = [nid for nid in self.replica_nodes if topo.node(nid).alive]
+        if not live:
+            raise QuorumUnavailableError("no live replica")
+        if client_node in live:
+            return client_node
+        for nid in live:
+            if topo.same_rack(client_node, nid):
+                return nid
+        return live[0]
+
+    def write_eventual(self, client_node: str, key: str, nbytes: int,
+                       meta: Any = None) -> Generator:
+        """Ack after one replica write; propagate in the background.
+
+        Version counters use the local replica's view +1 with
+        last-writer-wins tie-breaking — concurrent eventual writes
+        converge but may overwrite each other (the documented weak
+        contract).
+        """
+        target = self.closest_replica(client_node)
+        counter = self.replicas[target].version_of(key)[0] + 1
+        writer = f"{client_node}#{next(self._seq)}"
+        record = Record(version=(counter, writer), nbytes=nbytes, meta=meta,
+                        timestamp=self.sim.now)
+        yield from self._replica_put(client_node, target, key, record)
+        for nid in self.replica_nodes:
+            if nid != target:
+                self.sim.spawn(self._propagate(target, nid, key, record),
+                               name=f"propagate:{key}")
+        self.metrics.counter(f"{self.name}.eventual_writes").add(1)
+        return record.version
+
+    def _propagate(self, src: str, dst: str, key: str,
+                   record: Record) -> Generator:
+        delay = self.rng.exponential(self.propagation_delay_mean)
+        yield self.sim.timeout(delay)
+        try:
+            yield from self._replica_put(src, dst, key, record)
+        except NetworkUnreachableError:
+            # Anti-entropy will reconcile once the replica is back.
+            self.metrics.counter(f"{self.name}.propagation_failures").add(1)
+
+    def read_eventual(self, client_node: str, key: str) -> Generator:
+        """Read the closest replica; may return a stale record."""
+        target = self.closest_replica(client_node)
+        yield from self.network.transfer(client_node, target,
+                                         CONTROL_MSG_BYTES,
+                                         purpose="eventual:get-req")
+        try:
+            record = yield from self.replicas[target].read(key)
+        except KeyNotFoundError:
+            self.metrics.counter(f"{self.name}.read_misses").add(1)
+            raise
+        yield from self.network.transfer(target, client_node,
+                                         CONTROL_MSG_BYTES + record.nbytes,
+                                         purpose="eventual:get-resp")
+        self.metrics.counter(f"{self.name}.eventual_reads").add(1)
+        return record
+
+    # -- anti-entropy ---------------------------------------------------------
+    def start_anti_entropy(self, interval: float) -> None:
+        """Start a background gossip process that reconciles replicas."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim.spawn(self._anti_entropy_loop(interval),
+                       name=f"anti-entropy:{self.name}")
+
+    def _anti_entropy_loop(self, interval: float) -> Generator:
+        while True:
+            yield self.sim.timeout(interval)
+            live = [nid for nid in self.replica_nodes
+                    if self.network.topology.node(nid).alive]
+            if len(live) < 2:
+                continue
+            src = self.rng.choice(live)
+            dst = self.rng.choice([nid for nid in live if nid != src])
+            yield from self._reconcile(src, dst)
+
+    def _reconcile(self, src: str, dst: str) -> Generator:
+        """Push every record where src is newer than dst."""
+        src_store, dst_store = self.replicas[src], self.replicas[dst]
+        for key in list(src_store._records):
+            src_rec = src_store.peek(key)
+            if src_rec is None:
+                continue
+            if src_rec.version > dst_store.version_of(key):
+                try:
+                    yield from self._replica_put(src, dst, key, src_rec)
+                    self.metrics.counter(
+                        f"{self.name}.anti_entropy_repairs").add(1)
+                except NetworkUnreachableError:
+                    return
+
+    # -- test/experiment helpers ----------------------------------------------
+    def divergence(self, key: str) -> int:
+        """Number of distinct versions of ``key`` across replicas."""
+        return len({store.version_of(key) for store in self.replicas.values()})

@@ -1,0 +1,11 @@
+"""Verification tooling: linearizability checking of recorded histories."""
+
+from .linearizability import (
+    History,
+    Operation,
+    check_linearizable,
+    first_violation,
+)
+
+__all__ = ["History", "Operation", "check_linearizable",
+           "first_violation"]

@@ -1,0 +1,120 @@
+"""A Wing–Gong linearizability checker for register histories.
+
+The consistency menu's strong entry promises linearizability [Herlihy &
+Wing 1990]: every operation appears to take effect atomically at some
+point between its invocation and its response. This module checks that
+property on *recorded histories* of concurrent reads and writes against
+a single register — the verification harness used by the property tests
+over :class:`~repro.storage.replication.ReplicatedStore`.
+
+Algorithm: exhaustive search over linear extensions with memoization
+(Wing & Gong's algorithm with Lowe's cache). An operation is *minimal*
+when no other operation finished before it started; at each step we try
+every minimal operation whose effect is consistent with the register
+state and recurse on the rest. Exponential in the worst case, fine for
+the tens-of-operations histories the tests generate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed client operation against the register."""
+
+    op_id: int
+    kind: str                # "read" or "write"
+    value: Any               # written value, or the value a read returned
+    start: float             # invocation time
+    end: float               # response time
+
+    def __post_init__(self):
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError("operation ends before it starts")
+
+
+class History:
+    """A collected concurrent history."""
+
+    def __init__(self):
+        self._ops: List[Operation] = []
+        self._next_id = 0
+
+    def record(self, kind: str, value: Any, start: float,
+               end: float) -> Operation:
+        """Append one completed operation."""
+        op = Operation(self._next_id, kind, value, start, end)
+        self._next_id += 1
+        self._ops.append(op)
+        return op
+
+    @property
+    def operations(self) -> List[Operation]:
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+def _precedes(a: Operation, b: Operation) -> bool:
+    """True if a's response comes before b's invocation (real-time
+    order that any linearization must respect)."""
+    return a.end < b.start
+
+
+def check_linearizable(history: History,
+                       initial: Any = None) -> bool:
+    """True if the history has a valid linearization.
+
+    Register semantics: a read returns the most recently linearized
+    write's value (or ``initial`` if none).
+    """
+    ops = tuple(sorted(history.operations, key=lambda o: o.start))
+    if not ops:
+        return True
+    op_index = {op: i for i, op in enumerate(ops)}
+    seen_states: Set[Tuple[FrozenSet[int], Any]] = set()
+
+    def search(remaining: FrozenSet[int], state: Any) -> bool:
+        if not remaining:
+            return True
+        key = (remaining, state)
+        if key in seen_states:
+            return False
+        seen_states.add(key)
+        remaining_ops = [ops[i] for i in remaining]
+        for op in remaining_ops:
+            # Minimality: nothing else in `remaining` finished before
+            # this op started.
+            if any(_precedes(other, op) for other in remaining_ops
+                   if other is not op):
+                continue
+            if op.kind == "read":
+                if op.value != state:
+                    continue
+                next_state = state
+            else:
+                next_state = op.value
+            if search(remaining - {op_index[op]}, next_state):
+                return True
+        return False
+
+    return search(frozenset(range(len(ops))), initial)
+
+
+def first_violation(history: History,
+                    initial: Any = None) -> Optional[str]:
+    """A human-readable description when the history is NOT
+    linearizable, else None. (Convenience for test failure output.)"""
+    if check_linearizable(history, initial):
+        return None
+    lines = ["history is not linearizable:"]
+    for op in sorted(history.operations, key=lambda o: o.start):
+        lines.append(f"  [{op.start:.6f}, {op.end:.6f}] "
+                     f"{op.kind}({op.value!r})")
+    return "\n".join(lines)

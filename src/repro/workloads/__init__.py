@@ -1,0 +1,24 @@
+"""Synthetic workloads: arrivals, skew, and the paper's applications."""
+
+from .analytics import AnalyticsConfig, AnalyticsJob
+from .factory import FactoryApp, FactoryConfig
+from .arrivals import (
+    LoadDriver,
+    bursty_rate,
+    constant_rate,
+    diurnal_rate,
+)
+from .kv import KVWorkload, KVWorkloadConfig
+from .ml_serving import ModelServingApp, ModelServingConfig, monolith_stages
+from .streaming import StreamingConfig, StreamingTransform
+from .zipf import ZipfKeys
+
+__all__ = [
+    "LoadDriver", "constant_rate", "bursty_rate", "diurnal_rate",
+    "ZipfKeys",
+    "ModelServingApp", "ModelServingConfig", "monolith_stages",
+    "AnalyticsJob", "AnalyticsConfig",
+    "KVWorkload", "KVWorkloadConfig",
+    "FactoryApp", "FactoryConfig",
+    "StreamingTransform", "StreamingConfig",
+]

@@ -1,0 +1,122 @@
+"""Arrival processes and the open-loop load driver.
+
+Section 4.2's claims are about behavior under "rapidly varying load or
+skew", so the generators cover constant (Poisson), bursty (square-wave
+rate), and diurnal (sinusoidal rate) regimes, all seeded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.metrics import Histogram
+from ..sim.rng import RandomStream
+
+RateFn = Callable[[float], float]
+
+
+def constant_rate(rate: float) -> RateFn:
+    """A time-invariant request rate (Poisson arrivals)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return lambda _t: rate
+
+
+def bursty_rate(base: float, burst: float, period: float,
+                burst_fraction: float = 0.2) -> RateFn:
+    """Square-wave rate: ``burst`` for the first ``burst_fraction`` of
+    every ``period``, ``base`` otherwise."""
+    if base < 0 or burst <= 0 or period <= 0:
+        raise ValueError("invalid burst parameters")
+    if not 0 < burst_fraction < 1:
+        raise ValueError("burst_fraction must be in (0, 1)")
+
+    def rate(t: float) -> float:
+        phase = (t % period) / period
+        return burst if phase < burst_fraction else base
+
+    return rate
+
+
+def diurnal_rate(low: float, high: float, period: float = 86400.0) -> RateFn:
+    """Sinusoidal day/night rate between ``low`` and ``high``."""
+    if low < 0 or high < low or period <= 0:
+        raise ValueError("invalid diurnal parameters")
+    mid = (low + high) / 2
+    amp = (high - low) / 2
+
+    def rate(t: float) -> float:
+        return mid + amp * math.sin(2 * math.pi * t / period)
+
+    return rate
+
+
+class LoadDriver:
+    """Open-loop load: arrivals fire regardless of completions.
+
+    ``make_request(i)`` returns a generator handling request ``i``; its
+    completion latency is recorded. Failures are counted, not raised —
+    an open-loop driver must keep offering load.
+    """
+
+    def __init__(self, sim: Simulator, rng: RandomStream, rate_fn: RateFn,
+                 horizon: float):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.sim = sim
+        self.rng = rng
+        self.rate_fn = rate_fn
+        self.horizon = horizon
+        self.latencies = Histogram("request-latency")
+        self.offered = 0
+        self.failed = 0
+        self._outstanding = 0
+
+    def start(self, make_request: Callable[[int], Generator]) -> None:
+        """Arm the driver; arrivals begin when the simulation runs."""
+        self.sim.spawn(self._arrival_loop(make_request), name="load-driver")
+
+    def _arrival_loop(self, make_request) -> Generator:
+        i = 0
+        while self.sim.now < self.horizon:
+            rate = self.rate_fn(self.sim.now)
+            if rate <= 0:
+                yield self.sim.timeout(1.0)
+                continue
+            gap = self.rng.exponential(1.0 / rate)
+            yield self.sim.timeout(gap)
+            if self.sim.now >= self.horizon:
+                return
+            self.offered += 1
+            self.sim.spawn(self._tracked(make_request, i),
+                           name=f"request-{i}")
+            i += 1
+
+    def _tracked(self, make_request, i: int) -> Generator:
+        start = self.sim.now
+        self._outstanding += 1
+        try:
+            yield from make_request(i)
+        except Exception:  # noqa: BLE001 - open loop absorbs failures
+            self.failed += 1
+            return
+        finally:
+            self._outstanding -= 1
+        self.latencies.observe(self.sim.now - start)
+
+    @property
+    def completed(self) -> int:
+        return self.latencies.count
+
+    def summary(self) -> dict:
+        """Driver-level statistics for experiment tables."""
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "failed": self.failed,
+            "mean_latency": self.latencies.mean,
+            "p50": self.latencies.p50,
+            "p99": self.latencies.p99,
+        }

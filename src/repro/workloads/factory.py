@@ -1,0 +1,165 @@
+"""Factory automation on PCSI (the abstract's third domain).
+
+The paper's opening lists "factory automation" among the things cloud
+APIs do that operating systems never did. This workload assembles that
+application from PCSI primitives alone:
+
+* each production line owns an APPEND_ONLY, eventually-consistent
+  **telemetry log** (high-volume, order-tolerant);
+* an **ingest** function scores sensor batches and pushes anomalies
+  into a *bounded* alert FIFO (backpressure protects the controller);
+* a **controller** function drains alerts, consults the plant's
+  setpoint configuration (a small LINEARIZABLE object — control
+  decisions must not act on torn config), actuates through a socket to
+  the physical plant, and appends to an audit log;
+* an alert counter lives in the CRDT service — regional dashboards
+  increment it concurrently without coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.resources import KB, cpu_task
+from ..core.functions import FunctionImpl
+from ..core.mutability import Mutability
+from ..core.objects import Consistency
+from ..core.system import PCSICloud
+from ..crdt.service import ReplicatedCRDTService
+from ..faas.platforms import WASM
+from ..net.marshal import SizedPayload
+from ..sim.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class FactoryConfig:
+    """Shape of the plant."""
+
+    lines: int = 3
+    batch_nbytes: int = 4 * KB
+    anomaly_rate: float = 0.2
+    alert_queue_depth: int = 8
+    ingest_work: float = 2e8      # ~4 ms scoring per batch
+    control_work: float = 5e8     # ~10 ms planning per alert
+
+
+class FactoryApp:
+    """The assembled application."""
+
+    def __init__(self, cloud: PCSICloud,
+                 config: Optional[FactoryConfig] = None,
+                 rng: Optional[RandomStream] = None):
+        self.cloud = cloud
+        self.cfg = config if config is not None else FactoryConfig()
+        self.rng = rng if rng is not None else RandomStream(7, "factory")
+        cfg = self.cfg
+
+        self.root = cloud.create_root("factory")
+        self.telemetry: Dict[int, object] = {}
+        lines_dir = cloud.mkdir()
+        cloud.link(self.root, "lines", lines_dir)
+        for line in range(cfg.lines):
+            log = cloud.create_object(mutability=Mutability.APPEND_ONLY,
+                                      consistency=Consistency.EVENTUAL)
+            cloud.link(lines_dir, f"line-{line}", log)
+            self.telemetry[line] = log
+
+        self.setpoints = cloud.create_object(
+            consistency=Consistency.LINEARIZABLE)
+        cloud.preload(self.setpoints, SizedPayload(256, meta={"temp": 70}))
+        cloud.link(self.root, "setpoints", self.setpoints)
+
+        self.audit = cloud.create_object(mutability=Mutability.APPEND_ONLY,
+                                         consistency=Consistency.EVENTUAL)
+        cloud.link(self.root, "audit", self.audit)
+
+        host = cloud.topology.nodes[0].node_id
+        self.alerts = cloud.create_fifo(host_node=host,
+                                        capacity=cfg.alert_queue_depth)
+        self.plant_socket = cloud.create_socket(host_node=host)
+
+        # Regional dashboards share an alert counter via the CRDT
+        # service (set up lazily; optional).
+        self.crdt: Optional[ReplicatedCRDTService] = None
+        self.counter_dev = None
+
+        self.ingest = cloud.define_function(
+            "ingest",
+            [FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=0.5),
+                          work_ops=cfg.ingest_work)],
+            body=self._ingest_body)
+        self.controller = cloud.define_function(
+            "controller",
+            [FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=0.5),
+                          work_ops=cfg.control_work)],
+            body=self._controller_body)
+        bin_dir = cloud.mkdir()
+        cloud.link(self.root, "bin", bin_dir)
+        cloud.link(bin_dir, "ingest", self.ingest)
+        cloud.link(bin_dir, "controller", self.controller)
+
+    def attach_dashboards(self, replica_nodes: List[str]) -> None:
+        """Wire the CRDT-backed alert counter (optional feature)."""
+        self.crdt = ReplicatedCRDTService(self.cloud.sim,
+                                          self.cloud.network,
+                                          replica_nodes)
+        self.cloud.register_device_service("factory-crdt", self.crdt)
+        self.counter_dev = self.cloud.create_device("factory-crdt")
+
+    # ----------------------------------------------------------- bodies
+    def _ingest_body(self, ctx) -> Generator:
+        batch = ctx.request["batch_nbytes"]
+        anomalous = ctx.request["anomalous"]
+        yield from ctx.compute(self.cfg.ingest_work)
+        yield from ctx.append(ctx.args["telemetry"],
+                              SizedPayload(batch))
+        if anomalous:
+            yield from ctx.fifo_put(
+                ctx.args["alerts"],
+                SizedPayload(128, meta={"line": ctx.request["line"]}))
+        return {"anomalous": anomalous}
+
+    def _controller_body(self, ctx) -> Generator:
+        alert = yield from ctx.fifo_get(ctx.args["alerts"])
+        setpoints = yield from ctx.read(ctx.args["setpoints"])
+        yield from ctx.compute(self.cfg.control_work)
+        yield from ctx.socket_send(
+            ctx.args["plant"],
+            SizedPayload(64, meta={"line": alert.meta["line"],
+                                   "target": setpoints.meta["temp"]}))
+        yield from ctx.append(ctx.args["audit"], SizedPayload(96))
+        if ctx.args.get("counter") is not None:
+            yield from ctx.device(ctx.args["counter"], "update",
+                                  {"name": "alerts",
+                                   "method": "increment"})
+        return {"handled": alert.meta["line"]}
+
+    # ------------------------------------------------------------ drivers
+    def sensor_batch(self, client_node: str, line: int) -> Generator:
+        """One sensor batch through ingest; returns the ingest result."""
+        anomalous = self.rng.bernoulli(self.cfg.anomaly_rate)
+        result = yield from self.cloud.invoke(
+            client_node, self.ingest,
+            {"telemetry": self.telemetry[line], "alerts": self.alerts},
+            {"batch_nbytes": self.cfg.batch_nbytes, "line": line,
+             "anomalous": anomalous})
+        return result
+
+    def control_loop(self, client_node: str, alerts_to_handle: int
+                     ) -> Generator:
+        """Run the controller until it has handled N alerts."""
+        if self.crdt is not None:
+            yield from self.cloud.op_device(
+                client_node, self.counter_dev, "create",
+                {"name": "alerts", "type": "gcounter"})
+        args = {"alerts": self.alerts, "setpoints": self.setpoints,
+                "plant": self.plant_socket, "audit": self.audit}
+        if self.counter_dev is not None:
+            args["counter"] = self.counter_dev
+        handled = []
+        for _ in range(alerts_to_handle):
+            result = yield from self.cloud.invoke(client_node,
+                                                  self.controller, args)
+            handled.append(result["handled"])
+        return handled

@@ -1,0 +1,78 @@
+"""A small-object read/write workload over PCSI objects.
+
+Drives the consistency-menu experiments (E7): a Zipf-skewed population
+of objects, a configurable read fraction, and a per-object consistency
+assignment so "strong where it matters, eventual where it doesn't" can
+be measured against all-strong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..core.objects import Consistency
+from ..core.references import Reference
+from ..core.system import PCSICloud
+from ..net.marshal import SizedPayload
+from ..sim.rng import RandomStream
+from .zipf import ZipfKeys
+
+
+@dataclass(frozen=True)
+class KVWorkloadConfig:
+    """Mix parameters."""
+
+    n_objects: int = 64
+    value_nbytes: int = 1024
+    read_fraction: float = 0.9
+    zipf_alpha: float = 1.1
+    #: Fraction of objects that genuinely need strong consistency
+    #: (hot configuration/pointer objects).
+    strong_fraction: float = 0.1
+
+    def __post_init__(self):
+        if not 0 <= self.read_fraction <= 1:
+            raise ValueError("read_fraction out of range")
+        if not 0 <= self.strong_fraction <= 1:
+            raise ValueError("strong_fraction out of range")
+
+
+class KVWorkload:
+    """Objects plus an operation generator."""
+
+    def __init__(self, cloud: PCSICloud, rng: RandomStream,
+                 config: Optional[KVWorkloadConfig] = None,
+                 all_strong: bool = False):
+        self.cloud = cloud
+        self.rng = rng
+        self.cfg = config if config is not None else KVWorkloadConfig()
+        cfg = self.cfg
+        self.keys = ZipfKeys(rng.fork("keys"), cfg.n_objects,
+                             cfg.zipf_alpha)
+        strong_cutoff = int(cfg.n_objects * cfg.strong_fraction)
+        self.objects: Dict[str, Reference] = {}
+        self.strong_keys: List[str] = []
+        for i, key in enumerate(self.keys.all_keys()):
+            strong = all_strong or i < strong_cutoff
+            level = (Consistency.LINEARIZABLE if strong
+                     else Consistency.EVENTUAL)
+            ref = cloud.create_object(consistency=level)
+            cloud.preload(ref, SizedPayload(cfg.value_nbytes))
+            self.objects[key] = ref
+            if strong:
+                self.strong_keys.append(key)
+
+    def one_op(self, client_node: str) -> Generator:
+        """Perform one read or write; returns ("read"/"write", latency)."""
+        key = self.keys.sample()
+        ref = self.objects[key]
+        is_read = self.rng.bernoulli(self.cfg.read_fraction)
+        t0 = self.cloud.sim.now
+        if is_read:
+            yield from self.cloud.op_read(client_node, ref)
+        else:
+            yield from self.cloud.op_write(
+                client_node, ref, SizedPayload(self.cfg.value_nbytes))
+        return ("read" if is_read else "write",
+                self.cloud.sim.now - t0)

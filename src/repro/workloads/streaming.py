@@ -1,0 +1,126 @@
+"""Pipelined (streaming) composition through FIFO objects.
+
+§3.1: task graphs "open up optimization opportunities such as
+pipelining". Because PCSI exposes FIFOs as first-class objects, two
+composed functions can overlap: the producer pushes chunks into a FIFO
+while the consumer drains it, so the makespan approaches
+``max(stage_times) + one_chunk`` instead of ``sum(stage_times)``.
+
+This module builds both deployments of the same two-stage transform so
+experiments can ablate the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from ..cluster.resources import MB, cpu_task
+from ..core.functions import FunctionImpl
+from ..core.objects import Consistency
+from ..core.system import PCSICloud
+from ..faas.platforms import WASM
+from ..net.marshal import SizedPayload
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Shape of the two-stage transform."""
+
+    input_nbytes: int = 32 * MB
+    chunks: int = 16
+    #: Work per stage for the WHOLE input (split across chunks when
+    #: streaming).
+    stage_work: float = 4e9  # ~80 ms per stage on a core
+
+    def __post_init__(self):
+        if self.chunks < 1:
+            raise ValueError("need at least one chunk")
+        if self.input_nbytes < self.chunks:
+            raise ValueError("chunks larger than the input")
+
+
+class StreamingTransform:
+    """A decode -> encode pair deployable sequentially or pipelined."""
+
+    def __init__(self, cloud: PCSICloud,
+                 config: Optional[StreamingConfig] = None):
+        self.cloud = cloud
+        self.cfg = config if config is not None else StreamingConfig()
+        self.source = cloud.create_object(consistency=Consistency.EVENTUAL)
+        cloud.preload(self.source, SizedPayload(self.cfg.input_nbytes))
+        self.sink = cloud.create_object(consistency=Consistency.EVENTUAL)
+
+        impl = FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=1))
+        self.seq_decode = cloud.define_function(
+            "seq-decode", [impl], body=self._seq_decode_body)
+        self.seq_encode = cloud.define_function(
+            "seq-encode", [impl], body=self._seq_encode_body)
+        self.stream_decode = cloud.define_function(
+            "stream-decode", [impl], body=self._stream_decode_body)
+        self.stream_encode = cloud.define_function(
+            "stream-encode", [impl], body=self._stream_encode_body)
+
+    # ---- sequential bodies: whole-object handoff ----------------------
+    def _seq_decode_body(self, ctx) -> Generator:
+        data = yield from ctx.read(ctx.args["source"])
+        yield from ctx.compute(self.cfg.stage_work)
+        yield from ctx.write(ctx.args["mid"], SizedPayload(data.nbytes))
+        return {"bytes": data.nbytes}
+
+    def _seq_encode_body(self, ctx) -> Generator:
+        data = yield from ctx.read(ctx.args["mid"])
+        yield from ctx.compute(self.cfg.stage_work)
+        yield from ctx.write(ctx.args["sink"], SizedPayload(data.nbytes))
+        return {"bytes": data.nbytes}
+
+    # ---- streaming bodies: chunked FIFO handoff -------------------------
+    def _stream_decode_body(self, ctx) -> Generator:
+        data = yield from ctx.read(ctx.args["source"])
+        chunk_bytes = data.nbytes // self.cfg.chunks
+        per_chunk_work = self.cfg.stage_work / self.cfg.chunks
+        for i in range(self.cfg.chunks):
+            yield from ctx.compute(per_chunk_work)
+            yield from ctx.fifo_put(ctx.args["pipe"],
+                                    SizedPayload(chunk_bytes,
+                                                 meta={"chunk": i}))
+        return {"chunks": self.cfg.chunks}
+
+    def _stream_encode_body(self, ctx) -> Generator:
+        per_chunk_work = self.cfg.stage_work / self.cfg.chunks
+        total = 0
+        for _ in range(self.cfg.chunks):
+            chunk = yield from ctx.fifo_get(ctx.args["pipe"])
+            yield from ctx.compute(per_chunk_work)
+            total += chunk.nbytes
+        yield from ctx.write(ctx.args["sink"], SizedPayload(total))
+        return {"bytes": total}
+
+    # ---- drivers ------------------------------------------------------------
+    def run_sequential(self, client_node: str) -> Generator:
+        """Stage 2 starts only after stage 1 finishes; returns makespan."""
+        cloud = self.cloud
+        mid = cloud.create_object(consistency=Consistency.EVENTUAL,
+                                  ephemeral=True)
+        t0 = cloud.sim.now
+        yield from cloud.invoke(client_node, self.seq_decode,
+                                {"source": self.source, "mid": mid})
+        yield from cloud.invoke(client_node, self.seq_encode,
+                                {"mid": mid, "sink": self.sink})
+        return cloud.sim.now - t0
+
+    def run_pipelined(self, client_node: str) -> Generator:
+        """Both stages run concurrently, linked by a FIFO; returns
+        makespan."""
+        cloud = self.cloud
+        gpu_free_node = cloud.topology.nodes[0].node_id
+        pipe = cloud.create_fifo(host_node=gpu_free_node)
+        t0 = cloud.sim.now
+        producer = cloud.sim.spawn(cloud.invoke(
+            client_node, self.stream_decode,
+            {"source": self.source, "pipe": pipe}))
+        consumer = cloud.sim.spawn(cloud.invoke(
+            client_node, self.stream_encode,
+            {"pipe": pipe, "sink": self.sink}))
+        yield cloud.sim.all_of([producer, consumer])
+        return cloud.sim.now - t0

@@ -1,0 +1,39 @@
+"""Skewed key popularity for storage workloads."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.rng import RandomStream
+
+
+class ZipfKeys:
+    """Draws keys with Zipf-distributed popularity.
+
+    ``key-0`` is the hottest key. Skew (§4.2: "even under rapidly
+    varying load or skew") is controlled by ``alpha``.
+    """
+
+    def __init__(self, rng: RandomStream, n_keys: int, alpha: float = 1.1,
+                 prefix: str = "key"):
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        self.rng = rng
+        self.n_keys = n_keys
+        self.alpha = alpha
+        self.prefix = prefix
+
+    def sample(self) -> str:
+        """One key, hot keys more likely."""
+        rank = self.rng.zipf_rank(self.n_keys, self.alpha)
+        return f"{self.prefix}-{rank}"
+
+    def all_keys(self) -> List[str]:
+        """Every key (for preloading stores)."""
+        return [f"{self.prefix}-{i}" for i in range(self.n_keys)]
+
+    def hottest(self, k: int = 1) -> List[str]:
+        """The k most popular keys."""
+        if not 1 <= k <= self.n_keys:
+            raise ValueError("k out of range")
+        return [f"{self.prefix}-{i}" for i in range(k)]

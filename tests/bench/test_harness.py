@@ -1,0 +1,67 @@
+"""Tests for the benchmark harness plumbing (tables, results, CLI)."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    fmt_bytes,
+    fmt_ms,
+    fmt_ns,
+    fmt_us,
+    fmt_usd_per_million,
+    format_table,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+def test_format_table_alignment():
+    out = format_table(("name", "value"),
+                       [("a", 1), ("long-name", 22.5)], title="T")
+    lines = out.split("\n")
+    assert lines[0] == "T"
+    assert lines[1].startswith("name")
+    assert "long-name" in lines[4]
+    # Columns align: "value" header and the numbers share a column.
+    col = lines[1].index("value")
+    assert lines[3][col] in "0123456789"
+
+
+def test_format_table_validation():
+    with pytest.raises(ValueError):
+        format_table((), [])
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [("only-one",)])
+
+
+def test_formatters():
+    assert fmt_ns(1e-6) == "1,000 ns"
+    assert fmt_us(2.5e-4) == "250.0 us"
+    assert fmt_ms(0.0125) == "12.50 ms"
+    assert fmt_usd_per_million(0.18) == "0.1800 USD/M"
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(4 * 1024) == "4.0 KB"
+    assert fmt_bytes(3 * 1024 ** 2) == "3.0 MB"
+    assert fmt_bytes(2 * 1024 ** 3) == "2.0 GB"
+
+
+def test_experiment_result_render():
+    result = ExperimentResult(
+        experiment_id="EX", title="demo",
+        headers=("a", "b"), rows=[(1, 2)],
+        claims={"ok": True}, notes=["a note"])
+    text = result.render()
+    assert "[EX] demo" in text
+    assert "note: a note" in text
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    assert bench_main(["E999"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiments" in out
+
+
+def test_cli_runs_selected_experiment(capsys):
+    assert bench_main(["E1"]) == 0
+    out = capsys.readouterr().out
+    assert "[E1]" in out
+    assert "WebAssembly call" in out

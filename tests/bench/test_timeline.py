@@ -1,0 +1,76 @@
+"""Tests for the trace-span timeline renderer."""
+
+import pytest
+
+from repro.bench import render_timeline, span_summary
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, PCSICloud
+from repro.faas import WASM
+from repro.sim import Tracer
+
+
+def traced_cloud():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=44, trace=True)
+    fn = cloud.define_function(
+        "work", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e9)])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn)
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    return cloud
+
+
+def test_render_contains_rows_and_bars():
+    cloud = traced_cloud()
+    chart = render_timeline(cloud.tracer)
+    lines = chart.split("\n")
+    assert len(lines) == 3  # header + 2 spans
+    assert "work/wasm@" in lines[1]
+    assert "COLD" in lines[1]
+    assert "COLD" not in lines[2]
+    assert "#" in lines[1] and "[" in lines[1]
+
+
+def test_render_empty_tracer():
+    assert "no invocation spans" in render_timeline(Tracer())
+
+
+def test_render_label_filter():
+    cloud = traced_cloud()
+    assert "no invocation spans" in render_timeline(cloud.tracer,
+                                                    label="other")
+    chart = render_timeline(cloud.tracer, label="work")
+    assert chart.count("work/") == 2
+
+
+def test_render_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline(Tracer(), width=5)
+
+
+def test_render_truncates_rows():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=44, trace=True)
+    fn = cloud.define_function(
+        "w", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e7)])
+    client = cloud.client_node()
+
+    def flow():
+        for _ in range(6):
+            yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    chart = render_timeline(cloud.tracer, max_rows=3)
+    assert "3 more spans" in chart
+
+
+def test_span_summary():
+    cloud = traced_cloud()
+    summary = span_summary(cloud.tracer)
+    assert summary["work"]["count"] == 2
+    assert summary["work"]["cold"] == 1
+    assert summary["work"]["busy_s"] > 0

@@ -1,0 +1,94 @@
+"""Tests for NIC bandwidth contention."""
+
+import pytest
+
+from repro.cluster import DC_2021, Network, build_cluster
+from repro.sim import MS, Simulator
+
+
+def make_net(model_contention=True):
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021, model_contention=model_contention)
+    return sim, net
+
+# 12.5 MB takes 10 ms of wire time at 10 Gb/s.
+BIG = 12_500_000
+
+
+def test_single_transfer_unchanged_by_contention_model():
+    """No contention -> same latency as the closed-form model."""
+    sim_a, net_a = make_net(model_contention=True)
+    sim_b, net_b = make_net(model_contention=False)
+    times = []
+    for sim, net in ((sim_a, net_a), (sim_b, net_b)):
+        def flow(net=net):
+            yield from net.transfer("rack0-n0", "rack1-n0", BIG)
+        sim.run_until_event(sim.spawn(flow()))
+        times.append(sim.now)
+    assert times[0] == pytest.approx(times[1])
+
+
+def test_concurrent_sends_from_one_node_serialize():
+    """Two large transfers sharing one NIC take ~2x the wire time."""
+    sim, net = make_net()
+    done = []
+
+    def sender(tag):
+        yield from net.transfer("rack0-n0", "rack1-n0", BIG)
+        done.append((tag, sim.now))
+
+    sim.spawn(sender("a"))
+    sim.spawn(sender("b"))
+    sim.run()
+    # First completes after ~10ms wire + latency; second queued behind
+    # the first's wire time.
+    assert done[0][1] == pytest.approx(10.105 * MS, rel=0.01)
+    assert done[1][1] == pytest.approx(20.105 * MS, rel=0.01)
+
+
+def test_sends_from_different_nodes_do_not_contend():
+    sim, net = make_net()
+    done = []
+
+    def sender(src):
+        yield from net.transfer(src, "rack1-n0", BIG)
+        done.append(sim.now)
+
+    sim.spawn(sender("rack0-n0"))
+    sim.spawn(sender("rack0-n1"))
+    sim.run()
+    assert done[0] == pytest.approx(done[1])
+
+
+def test_small_control_messages_barely_queue():
+    """Tiny messages have microsecond wire times: contention is
+    negligible, matching the paper's fine-grained-ops focus."""
+    sim, net = make_net()
+    done = []
+
+    def sender(i):
+        yield from net.transfer("rack0-n0", "rack1-n0", 64)
+        done.append(sim.now)
+
+    for i in range(10):
+        sim.spawn(sender(i))
+    sim.run()
+    # All ten finish within a whisker of the single-message latency.
+    assert max(done) < 1.05 * net.one_way_delay("rack0-n0", "rack1-n0",
+                                                64) + 10 * 64 / 1.25e9
+
+
+def test_local_copies_skip_the_nic():
+    sim, net = make_net()
+    done = []
+
+    def sender(i):
+        yield from net.transfer("rack0-n0", "rack0-n0", BIG)
+        done.append(sim.now)
+
+    sim.spawn(sender(0))
+    sim.spawn(sender(1))
+    sim.run()
+    assert done[0] == pytest.approx(done[1])  # no serialization

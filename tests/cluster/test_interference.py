@@ -1,0 +1,56 @@
+"""Tests for the co-tenancy interference model."""
+
+import pytest
+
+from repro.cluster import Node, build_cluster, cpu_task, server_node
+from repro.faas import CONTAINER, Executor
+from repro.sim import Simulator
+
+
+def test_empty_machine_runs_at_full_speed():
+    sim = Simulator()
+    node = Node(sim, "n", "r", server_node(cpus=32))
+    assert node.interference_factor() == pytest.approx(1.0)
+
+
+def test_factor_scales_linearly_with_allocation():
+    sim = Simulator()
+    node = Node(sim, "n", "r", server_node(cpus=32),
+                interference_alpha=0.5)
+    node.allocate(cpu_task(cpus=16, memory_gb=1))
+    assert node.interference_factor() == pytest.approx(1.25)
+    node.allocate(cpu_task(cpus=16, memory_gb=1))
+    assert node.interference_factor() == pytest.approx(1.5)
+
+
+def test_interference_configurable_off():
+    sim = Simulator()
+    node = Node(sim, "n", "r", server_node(cpus=32),
+                interference_alpha=0.0)
+    node.allocate(cpu_task(cpus=32, memory_gb=1))
+    assert node.interference_factor() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        Node(sim, "x", "r", server_node(), interference_alpha=-1)
+
+
+def test_compute_slows_on_packed_machines():
+    """The §4.2 effect: identical work takes longer on a busy machine."""
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    empty = topo.node("rack0-n0")
+    packed = topo.node("rack0-n1")
+    packed.allocate(cpu_task(cpus=28, memory_gb=8))  # heavy co-tenants
+    durations = {}
+
+    def run_on(node, tag):
+        ex = Executor(sim, node, CONTAINER, cpu_task(cpus=1,
+                                                     memory_gb=1))
+        yield from ex.provision()
+        duration = yield from ex.compute(5e10)
+        durations[tag] = duration
+
+    sim.spawn(run_on(empty, "empty"))
+    sim.spawn(run_on(packed, "packed"))
+    sim.run()
+    assert durations["packed"] > durations["empty"] * 1.3

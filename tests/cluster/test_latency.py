@@ -1,0 +1,85 @@
+"""Tests for Table 1 latency profiles."""
+
+import pytest
+
+from repro.cluster import DC_2005, DC_2021, FAST_NET, GENERATIONS
+from repro.cluster.latency import (
+    HTTP_PROTOCOL,
+    OBJECT_MARSHALING_1K,
+    SOCKET_OVERHEAD,
+    profile_named,
+    table1_rows,
+    with_overrides,
+)
+from repro.sim import NS, US
+
+
+def test_table1_values_match_paper():
+    """The nine rows of Table 1, exactly as published."""
+    rows = {r["operation"]: r["ns"] for r in table1_rows()}
+    assert rows["2005 data center network RTT"] == pytest.approx(1_000_000)
+    assert rows["2021 data center network RTT"] == pytest.approx(200_000)
+    assert rows["Object marshaling (1k)"] == pytest.approx(50_000)
+    assert rows["HTTP protocol"] == pytest.approx(50_000)
+    assert rows["Socket overhead"] == pytest.approx(5_000)
+    assert rows["Emerging fast network RTT"] == pytest.approx(1_000)
+    assert rows["KVM Hypervisor call"] == pytest.approx(700)
+    assert rows["Linux System call"] == pytest.approx(500)
+    assert rows["WebAssembly call - V8 Engine"] == pytest.approx(17)
+
+
+def test_generations_ordered_fastest_last():
+    rtts = [p.network_rtt for p in GENERATIONS]
+    assert rtts == sorted(rtts, reverse=True)
+
+
+def test_paper_ordering_claims():
+    """The paper's argument: web-service overheads sit between the 2021
+    RTT and the emerging-network RTT; isolation costs are far below."""
+    ws_overhead = OBJECT_MARSHALING_1K + HTTP_PROTOCOL + SOCKET_OVERHEAD
+    assert ws_overhead < DC_2021.network_rtt
+    assert ws_overhead > 100 * FAST_NET.network_rtt
+    assert DC_2021.hypervisor_call < ws_overhead / 10
+    assert DC_2021.wasm_call < DC_2021.syscall < DC_2021.hypervisor_call
+
+
+def test_one_way_is_half_rtt():
+    assert DC_2021.one_way() == pytest.approx(100 * US)
+    assert DC_2021.one_way(same_rack=True) == pytest.approx(50 * US)
+
+
+def test_marshal_time_scales_with_floor():
+    # 1 KB floor: tiny payloads still pay the fixed encoding cost.
+    assert DC_2021.marshal_time(10) == pytest.approx(50 * US)
+    assert DC_2021.marshal_time(1024) == pytest.approx(50 * US)
+    assert DC_2021.marshal_time(4096) == pytest.approx(200 * US)
+
+
+def test_marshal_time_rejects_negative():
+    with pytest.raises(ValueError):
+        DC_2021.marshal_time(-1)
+
+
+def test_wire_time():
+    assert DC_2021.wire_time(1_250_000) == pytest.approx(1e-3)  # 1.25MB @10Gb/s
+    with pytest.raises(ValueError):
+        DC_2021.wire_time(-1)
+
+
+def test_device_copy_much_faster_than_network_for_small_objects():
+    """Section 4.1: co-location turns an RTT into a cudaMemcpy."""
+    copy = DC_2021.device_copy_time(1024)
+    assert copy < DC_2021.one_way() / 5
+
+
+def test_profile_lookup():
+    assert profile_named("dc-2005") is DC_2005
+    with pytest.raises(KeyError):
+        profile_named("nonexistent")
+
+
+def test_with_overrides_makes_copy():
+    custom = with_overrides(DC_2021, network_rtt=123 * NS)
+    assert custom.network_rtt == 123 * NS
+    assert DC_2021.network_rtt == 200_000 * NS
+    assert custom.http_protocol == DC_2021.http_protocol

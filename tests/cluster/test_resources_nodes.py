@@ -1,0 +1,158 @@
+"""Tests for resource vectors and nodes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    GB,
+    AllocationError,
+    Node,
+    ResourceVector,
+    cpu_task,
+    gpu_task,
+    server_node,
+)
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------ ResourceVector
+def test_vector_add_sub_roundtrip():
+    a = ResourceVector(cpus=2, memory=4 * GB, accelerators={"gpu": 1})
+    b = ResourceVector(cpus=1, memory=1 * GB)
+    total = a + b
+    assert total.cpus == 3
+    assert total.memory == 5 * GB
+    assert total.accelerators == {"gpu": 1}
+    back = total - b
+    assert back.cpus == a.cpus and back.memory == a.memory
+
+
+def test_vector_negative_rejected():
+    with pytest.raises(ValueError):
+        ResourceVector(cpus=-1)
+    with pytest.raises(ValueError):
+        ResourceVector(memory=-5)
+    with pytest.raises(ValueError):
+        ResourceVector(accelerators={"gpu": -1})
+
+
+def test_subtraction_below_zero_rejected():
+    a = ResourceVector(cpus=1)
+    b = ResourceVector(cpus=2)
+    with pytest.raises(ValueError):
+        a - b
+
+
+def test_fits_within():
+    cap = server_node(cpus=8, memory_gb=16, gpu=1)
+    assert cpu_task(cpus=8, memory_gb=16).fits_within(cap)
+    assert not cpu_task(cpus=9).fits_within(cap)
+    assert gpu_task(gpus=1).fits_within(cap)
+    assert not gpu_task(gpus=2).fits_within(cap)
+
+
+def test_fits_within_unknown_accelerator():
+    cap = server_node(cpus=8, memory_gb=16)
+    demand = ResourceVector(cpus=1, accelerators={"tpu": 1})
+    assert not demand.fits_within(cap)
+
+
+def test_dominant_share():
+    cap = server_node(cpus=10, memory_gb=100)
+    demand = ResourceVector(cpus=5, memory=10 * GB)
+    assert demand.dominant_share(cap) == pytest.approx(0.5)
+    gpu_demand = ResourceVector(accelerators={"gpu": 1})
+    assert gpu_demand.dominant_share(cap) == float("inf")
+
+
+def test_is_zero_and_describe():
+    assert ResourceVector().is_zero()
+    assert not cpu_task().is_zero()
+    desc = gpu_task(cpus=2, memory_gb=4, gpus=1).describe()
+    assert "2cpu" in desc and "gpu:1" in desc
+
+
+@given(
+    st.floats(min_value=0, max_value=64),
+    st.floats(min_value=0, max_value=64),
+    st.floats(min_value=0, max_value=1e12),
+    st.floats(min_value=0, max_value=1e12),
+)
+def test_add_then_subtract_is_identity(c1, c2, m1, m2):
+    a = ResourceVector(cpus=c1, memory=m1)
+    b = ResourceVector(cpus=c2, memory=m2)
+    back = (a + b) - b
+    assert back.cpus == pytest.approx(c1, abs=1e-6)
+    assert back.memory == pytest.approx(m1, abs=1e-3)
+
+
+# ----------------------------------------------------------------------- Node
+def _make_node(sim=None, **kwargs):
+    sim = sim or Simulator()
+    cap = kwargs.pop("capacity", server_node(cpus=8, memory_gb=16, gpu=1))
+    return Node(sim, node_id="n0", rack="rack0", capacity=cap, **kwargs)
+
+
+def test_node_allocate_release_cycle():
+    node = _make_node()
+    demand = cpu_task(cpus=4, memory_gb=8)
+    node.allocate(demand)
+    assert node.free.cpus == 4
+    node.release(demand)
+    assert node.free.cpus == 8
+
+
+def test_node_over_allocation_rejected():
+    node = _make_node()
+    node.allocate(cpu_task(cpus=8, memory_gb=1))
+    with pytest.raises(AllocationError):
+        node.allocate(cpu_task(cpus=1, memory_gb=1))
+
+
+def test_node_release_more_than_allocated_rejected():
+    node = _make_node()
+    node.allocate(cpu_task(cpus=1, memory_gb=1))
+    with pytest.raises(AllocationError):
+        node.release(cpu_task(cpus=2, memory_gb=1))
+
+
+def test_dead_node_refuses_allocations():
+    node = _make_node()
+    node.crash()
+    assert not node.can_fit(cpu_task())
+    with pytest.raises(AllocationError):
+        node.allocate(cpu_task())
+    node.recover()
+    node.allocate(cpu_task())
+
+
+def test_node_devices():
+    node = _make_node()
+    assert node.has_device("gpu")
+    assert node.has_device("cpu")
+    assert not node.has_device("npu")
+    assert node.device("gpu").compute_time(1e12) == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        node.device("npu")
+
+
+def test_device_compute_time_validation():
+    node = _make_node()
+    with pytest.raises(ValueError):
+        node.device("gpu").compute_time(-1)
+
+
+def test_node_cpu_utilization_time_weighted():
+    sim = Simulator()
+    node = _make_node(sim=sim)
+
+    def run(sim):
+        node.allocate(cpu_task(cpus=8, memory_gb=1))  # 100% busy
+        yield sim.timeout(10.0)
+        node.release(cpu_task(cpus=8, memory_gb=1))
+        yield sim.timeout(10.0)
+
+    sim.spawn(run(sim))
+    sim.run()
+    assert node.cpu_utilization() == pytest.approx(0.5)

@@ -1,0 +1,278 @@
+"""Tests for the data layer: consistency menu, mutability enforcement,
+ephemeral intermediates, and mutability-driven caching."""
+
+import pytest
+
+from repro.core import (
+    Consistency,
+    Mutability,
+    MutabilityError,
+    ObjectKind,
+    PCSICloud,
+)
+from repro.net import SizedPayload
+from repro.security import Right
+from repro.storage import KeyNotFoundError
+
+
+@pytest.fixture
+def cloud():
+    return PCSICloud(racks=3, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                     seed=3)
+
+
+def run(cloud, gen):
+    return cloud.run_process(gen)
+
+
+def test_write_read_roundtrip(cloud):
+    ref = cloud.create_object()
+    node = cloud.client_node()
+
+    def flow():
+        size = yield from cloud.op_write(node, ref,
+                                         SizedPayload(2048, meta="m"))
+        payload = yield from cloud.op_read(node, ref)
+        return size, payload
+
+    size, payload = run(cloud, flow())
+    assert size == 2048
+    assert payload == SizedPayload(2048, meta="m")
+
+
+def test_append_grows_object(cloud):
+    ref = cloud.create_object(mutability=Mutability.APPEND_ONLY)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(100), append=True)
+        size = yield from cloud.op_write(node, ref, SizedPayload(50),
+                                         append=True)
+        return size
+
+    assert run(cloud, flow()) == 150
+
+
+def test_immutable_rejects_all_writes(cloud):
+    ref = cloud.create_object(mutability=Mutability.IMMUTABLE)
+    node = cloud.client_node()
+
+    def write():
+        yield from cloud.op_write(node, ref, SizedPayload(1))
+
+    with pytest.raises(MutabilityError):
+        run(cloud, write())
+
+    def append():
+        yield from cloud.op_write(node, ref, SizedPayload(1), append=True)
+
+    with pytest.raises(MutabilityError):
+        run(cloud, append())
+
+
+def test_append_only_rejects_overwrite(cloud):
+    ref = cloud.create_object(mutability=Mutability.APPEND_ONLY)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(10))
+
+    with pytest.raises(MutabilityError):
+        run(cloud, flow())
+
+
+def test_fixed_size_allows_inplace_rejects_resize(cloud):
+    ref = cloud.create_object(mutability=Mutability.FIXED_SIZE)
+    node = cloud.client_node()
+
+    def establish():
+        yield from cloud.op_write(node, ref, SizedPayload(100))
+        yield from cloud.op_write(node, ref, SizedPayload(100))  # in place
+
+    run(cloud, establish())
+
+    def resize():
+        yield from cloud.op_write(node, ref, SizedPayload(101))
+
+    with pytest.raises(MutabilityError):
+        run(cloud, resize())
+
+    def append():
+        yield from cloud.op_write(node, ref, SizedPayload(1), append=True)
+
+    with pytest.raises(MutabilityError):
+        run(cloud, append())
+
+
+def test_transition_then_write_denied(cloud):
+    ref = cloud.create_object()
+    node = cloud.client_node()
+
+    def setup():
+        yield from cloud.op_write(node, ref, SizedPayload(10))
+
+    run(cloud, setup())
+    cloud.transition(ref, Mutability.IMMUTABLE)
+
+    def write():
+        yield from cloud.op_write(node, ref, SizedPayload(10))
+
+    with pytest.raises(MutabilityError):
+        run(cloud, write())
+
+
+def test_transition_requires_write_right(cloud):
+    from repro.security import AccessDeniedError
+    ref = cloud.create_object(rights=Right.READ)
+    with pytest.raises(AccessDeniedError):
+        cloud.transition(ref, Mutability.IMMUTABLE)
+
+
+# ------------------------------------------------------------- consistency
+def test_eventual_ops_faster_than_linearizable(cloud):
+    strong = cloud.create_object(consistency=Consistency.LINEARIZABLE)
+    weak = cloud.create_object(consistency=Consistency.EVENTUAL)
+    node = cloud.client_node()
+
+    def flow():
+        t0 = cloud.sim.now
+        yield from cloud.op_write(node, strong, SizedPayload(1024))
+        strong_t = cloud.sim.now - t0
+        t1 = cloud.sim.now
+        yield from cloud.op_write(node, weak, SizedPayload(1024))
+        weak_t = cloud.sim.now - t1
+        return strong_t, weak_t
+
+    strong_t, weak_t = run(cloud, flow())
+    assert weak_t < strong_t
+
+
+def test_per_op_consistency_override(cloud):
+    ref = cloud.create_object(consistency=Consistency.LINEARIZABLE)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(512))
+        t0 = cloud.sim.now
+        yield from cloud.op_read(node, ref)  # default: strong
+        strong_t = cloud.sim.now - t0
+        t1 = cloud.sim.now
+        yield from cloud.op_read(node, ref,
+                                 consistency=Consistency.EVENTUAL)
+        weak_t = cloud.sim.now - t1
+        return strong_t, weak_t
+
+    strong_t, weak_t = run(cloud, flow())
+    assert weak_t < strong_t
+
+
+# ----------------------------------------------------------------- caching
+def test_immutable_reads_hit_cache(cloud):
+    ref = cloud.create_object()
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(4096))
+        cloud.transition(ref, Mutability.IMMUTABLE)
+        t0 = cloud.sim.now
+        yield from cloud.op_read(node, ref)   # miss, fills cache
+        miss_t = cloud.sim.now - t0
+        t1 = cloud.sim.now
+        yield from cloud.op_read(node, ref)   # hit
+        hit_t = cloud.sim.now - t1
+        return miss_t, hit_t
+
+    miss_t, hit_t = run(cloud, flow())
+    assert hit_t < miss_t / 10
+    assert cloud.data.cache_hits == 1
+
+
+def test_mutable_reads_never_cached(cloud):
+    ref = cloud.create_object()
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(4096))
+        yield from cloud.op_read(node, ref)
+        yield from cloud.op_read(node, ref)
+
+    run(cloud, flow())
+    assert cloud.data.cache_hits == 0
+
+
+def test_cache_is_per_node(cloud):
+    ref = cloud.create_object(mutability=Mutability.MUTABLE)
+    n1 = "rack0-n0"
+    n2 = "rack1-n0"
+
+    def flow():
+        yield from cloud.op_write(n1, ref, SizedPayload(1024))
+        cloud.transition(ref, Mutability.IMMUTABLE)
+        yield from cloud.op_read(n1, ref)  # miss for n1
+        yield from cloud.op_read(n2, ref)  # still a miss for n2
+        yield from cloud.op_read(n2, ref)  # hit for n2
+
+    run(cloud, flow())
+    assert cloud.data.cache_hits == 1
+    assert cloud.data.cache_misses == 2
+
+
+# ------------------------------------------------------------- ephemerals
+def test_ephemeral_local_read_is_device_copy(cloud):
+    ref = cloud.create_object(ephemeral=True,
+                              consistency=Consistency.EVENTUAL)
+    producer = "rack0-n0"
+
+    def flow():
+        yield from cloud.op_write(producer, ref, SizedPayload(1024))
+        t0 = cloud.sim.now
+        yield from cloud.op_read(producer, ref)  # co-located consumer
+        local_t = cloud.sim.now - t0
+        t1 = cloud.sim.now
+        yield from cloud.op_read("rack1-n0", ref)  # remote consumer
+        remote_t = cloud.sim.now - t1
+        return local_t, remote_t
+
+    local_t, remote_t = run(cloud, flow())
+    assert local_t < remote_t / 3
+
+
+def test_ephemeral_read_before_write_raises(cloud):
+    ref = cloud.create_object(ephemeral=True)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_read(node, ref)
+
+    with pytest.raises(KeyNotFoundError):
+        run(cloud, flow())
+
+
+def test_preload_rejects_ephemeral(cloud):
+    ref = cloud.create_object(ephemeral=True)
+    with pytest.raises(ValueError):
+        cloud.preload(ref, SizedPayload(10))
+
+
+def test_preload_then_read(cloud):
+    ref = cloud.create_object()
+    cloud.preload(ref, SizedPayload(777, meta="weights"))
+    node = cloud.client_node()
+
+    def flow():
+        payload = yield from cloud.op_read(node, ref)
+        return payload
+
+    assert run(cloud, flow()) == SizedPayload(777, meta="weights")
+
+
+def test_read_requires_read_right(cloud):
+    from repro.security import AccessDeniedError
+    ref = cloud.create_object(rights=Right.WRITE)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_read(node, ref)
+
+    with pytest.raises(AccessDeniedError):
+        run(cloud, flow())

@@ -1,0 +1,90 @@
+"""Model-based property tests for data-layer size accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Consistency, Mutability, MutabilityError, PCSICloud
+from repro.net import SizedPayload
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 10_000)),
+                min_size=1, max_size=12))
+def test_size_tracks_write_append_sequence(ops):
+    """Property: object size equals the model after any write/append
+    mix on a MUTABLE object, and reads report it."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    ref = cloud.create_object(consistency=Consistency.EVENTUAL)
+    node = cloud.data.store.replica_nodes[0]  # read-your-writes node
+    expected = 0
+
+    def flow():
+        nonlocal expected
+        for append, nbytes in ops:
+            yield from cloud.op_write(node, ref, SizedPayload(nbytes),
+                                      append=append)
+            expected = expected + nbytes if append else nbytes
+        payload = yield from cloud.op_read(node, ref)
+        return payload
+
+    payload = cloud.run_process(flow())
+    assert payload.nbytes == expected
+    assert cloud.table.get(ref.object_id).size == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(1, 5_000), min_size=1, max_size=10))
+def test_append_only_object_is_append_sum(chunks):
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    ref = cloud.create_object(mutability=Mutability.APPEND_ONLY,
+                              consistency=Consistency.EVENTUAL)
+    node = cloud.data.store.replica_nodes[0]
+
+    def flow():
+        for nbytes in chunks:
+            yield from cloud.op_write(node, ref, SizedPayload(nbytes),
+                                      append=True)
+
+    cloud.run_process(flow())
+    assert cloud.table.get(ref.object_id).size == sum(chunks)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["write", "append", "freeze"]),
+                min_size=1, max_size=10))
+def test_mutability_enforcement_matches_model(script):
+    """Property: op acceptance always matches a tiny reference model
+    of the Figure 1 rules."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    ref = cloud.create_object(consistency=Consistency.EVENTUAL)
+    node = cloud.data.store.replica_nodes[0]
+    frozen = False
+
+    def flow():
+        nonlocal frozen
+        for action in script:
+            if action == "freeze":
+                if frozen:
+                    continue
+                cloud.transition(ref, Mutability.IMMUTABLE)
+                frozen = True
+                continue
+            append = action == "append"
+            should_fail = frozen
+
+            def attempt(append=append):
+                yield from cloud.op_write(node, ref, SizedPayload(10),
+                                          append=append)
+            if should_fail:
+                try:
+                    yield from attempt()
+                except MutabilityError:
+                    continue
+                raise AssertionError("write on frozen object succeeded")
+            yield from attempt()
+
+    cloud.run_process(flow())

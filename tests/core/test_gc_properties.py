@@ -1,0 +1,110 @@
+"""Property tests for GC safety and completeness over random graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PCSICloud
+
+
+def build_random_namespace(cloud, edges, n_dirs, n_files):
+    """Build a random directory DAG + file links from a spec.
+
+    ``edges`` is a list of (parent_idx, child_idx, kind) triples where
+    kind chooses dir->dir or dir->file links. Returns (dir_refs,
+    file_refs, reachable_ids).
+    """
+    root = cloud.create_root("t")
+    dirs = [root] + [cloud.mkdir() for _ in range(n_dirs)]
+    files = [cloud.create_object() for _ in range(n_files)]
+    linked = set()
+    for i, (parent_idx, child_idx, is_file) in enumerate(edges):
+        parent = dirs[parent_idx % len(dirs)]
+        if is_file:
+            child = files[child_idx % len(files)]
+        else:
+            child = dirs[child_idx % len(dirs)]
+            if child.object_id == parent.object_id:
+                continue
+        key = (parent.object_id, child.object_id)
+        if key in linked:
+            continue
+        linked.add(key)
+        cloud.link(parent, f"e{i}", child)
+
+    # Compute reachability in a model, mirroring the kernel's rule.
+    children = {}
+    for (parent_id, child_id) in linked:
+        children.setdefault(parent_id, []).append(child_id)
+    reachable = set()
+    frontier = [root.object_id]
+    while frontier:
+        oid = frontier.pop()
+        if oid in reachable:
+            continue
+        reachable.add(oid)
+        frontier.extend(children.get(oid, []))
+    return dirs, files, reachable
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                          st.booleans()), max_size=20),
+       st.integers(1, 4), st.integers(1, 4))
+def test_gc_collects_exactly_the_unreachable(edges, n_dirs, n_files):
+    """Property: after GC, the surviving object set is exactly the
+    model-reachable set (plus pinned objects, of which there are none
+    here)."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    dirs, files, reachable = build_random_namespace(cloud, edges,
+                                                    n_dirs, n_files)
+
+    def flow():
+        return (yield from cloud.collect_garbage())
+
+    cloud.run_process(flow())
+    survivors = set(cloud.table.all_ids())
+    assert survivors == reachable
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                          st.booleans()), max_size=15),
+       st.integers(1, 3), st.integers(1, 3),
+       st.integers(0, 5))
+def test_gc_never_collects_pinned(edges, n_dirs, n_files, pin_idx):
+    """Property: a pinned object survives regardless of reachability."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    dirs, files, reachable = build_random_namespace(cloud, edges,
+                                                    n_dirs, n_files)
+    pinned = files[pin_idx % len(files)]
+    cloud.refs.pin(pinned.object_id)
+
+    def flow():
+        return (yield from cloud.collect_garbage())
+
+    cloud.run_process(flow())
+    assert pinned.object_id in cloud.table
+    cloud.refs.unpin(pinned.object_id)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                          st.booleans()), max_size=15),
+       st.integers(1, 3), st.integers(1, 3))
+def test_gc_idempotent(edges, n_dirs, n_files):
+    """Property: a second collection right after the first finds
+    nothing to do."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=0)
+    build_random_namespace(cloud, edges, n_dirs, n_files)
+
+    def flow():
+        first = yield from cloud.collect_garbage()
+        second = yield from cloud.collect_garbage()
+        return first, second
+
+    first, second = cloud.run_process(flow())
+    assert second.collected == 0
+    assert second.bytes_reclaimed == 0

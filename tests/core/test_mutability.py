@@ -1,0 +1,115 @@
+"""Tests for the Figure 1 mutability lattice."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALLOWED_TRANSITIONS,
+    InvalidTransitionError,
+    Mutability,
+    can_transition,
+    check_transition,
+    transition_matrix,
+)
+from repro.core.mutability import (
+    allows_append,
+    allows_overwrite,
+    allows_resize,
+    cacheable_fraction,
+    is_terminal,
+)
+
+M = Mutability
+
+
+def test_figure1_transitions():
+    """The exact lattice: restriction only, IMMUTABLE is a sink."""
+    assert can_transition(M.MUTABLE, M.APPEND_ONLY)
+    assert can_transition(M.MUTABLE, M.FIXED_SIZE)
+    assert can_transition(M.MUTABLE, M.IMMUTABLE)
+    assert can_transition(M.APPEND_ONLY, M.IMMUTABLE)
+    assert can_transition(M.FIXED_SIZE, M.IMMUTABLE)
+    # Forbidden directions.
+    assert not can_transition(M.IMMUTABLE, M.MUTABLE)
+    assert not can_transition(M.IMMUTABLE, M.APPEND_ONLY)
+    assert not can_transition(M.APPEND_ONLY, M.MUTABLE)
+    assert not can_transition(M.FIXED_SIZE, M.MUTABLE)
+    assert not can_transition(M.APPEND_ONLY, M.FIXED_SIZE)
+    assert not can_transition(M.FIXED_SIZE, M.APPEND_ONLY)
+
+
+def test_self_transitions_allowed():
+    for level in M:
+        assert can_transition(level, level)
+
+
+def test_check_transition_raises():
+    with pytest.raises(InvalidTransitionError):
+        check_transition(M.IMMUTABLE, M.MUTABLE)
+    check_transition(M.MUTABLE, M.IMMUTABLE)  # no raise
+
+
+def test_write_permissions_by_level():
+    assert allows_overwrite(M.MUTABLE)
+    assert allows_overwrite(M.FIXED_SIZE)
+    assert not allows_overwrite(M.APPEND_ONLY)
+    assert not allows_overwrite(M.IMMUTABLE)
+    assert allows_append(M.MUTABLE)
+    assert allows_append(M.APPEND_ONLY)
+    assert not allows_append(M.FIXED_SIZE)
+    assert not allows_append(M.IMMUTABLE)
+    assert allows_resize(M.MUTABLE)
+    assert allows_resize(M.APPEND_ONLY)
+    assert not allows_resize(M.FIXED_SIZE)
+    assert not allows_resize(M.IMMUTABLE)
+
+
+def test_cacheability():
+    assert cacheable_fraction(M.IMMUTABLE, written=True) == 1.0
+    assert cacheable_fraction(M.APPEND_ONLY, written=True) == 1.0
+    assert cacheable_fraction(M.MUTABLE, written=True) == 0.0
+    assert cacheable_fraction(M.FIXED_SIZE, written=True) == 0.0
+
+
+def test_transition_matrix_shape():
+    rows = transition_matrix()
+    assert len(rows) == 16
+    allowed = sum(1 for _s, _d, ok in rows if ok)
+    # 4 self-loops + 5 lattice edges.
+    assert allowed == 9
+
+
+def test_immutable_is_terminal():
+    assert is_terminal(M.IMMUTABLE)
+    assert not is_terminal(M.MUTABLE)
+    assert not is_terminal(M.APPEND_ONLY)
+
+
+@given(st.lists(st.sampled_from(list(M)), min_size=1, max_size=8))
+def test_no_path_escapes_immutable(levels):
+    """Property: once IMMUTABLE, no sequence of legal transitions can
+    restore any write capability."""
+    current = M.IMMUTABLE
+    for nxt in levels:
+        if can_transition(current, nxt):
+            current = nxt
+    assert current == M.IMMUTABLE
+
+
+@given(st.lists(st.sampled_from(list(M)), min_size=1, max_size=8))
+def test_write_capability_monotone_nonincreasing(levels):
+    """Property: along any legal transition path, the set of allowed
+    write operations never grows."""
+    def caps(level):
+        return (allows_overwrite(level), allows_append(level),
+                allows_resize(level))
+
+    current = M.MUTABLE
+    for nxt in levels:
+        if can_transition(current, nxt):
+            before = caps(current)
+            after = caps(nxt)
+            assert all(not a or b for a, b in zip(after, before)), \
+                f"{current} -> {nxt} gained a capability"
+            current = nxt

@@ -1,0 +1,243 @@
+"""Tests for naming, resolution, and union file systems."""
+
+import pytest
+
+from repro.core import (
+    NamespaceError,
+    ObjectKind,
+    ObjectNotFoundError,
+    PCSICloud,
+)
+from repro.core.errors import NotADirectoryError_
+from repro.core.namespace import split_path
+from repro.security import AccessDeniedError, Right
+
+
+@pytest.fixture
+def cloud():
+    return PCSICloud(racks=2, nodes_per_rack=2, gpu_nodes_per_rack=0,
+                     data_replicas=3, seed=7)
+
+
+def resolve(cloud, root, path):
+    return cloud.run_process(cloud.resolve(root, path))
+
+
+# ----------------------------------------------------------------- paths
+def test_split_path_rejects_absolute():
+    with pytest.raises(NamespaceError):
+        split_path("/etc/passwd")
+
+
+def test_split_path_rejects_dotdot():
+    with pytest.raises(NamespaceError):
+        split_path("a/../b")
+
+
+def test_split_path_normalizes():
+    assert split_path("a//b/./c") == ["a", "b", "c"]
+    assert split_path("") == []
+
+
+# -------------------------------------------------------------- resolution
+def test_link_and_resolve(cloud):
+    root = cloud.create_root("alice")
+    f = cloud.create_object()
+    sub = cloud.mkdir()
+    cloud.link(root, "sub", sub)
+    cloud.link(sub, "file", f)
+    ref = resolve(cloud, root, "sub/file")
+    assert ref.object_id == f.object_id
+
+
+def test_resolve_missing_raises(cloud):
+    root = cloud.create_root("alice")
+    with pytest.raises(ObjectNotFoundError):
+        resolve(cloud, root, "nope")
+
+
+def test_resolve_through_file_raises(cloud):
+    root = cloud.create_root("alice")
+    f = cloud.create_object()
+    cloud.link(root, "f", f)
+    with pytest.raises(NotADirectoryError_):
+        resolve(cloud, root, "f/deeper")
+
+
+def test_resolution_attenuates_rights(cloud):
+    """Rights narrow along the path: the entry's rights bound the
+    resolved reference."""
+    root = cloud.create_root("alice")
+    f = cloud.create_object()
+    cloud.link(root, "readonly", f, rights=Right.READ | Right.RESOLVE)
+    ref = resolve(cloud, root, "readonly")
+    assert ref.allows(Right.READ)
+    assert not ref.allows(Right.WRITE)
+
+
+def test_resolution_requires_resolve_right(cloud):
+    root = cloud.create_root("alice")
+    sub = cloud.mkdir()
+    f = cloud.create_object()
+    # Link the subdirectory without RESOLVE: traversal must stop there.
+    cloud.link(root, "sub", sub, rights=Right.READ)
+    cloud.link(sub, "f", f)
+    with pytest.raises(NamespaceError):
+        resolve(cloud, root, "sub/f")
+
+
+def test_resolution_charges_per_step(cloud):
+    from repro.core.namespace import RESOLVE_STEP_TIME
+    root = cloud.create_root("alice")
+    d1 = cloud.mkdir()
+    d2 = cloud.mkdir()
+    f = cloud.create_object()
+    cloud.link(root, "a", d1)
+    cloud.link(d1, "b", d2)
+    cloud.link(d2, "c", f)
+    t0 = cloud.sim.now
+    resolve(cloud, root, "a/b/c")
+    assert cloud.sim.now - t0 == pytest.approx(3 * RESOLVE_STEP_TIME)
+
+
+def test_no_global_namespace(cloud):
+    """Two tenants' roots are disjoint: names in one resolve nothing in
+    the other."""
+    alice = cloud.create_root("alice")
+    bob = cloud.create_root("bob")
+    f = cloud.create_object()
+    cloud.link(alice, "secret", f)
+    with pytest.raises(ObjectNotFoundError):
+        resolve(cloud, bob, "secret")
+
+
+# ------------------------------------------------------------------- links
+def test_link_validation(cloud):
+    root = cloud.create_root("alice")
+    f = cloud.create_object()
+    with pytest.raises(NamespaceError):
+        cloud.link(root, "a/b", f)
+    with pytest.raises(NamespaceError):
+        cloud.link(root, "", f)
+    cloud.link(root, "x", f)
+    with pytest.raises(NamespaceError):
+        cloud.link(root, "x", f)  # duplicate
+
+
+def test_link_cannot_amplify_rights(cloud):
+    root = cloud.create_root("alice")
+    f = cloud.create_object(rights=Right.READ)
+    with pytest.raises(NamespaceError):
+        cloud.link(root, "f", f, rights=Right.READ | Right.WRITE)
+
+
+def test_unlink_and_list(cloud):
+    root = cloud.create_root("alice")
+    f = cloud.create_object()
+    cloud.link(root, "f", f)
+    assert cloud.listdir(root) == ["f"]
+    cloud.unlink(root, "f")
+    assert cloud.listdir(root) == []
+    with pytest.raises(ObjectNotFoundError):
+        cloud.unlink(root, "f")
+
+
+def test_link_requires_write_on_directory(cloud):
+    root = cloud.create_root("alice")
+    sub = cloud.mkdir(rights=Right.READ | Right.RESOLVE)
+    f = cloud.create_object()
+    with pytest.raises(AccessDeniedError):
+        cloud.link(sub, "f", f)
+
+
+# -------------------------------------------------------------------- union
+def make_layers(cloud):
+    """upper over lower: lower has base+shadowed, upper has own+shadowed."""
+    lower = cloud.mkdir()
+    upper = cloud.mkdir()
+    base = cloud.create_object()
+    shadowed_low = cloud.create_object()
+    shadow_high = cloud.create_object()
+    own = cloud.create_object()
+    cloud.link(lower, "base", base)
+    cloud.link(lower, "shadowed", shadowed_low)
+    cloud.link(upper, "shadowed", shadow_high)
+    cloud.link(upper, "own", own)
+    cloud.mount_union(upper, [lower])
+    return upper, lower, {"base": base, "shadowed_low": shadowed_low,
+                          "shadow_high": shadow_high, "own": own}
+
+
+def test_union_lookup_upper_wins(cloud):
+    upper, lower, objs = make_layers(cloud)
+    ref = resolve(cloud, upper, "shadowed")
+    assert ref.object_id == objs["shadow_high"].object_id
+
+
+def test_union_lookup_falls_through(cloud):
+    upper, lower, objs = make_layers(cloud)
+    ref = resolve(cloud, upper, "base")
+    assert ref.object_id == objs["base"].object_id
+
+
+def test_union_list_merged(cloud):
+    upper, lower, objs = make_layers(cloud)
+    assert cloud.listdir(upper) == ["base", "own", "shadowed"]
+
+
+def test_union_whiteout_hides_lower(cloud):
+    upper, lower, objs = make_layers(cloud)
+    cloud.unlink(upper, "base")  # only exists below -> whiteout
+    assert "base" not in cloud.listdir(upper)
+    with pytest.raises(ObjectNotFoundError):
+        resolve(cloud, upper, "base")
+    # The lower layer itself is untouched.
+    assert "base" in cloud.listdir(lower)
+
+
+def test_union_unlink_upper_reveals_nothing_when_whiteout_needed(cloud):
+    upper, lower, objs = make_layers(cloud)
+    # "shadowed" exists in both; removing the upper entry must hide the
+    # lower one too (unlink means "gone from this namespace").
+    cloud.unlink(upper, "shadowed")
+    assert "shadowed" not in cloud.listdir(upper)
+    assert "shadowed" in cloud.listdir(lower)
+
+
+def test_union_self_layer_rejected(cloud):
+    d = cloud.mkdir()
+    with pytest.raises(NamespaceError):
+        cloud.mount_union(d, [d])
+
+
+def test_copy_up_on_write(cloud):
+    from repro.net import SizedPayload
+    upper, lower, objs = make_layers(cloud)
+    node = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_write(
+            node, cloud.refs.mint(objs["base"].object_id), SizedPayload(500))
+        new_ref = yield from cloud.op_copy_up(node, upper, "base")
+        return new_ref
+
+    new_ref = cloud.run_process(flow())
+    # A fresh object now owns the name in the upper layer...
+    assert new_ref.object_id != objs["base"].object_id
+    ref = resolve(cloud, upper, "base")
+    assert ref.object_id == new_ref.object_id
+    # ...while the lower layer still points at the original.
+    ref_low = resolve(cloud, lower, "base")
+    assert ref_low.object_id == objs["base"].object_id
+
+
+def test_copy_up_noop_when_upper_owns_name(cloud):
+    upper, lower, objs = make_layers(cloud)
+    node = cloud.client_node()
+
+    def flow():
+        ref = yield from cloud.op_copy_up(node, upper, "own")
+        return ref
+
+    ref = cloud.run_process(flow())
+    assert ref.object_id == objs["own"].object_id

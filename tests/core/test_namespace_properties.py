@@ -1,0 +1,150 @@
+"""Model-based property tests: the namespace vs a reference model.
+
+A PCSI directory tree must behave exactly like a nested dict of names.
+The stateful test below performs random link/unlink/mkdir/resolve
+operations against both the kernel and a plain-Python model and checks
+they never disagree — including through union mounts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core import ObjectNotFoundError, PCSICloud
+from repro.core.unionfs import union_list, union_lookup
+from repro.security import Right
+
+NAMES = ["alpha", "beta", "gamma", "delta"]
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    """Random namespace mutations, mirrored against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.cloud = PCSICloud(racks=1, nodes_per_rack=4,
+                               gpu_nodes_per_rack=0, seed=0)
+        self.root = self.cloud.create_root("t")
+        # model: dir object_id -> {name: child object_id}
+        self.model = {self.root.object_id: {}}
+        self.refs = {self.root.object_id: self.root}
+
+    dirs = Bundle("dirs")
+
+    @rule(target=dirs)
+    def start_dir(self):
+        return self.root.object_id
+
+    @rule(target=dirs, parent=dirs, name=st.sampled_from(NAMES))
+    def mkdir(self, parent, name):
+        if name in self.model[parent]:
+            return self.model[parent][name] \
+                if self.model[parent][name] in self.model else parent
+        child = self.cloud.mkdir()
+        self.cloud.link(self.refs[parent], name, child)
+        self.model[parent][name] = child.object_id
+        self.model[child.object_id] = {}
+        self.refs[child.object_id] = child
+        return child.object_id
+
+    @rule(parent=dirs, name=st.sampled_from(NAMES))
+    def link_file(self, parent, name):
+        if name in self.model[parent]:
+            return
+        ref = self.cloud.create_object()
+        self.cloud.link(self.refs[parent], name, ref)
+        self.model[parent][name] = ref.object_id
+        self.refs[ref.object_id] = ref
+
+    @rule(parent=dirs, name=st.sampled_from(NAMES))
+    def unlink(self, parent, name):
+        if name not in self.model[parent]:
+            with pytest.raises(ObjectNotFoundError):
+                self.cloud.unlink(self.refs[parent], name)
+            return
+        self.cloud.unlink(self.refs[parent], name)
+        child = self.model[parent].pop(name)
+        # (The object may stay reachable through other links; the
+        # model only tracks names, mirroring the kernel exactly.)
+
+    @rule(parent=dirs, name=st.sampled_from(NAMES))
+    def resolve_matches_model(self, parent, name):
+        expected = self.model[parent].get(name)
+        if expected is None:
+            with pytest.raises(ObjectNotFoundError):
+                self.cloud.run_process(
+                    self.cloud.resolve(self.refs[parent], name))
+        else:
+            got = self.cloud.run_process(
+                self.cloud.resolve(self.refs[parent], name))
+            assert got.object_id == expected
+
+    @invariant()
+    def listings_match_model(self):
+        for dir_id, entries in self.model.items():
+            assert self.cloud.listdir(self.refs[dir_id]) == \
+                sorted(entries)
+
+
+TestNamespaceMachine = NamespaceMachine.TestCase
+TestNamespaceMachine.settings = settings(max_examples=25,
+                                         stateful_step_count=30,
+                                         deadline=None)
+
+
+# -------------------------------------------------- union-specific properties
+@given(st.lists(st.tuples(st.sampled_from(NAMES), st.integers(0, 2)),
+                max_size=12))
+def test_union_lookup_first_layer_wins(bindings):
+    """Property: union lookup returns the top-most layer that binds the
+    name, for any distribution of bindings across three layers."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=1)
+    layers = [cloud.mkdir() for _ in range(3)]
+    expected = {}
+    bound = [set(), set(), set()]
+    for name, layer_idx in bindings:
+        if name in bound[layer_idx]:
+            continue
+        target = cloud.create_object()
+        cloud.link(layers[layer_idx], name, target)
+        bound[layer_idx].add(name)
+        # Lower index = higher layer: record only the best binding.
+        current = expected.get(name)
+        if current is None or layer_idx < current[0]:
+            expected[name] = (layer_idx, target.object_id)
+    upper = layers[0]
+    cloud.mount_union(upper, [layers[1], layers[2]])
+    table = cloud.table
+    upper_obj = table.get(upper.object_id)
+    for name in NAMES:
+        entry = union_lookup(table, upper_obj, name)
+        if name in expected:
+            assert entry is not None
+            assert entry.object_id == expected[name][1]
+        else:
+            assert entry is None
+    assert union_list(table, upper_obj) == sorted(expected)
+
+
+@given(st.sets(st.sampled_from(NAMES)), st.sets(st.sampled_from(NAMES)))
+def test_whiteouts_hide_exactly_the_unlinked(lower_names, hidden):
+    """Property: after unlinking a subset of lower-layer names through
+    the union, the visible set is exactly lower - hidden."""
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=2)
+    lower = cloud.mkdir()
+    for name in lower_names:
+        cloud.link(lower, name, cloud.create_object())
+    upper = cloud.mkdir()
+    cloud.mount_union(upper, [lower])
+    for name in hidden & lower_names:
+        cloud.unlink(upper, name)
+    assert set(cloud.listdir(upper)) == lower_names - hidden
+    assert set(cloud.listdir(lower)) == lower_names  # untouched

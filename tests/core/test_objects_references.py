@@ -1,0 +1,124 @@
+"""Tests for the object table and reference manager."""
+
+import pytest
+
+from repro.core import (
+    ObjectKind,
+    ObjectNotFoundError,
+    ObjectTable,
+    ObjectTypeError,
+    PCSIObject,
+    ReferenceManager,
+)
+from repro.security import AccessDeniedError, Right
+
+
+def make_table_with(kind=ObjectKind.REGULAR):
+    table = ObjectTable()
+    obj = PCSIObject(object_id=table.new_id(), kind=kind)
+    table.insert(obj)
+    return table, obj
+
+
+def test_object_table_ids_unique():
+    table = ObjectTable()
+    ids = {table.new_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_object_table_insert_get_remove():
+    table, obj = make_table_with()
+    assert table.get(obj.object_id) is obj
+    assert obj.object_id in table
+    assert len(table) == 1
+    assert table.remove(obj.object_id) is obj
+    assert table.get(obj.object_id) is None
+
+
+def test_duplicate_insert_rejected():
+    table, obj = make_table_with()
+    with pytest.raises(ValueError):
+        table.insert(obj)
+
+
+def test_require_kind():
+    table, obj = make_table_with(ObjectKind.REGULAR)
+    assert obj.require_kind(ObjectKind.REGULAR) is obj
+    with pytest.raises(ObjectTypeError):
+        obj.require_kind(ObjectKind.DIRECTORY)
+
+
+def test_is_union_only_with_layers():
+    table, d = make_table_with(ObjectKind.DIRECTORY)
+    assert d.is_directory and not d.is_union
+    d.lower_layers = ["other"]
+    assert d.is_union
+
+
+# --------------------------------------------------------- ReferenceManager
+def test_mint_requires_existing_object():
+    table, obj = make_table_with()
+    refs = ReferenceManager(table)
+    ref = refs.mint(obj.object_id, Right.READ)
+    assert ref.object_id == obj.object_id
+    with pytest.raises(ObjectNotFoundError):
+        refs.mint("ghost")
+
+
+def test_check_rights_and_existence():
+    table, obj = make_table_with()
+    refs = ReferenceManager(table)
+    ref = refs.mint(obj.object_id, Right.READ)
+    refs.check(ref, Right.READ)
+    with pytest.raises(AccessDeniedError):
+        refs.check(ref, Right.WRITE)
+    table.remove(obj.object_id)
+    with pytest.raises(ObjectNotFoundError):
+        refs.check(ref, Right.READ)
+
+
+def test_revocation_through_manager():
+    table, obj = make_table_with()
+    refs = ReferenceManager(table)
+    ref = refs.mint(obj.object_id, Right.READ | Right.MINT)
+    child = ref.attenuate(Right.READ)
+    refs.revoke(ref)
+    with pytest.raises(AccessDeniedError):
+        refs.check(child, Right.READ)
+
+
+def test_roots_management():
+    table, obj = make_table_with(ObjectKind.DIRECTORY)
+    refs = ReferenceManager(table)
+    refs.add_root(obj.object_id)
+    assert obj.object_id in refs.roots
+    refs.remove_root(obj.object_id)
+    assert obj.object_id not in refs.roots
+    with pytest.raises(ObjectNotFoundError):
+        refs.add_root("ghost")
+
+
+def test_pinning_counts():
+    table, obj = make_table_with()
+    refs = ReferenceManager(table)
+    refs.pin(obj.object_id)
+    refs.pin(obj.object_id)
+    assert obj.object_id in refs.pinned
+    refs.unpin(obj.object_id)
+    assert obj.object_id in refs.pinned  # still one pin left
+    refs.unpin(obj.object_id)
+    assert obj.object_id not in refs.pinned
+    with pytest.raises(ValueError):
+        refs.unpin(obj.object_id)
+
+
+def test_gc_roots_union_of_roots_and_pins():
+    table = ObjectTable()
+    d = PCSIObject(object_id=table.new_id(), kind=ObjectKind.DIRECTORY)
+    f = PCSIObject(object_id=table.new_id(), kind=ObjectKind.REGULAR)
+    table.insert(d)
+    table.insert(f)
+    refs = ReferenceManager(table)
+    refs.add_root(d.object_id)
+    refs.pin(f.object_id)
+    assert refs.gc_roots() == sorted([d.object_id, f.object_id])

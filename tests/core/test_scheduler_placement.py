@@ -1,0 +1,198 @@
+"""Tests for placement policies, the optimizer, and scheduling."""
+
+import pytest
+
+from repro.cluster import build_cluster, cpu_task, gpu_task
+from repro.core import (
+    ColocatePlacement,
+    FunctionImpl,
+    ImplOptimizer,
+    NaivePlacement,
+    PCSICloud,
+    ScavengePlacement,
+    SpreadPlacement,
+    make_policy,
+)
+from repro.faas import CONTAINER, GPU_CONTAINER, NPU_CONTAINER, WASM
+from repro.sim import RandomStream, Simulator
+
+
+def make_topo():
+    sim = Simulator()
+    return sim, build_cluster(sim, racks=2, nodes_per_rack=4,
+                              gpu_nodes_per_rack=1)
+
+
+# ------------------------------------------------------------------ policies
+def test_make_policy_names():
+    sim, topo = make_topo()
+    for name, cls in (("naive", NaivePlacement),
+                      ("colocate", ColocatePlacement),
+                      ("scavenge", ScavengePlacement),
+                      ("spread", SpreadPlacement)):
+        assert isinstance(make_policy(name, topo), cls)
+    with pytest.raises(KeyError):
+        make_policy("bogus", topo)
+
+
+def test_candidates_respect_device_and_capacity():
+    sim, topo = make_topo()
+    policy = make_policy("colocate", topo)
+    gpu_candidates = policy.candidates(gpu_task(), GPU_CONTAINER)
+    assert all(n.has_device("gpu") for n in gpu_candidates)
+    assert len(gpu_candidates) == 2
+    # Fill a GPU node; it must drop out.
+    gpu_candidates[0].allocate(gpu_task(gpus=4))
+    assert len(policy.candidates(gpu_task(), GPU_CONTAINER)) == 1
+
+
+def test_colocate_honors_hint():
+    sim, topo = make_topo()
+    policy = make_policy("colocate", topo)
+    place = policy.placer()
+    node = place(cpu_task(), CONTAINER, "rack1-n2")
+    assert node.node_id == "rack1-n2"
+
+
+def test_colocate_falls_back_to_same_rack():
+    sim, topo = make_topo()
+    policy = make_policy("colocate", topo)
+    hint = "rack1-n2"
+    topo.node(hint).allocate(topo.node(hint).capacity)  # full
+    node = policy.placer()(cpu_task(), CONTAINER, hint)
+    assert node.rack == "rack1"
+    assert node.node_id != hint
+
+
+def test_scavenge_packs_fullest_first():
+    sim, topo = make_topo()
+    policy = make_policy("scavenge", topo)
+    busy = topo.node("rack0-n2")
+    busy.allocate(cpu_task(cpus=20, memory_gb=8))
+    node = policy.placer()(cpu_task(), CONTAINER, None)
+    assert node.node_id == "rack0-n2"
+
+
+def test_spread_picks_emptiest():
+    sim, topo = make_topo()
+    policy = make_policy("spread", topo)
+    for n in topo.nodes[:-1]:
+        n.allocate(cpu_task(cpus=4, memory_gb=4))
+    node = policy.placer()(cpu_task(), CONTAINER, None)
+    assert node.node_id == topo.nodes[-1].node_id
+
+
+def test_naive_ignores_hint_deterministically():
+    sim, topo = make_topo()
+    rng = RandomStream(5, "t")
+    policy = NaivePlacement(topo, rng)
+    picks = {policy.placer()(cpu_task(), CONTAINER, "rack0-n0").node_id
+             for _ in range(30)}
+    assert len(picks) > 1  # random across the cluster, hint ignored
+
+
+def test_placer_returns_none_when_impossible():
+    sim, topo = make_topo()
+    policy = make_policy("colocate", topo)
+    assert policy.placer()(cpu_task(cpus=10_000), CONTAINER, None) is None
+
+
+# ----------------------------------------------------------------- optimizer
+def wasm_impl(work=1e9):
+    return FunctionImpl("wasm", WASM, cpu_task(memory_gb=0.5),
+                        work_ops=work)
+
+
+def gpu_impl(work=1e12):
+    return FunctionImpl("gpu", GPU_CONTAINER, gpu_task(), work_ops=work)
+
+
+def test_optimizer_goal_validation():
+    with pytest.raises(ValueError):
+        ImplOptimizer(goal="vibes")
+
+
+def test_optimizer_prefers_fast_impl_for_latency():
+    from repro.core import FunctionDef
+    opt = ImplOptimizer(goal="latency")
+    fn = FunctionDef(name="f", impls=[wasm_impl(work=1e12),
+                                      gpu_impl(work=1e12)])
+    # Cold pools: GPU cold start (2s) dwarfs its compute win at 1e12 ops
+    # (wasm: ~28s compute) -> GPU still wins.
+    choice = opt.choose(fn, {})
+    assert choice.name == "gpu"
+
+
+def test_optimizer_prefers_cheap_impl_for_cost():
+    from repro.core import FunctionDef
+    opt = ImplOptimizer(goal="cost")
+    fn = FunctionDef(name="f", impls=[wasm_impl(work=1e10),
+                                      gpu_impl(work=1e10)])
+    choice = opt.choose(fn, {})
+    assert choice.name == "wasm"
+
+
+def test_optimizer_estimates_warmth():
+    from repro.core import FunctionDef
+    opt = ImplOptimizer()
+    impl = wasm_impl()
+    est_cold = opt.estimate(impl, None)
+    assert not est_cold.warm
+    assert est_cold.est_latency >= impl.platform.cold_start
+
+
+def test_optimizer_npu_beats_gpu_when_added():
+    """E8's mechanism: adding a faster NPU impl shifts selection."""
+    from repro.core import FunctionDef
+    opt = ImplOptimizer(goal="latency")
+    fn = FunctionDef(name="serve", impls=[gpu_impl(work=1e13)])
+    assert opt.choose(fn, {}).name == "gpu"
+    fn.add_impl(FunctionImpl("npu", NPU_CONTAINER, gpu_task(),
+                             work_ops=1e13))
+    assert opt.choose(fn, {}).name == "npu"
+
+
+# ------------------------------------------------------------------ scheduler
+def test_scheduler_independent_pools_per_impl():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=1,
+                      seed=2)
+    fn = cloud.define_function("f", [wasm_impl(), gpu_impl()])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn, impl_name="wasm")
+        yield from cloud.invoke(client, fn, impl_name="gpu")
+
+    cloud.run_process(flow())
+    sizes = cloud.scheduler.pool_sizes()
+    assert sizes == {"f/wasm": 1, "f/gpu": 1}
+
+
+def test_scheduler_explicit_impl_overrides_optimizer():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=1,
+                      seed=2)
+    fn = cloud.define_function("f", [wasm_impl(work=1e6),
+                                     gpu_impl(work=1e13)])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn, impl_name="gpu")
+
+    cloud.run_process(flow())
+    assert cloud.scheduler.history[-1].impl_name == "gpu"
+
+
+def test_scheduler_last_invocation_lookup():
+    from repro.core import InvocationError
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=2)
+    with pytest.raises(InvocationError):
+        cloud.scheduler.last_invocation("nope")
+    fn = cloud.define_function("f", [wasm_impl()])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    assert cloud.scheduler.last_invocation("f").fn_name == "f"

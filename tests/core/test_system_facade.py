@@ -1,0 +1,188 @@
+"""Edge-case tests for the PCSICloud facade."""
+
+import pytest
+
+from repro.cluster import cpu_task
+from repro.core import (
+    Consistency,
+    FunctionImpl,
+    ObjectKind,
+    ObjectNotFoundError,
+    ObjectTypeError,
+    PCSICloud,
+)
+from repro.faas import WASM
+from repro.net import SizedPayload
+from repro.security import Right
+from repro.sim import SimulationError
+
+
+@pytest.fixture
+def cloud():
+    return PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                     seed=99)
+
+
+def test_fifo_requires_host_node(cloud):
+    with pytest.raises(ValueError):
+        cloud.create_object(kind=ObjectKind.FIFO)
+
+
+def test_socket_requires_valid_host(cloud):
+    with pytest.raises(KeyError):
+        cloud.create_socket(host_node="ghost-node")
+
+
+def test_replica_count_validation():
+    with pytest.raises(ValueError):
+        PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                  data_replicas=0)
+    with pytest.raises(ValueError):
+        PCSICloud(racks=1, nodes_per_rack=2, gpu_nodes_per_rack=0,
+                  data_replicas=5)
+
+
+def test_data_replicas_spread_across_racks():
+    cloud = PCSICloud(racks=3, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      data_replicas=3)
+    racks = {cloud.topology.node(nid).rack
+             for nid in cloud.data.store.replica_nodes}
+    assert len(racks) == 3
+
+
+def test_resolve_empty_path_returns_root(cloud):
+    root = cloud.create_root("t")
+    ref = cloud.run_process(cloud.resolve(root, ""))
+    assert ref.object_id == root.object_id
+
+
+def test_socket_external_roundtrip(cloud):
+    sock = cloud.create_socket(host_node="rack0-n0")
+    server_node = "rack1-n0"
+    cloud.external_send(sock, SizedPayload(100, meta="req"))
+
+    def server():
+        req = yield from cloud.op_socket_recv(server_node, sock)
+        yield from cloud.op_socket_send(server_node, sock,
+                                        SizedPayload(20, meta="resp"))
+        return req
+
+    def client():
+        resp = yield from cloud.external_recv(sock)
+        return resp
+
+    server_proc = cloud.sim.spawn(server())
+    client_proc = cloud.sim.spawn(client())
+    cloud.sim.run()
+    assert server_proc.value.meta == "req"
+    assert client_proc.value.meta == "resp"
+
+
+def test_socket_ops_reject_wrong_kind(cloud):
+    plain = cloud.create_object()
+
+    def flow():
+        yield from cloud.op_socket_recv("rack0-n0", plain)
+
+    with pytest.raises(ObjectTypeError):
+        cloud.run_process(flow())
+
+
+def test_fifo_ops_reject_wrong_kind(cloud):
+    plain = cloud.create_object()
+
+    def flow():
+        yield from cloud.op_fifo_put("rack0-n0", plain, SizedPayload(1))
+
+    with pytest.raises(ObjectTypeError):
+        cloud.run_process(flow())
+
+
+def test_function_def_accessor(cloud):
+    fn = cloud.define_function(
+        "f", [FunctionImpl("wasm", WASM, cpu_task())])
+    assert cloud.function_def(fn).name == "f"
+    plain = cloud.create_object()
+    with pytest.raises(ObjectTypeError):
+        cloud.function_def(plain)
+
+
+def test_ops_on_deleted_object_raise(cloud):
+    ref = cloud.create_object()
+    cloud.table.remove(ref.object_id)
+
+    def flow():
+        yield from cloud.op_read(cloud.client_node(), ref)
+
+    with pytest.raises(ObjectNotFoundError):
+        cloud.run_process(flow())
+
+
+def test_mutability_inspection_and_rights(cloud):
+    from repro.core import Mutability
+    ref = cloud.create_object()
+    assert cloud.mutability_of(ref) == Mutability.MUTABLE
+    cloud.transition(ref, Mutability.IMMUTABLE)
+    assert cloud.mutability_of(ref) == Mutability.IMMUTABLE
+
+
+def test_run_process_limit(cloud):
+    def forever():
+        yield cloud.sim.event()  # never fires
+
+    with pytest.raises(SimulationError):
+        cloud.run_process(forever())
+
+
+def test_client_node_is_cpu_only(cloud):
+    node = cloud.topology.node(cloud.client_node())
+    assert not node.has_device("gpu")
+
+
+def test_custom_topology_injection():
+    from repro.cluster import build_cluster
+    from repro.sim import Simulator
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=3,
+                         gpu_nodes_per_rack=0)
+    cloud = PCSICloud(sim, topology=topo)
+    assert cloud.topology is topo
+    assert len(cloud.topology.nodes) == 6
+
+
+def test_mount_union_requires_rights(cloud):
+    from repro.security import AccessDeniedError
+    upper = cloud.mkdir(rights=Right.READ)
+    lower = cloud.mkdir()
+    with pytest.raises(AccessDeniedError):
+        cloud.mount_union(upper, [lower])
+
+
+def test_device_service_vanishing(cloud):
+    """A device object whose service mapping breaks errs explicitly."""
+    from repro.crdt import ReplicatedCRDTService
+    svc = ReplicatedCRDTService(cloud.sim, cloud.network, ["rack0-n0"])
+    cloud.register_device_service("crdt", svc)
+    dev = cloud.create_device("crdt")
+    cloud.table.get(dev.object_id).meta = {"service": "gone"}
+
+    def flow():
+        yield from cloud.op_device(cloud.client_node(), dev, "read",
+                                   {"name": "x"})
+
+    with pytest.raises(ObjectNotFoundError):
+        cloud.run_process(flow())
+
+
+def test_eventual_object_read_your_own_write_from_same_node(cloud):
+    """Eventual consistency still gives read-your-writes when the
+    reader's closest replica is the one that took the write."""
+    ref = cloud.create_object(consistency=Consistency.EVENTUAL)
+    node = cloud.data.store.replica_nodes[0]
+
+    def flow():
+        yield from cloud.op_write(node, ref, SizedPayload(64, meta="v"))
+        payload = yield from cloud.op_read(node, ref)
+        return payload
+
+    assert cloud.run_process(flow()).meta == "v"

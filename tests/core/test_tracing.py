@@ -1,0 +1,42 @@
+"""Tests for invocation trace spans."""
+
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, PCSICloud
+from repro.faas import WASM
+
+
+def test_invoke_spans_recorded_when_tracing():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=66, trace=True)
+    fn = cloud.define_function(
+        "traced", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e8)])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn)
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    spans = cloud.tracer.select("invoke.span")
+    assert len(spans) == 2
+    first, second = spans
+    assert first.payload["fn"] == "traced"
+    assert first.payload["cold"] is True
+    assert second.payload["cold"] is False
+    assert first.payload["latency"] >= first.payload["service"] > 0
+    assert first.payload["node"] in {n.node_id
+                                     for n in cloud.topology.nodes}
+
+
+def test_tracing_off_by_default():
+    cloud = PCSICloud(racks=2, nodes_per_rack=2, gpu_nodes_per_rack=0,
+                      seed=66)
+    fn = cloud.define_function(
+        "quiet", [FunctionImpl("wasm", WASM, cpu_task())])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    assert len(cloud.tracer) == 0

@@ -1,0 +1,125 @@
+"""Tests for the price book and cost meters."""
+
+import pytest
+
+from repro.cost import DEFAULT_PRICES, CostMeter, PriceBook, ProvisionedFleet
+from repro.sim import HOUR, Simulator
+
+
+def test_paper_kv_read_price():
+    """The book encodes the paper's measured 0.18 USD/M KV fetch."""
+    assert DEFAULT_PRICES.kv_read(1_000_000) == pytest.approx(0.18)
+
+
+def test_price_book_conversions():
+    p = PriceBook()
+    assert p.invocations(2_000_000) == pytest.approx(0.40)
+    assert p.compute(duration_s=1.0, memory_gb=1.0) == pytest.approx(
+        1.6667e-5)
+    assert p.provisioned(duration_s=3600.0) == pytest.approx(0.10)
+    assert p.provisioned(duration_s=3600.0, gpu=True) == pytest.approx(3.0)
+    assert p.egress(1024 ** 3) == pytest.approx(0.09)
+
+
+def test_price_book_validation():
+    p = PriceBook()
+    with pytest.raises(ValueError):
+        p.compute(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        p.provisioned(-1.0)
+    with pytest.raises(ValueError):
+        p.egress(-1)
+
+
+def test_meter_accumulates_by_category():
+    m = CostMeter()
+    m.kv_read(10)
+    m.kv_read(5)
+    m.object_put(2)
+    assert m.usd("kv.read") == pytest.approx(DEFAULT_PRICES.kv_read(15))
+    assert m.units("kv.read") == 15
+    assert m.total_usd == pytest.approx(
+        DEFAULT_PRICES.kv_read(15) + DEFAULT_PRICES.object_put(2))
+
+
+def test_meter_per_million_matches_paper_unit():
+    m = CostMeter()
+    m.kv_read(1000)
+    assert m.per_million("kv.read") == pytest.approx(0.18)
+
+
+def test_meter_invocation_includes_gpu():
+    m = CostMeter()
+    m.invocation(duration_s=2.0, memory_gb=4.0, gpus=1)
+    assert m.usd("compute.requests") > 0
+    assert m.usd("compute.duration") == pytest.approx(
+        DEFAULT_PRICES.compute(2.0, 4.0))
+    assert m.usd("compute.gpu") == pytest.approx(
+        DEFAULT_PRICES.gpu_time(2.0, 1))
+
+
+def test_meter_rejects_negative():
+    m = CostMeter()
+    with pytest.raises(ValueError):
+        m.add("x", -1.0)
+
+
+def test_meter_breakdown_sorted():
+    m = CostMeter()
+    m.add("zeta", 1.0)
+    m.add("alpha", 2.0)
+    assert list(m.breakdown()) == ["alpha", "zeta"]
+
+
+def test_provisioned_fleet_integrates_over_time():
+    sim = Simulator()
+    meter = CostMeter()
+    fleet = ProvisionedFleet(sim, meter, "web", servers=2.0)
+
+    def run(sim):
+        yield sim.timeout(1 * HOUR)
+        fleet.scale_to(4.0)
+        yield sim.timeout(0.5 * HOUR)
+        fleet.settle()
+
+    sim.spawn(run(sim))
+    sim.run()
+    # 2 servers x 1h + 4 servers x 0.5h = 4 server-hours @ 0.10
+    assert meter.usd("provisioned.servers") == pytest.approx(0.40)
+
+
+def test_provisioned_fleet_settle_idempotent():
+    sim = Simulator()
+    meter = CostMeter()
+    fleet = ProvisionedFleet(sim, meter, "web", servers=1.0)
+
+    def run(sim):
+        yield sim.timeout(1 * HOUR)
+        fleet.settle()
+        fleet.settle()
+
+    sim.spawn(run(sim))
+    sim.run()
+    assert meter.usd("provisioned.servers") == pytest.approx(0.10)
+
+
+def test_fleet_rejects_negative_scale():
+    sim = Simulator()
+    fleet = ProvisionedFleet(sim, CostMeter(), "web")
+    with pytest.raises(ValueError):
+        fleet.scale_to(-1)
+
+
+def test_idle_provisioned_fleet_still_costs():
+    """E13's core point: provisioned capacity bills while idle."""
+    sim = Simulator()
+    meter = CostMeter()
+    fleet = ProvisionedFleet(sim, meter, "idle", servers=10.0)
+
+    def run(sim):
+        yield sim.timeout(24 * HOUR)  # no requests at all
+        fleet.settle()
+
+    sim.spawn(run(sim))
+    sim.run()
+    assert meter.usd("provisioned.servers") == pytest.approx(24.0)

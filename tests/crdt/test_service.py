@@ -1,0 +1,240 @@
+"""Tests for the replicated CRDT service and its device-object doorway."""
+
+import pytest
+
+from repro.cluster import DC_2021, FailureInjector, Network, build_cluster
+from repro.core import PCSICloud
+from repro.crdt import ReplicatedCRDTService, UnknownCRDTError
+from repro.security import AccessDeniedError, Right
+from repro.sim import Simulator
+
+
+def make_service(propagation=0.010):
+    sim = Simulator()
+    topo = build_cluster(sim, racks=3, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    svc = ReplicatedCRDTService(
+        sim, net, ["rack0-n0", "rack1-n0", "rack2-n0"],
+        gossip_delay_mean=propagation)
+    return sim, topo, net, svc
+
+
+def run(sim, gen):
+    return sim.run_until_event(sim.spawn(gen))
+
+
+def test_counter_update_and_read():
+    sim, topo, net, svc = make_service()
+
+    def flow():
+        yield from svc.handle("rack0-n3", "create",
+                              {"name": "hits", "type": "gcounter"})
+        value = yield from svc.handle("rack0-n3", "update",
+                                      {"name": "hits",
+                                       "method": "increment",
+                                       "args": {"amount": 3}})
+        return value
+
+    assert run(sim, flow()) == 3
+
+
+def test_concurrent_increments_all_survive():
+    """The reason CRDTs exist: concurrent increments at different
+    replicas merge without loss."""
+    sim, topo, net, svc = make_service()
+    writers = ["rack0-n1", "rack1-n1", "rack2-n1"]
+
+    def setup():
+        yield from svc.handle(writers[0], "create",
+                              {"name": "c", "type": "gcounter"})
+
+    run(sim, setup())
+
+    def writer(node):
+        for _ in range(10):
+            yield from svc.handle(node, "update",
+                                  {"name": "c", "method": "increment"})
+
+    for node in writers:
+        sim.spawn(writer(node))
+    sim.run()
+    assert svc.converged("c")
+    assert svc.replica_value("rack0-n0", "c") == 30
+
+
+def test_reads_are_local_and_eventually_converge():
+    sim, topo, net, svc = make_service(propagation=0.100)
+
+    def flow():
+        yield from svc.handle("rack0-n1", "create",
+                              {"name": "r", "type": "lww"})
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "r", "method": "set",
+                               "args": {"value": "v1"}})
+        # A reader near a different replica may see a stale view...
+        early = yield from svc.handle("rack2-n1", "read", {"name": "r"})
+        return early
+
+    early = run(sim, flow())
+    assert early is None  # not yet gossiped
+    sim.run()  # let gossip drain
+    assert svc.converged("r")
+    assert svc.replica_value("rack2-n0", "r") == "v1"
+
+
+def test_orset_through_service():
+    sim, topo, net, svc = make_service()
+
+    def flow():
+        yield from svc.handle("rack0-n1", "create",
+                              {"name": "s", "type": "orset"})
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "s", "method": "add",
+                               "args": {"element": "a"}})
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "s", "method": "add",
+                               "args": {"element": "b"}})
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "s", "method": "remove",
+                               "args": {"element": "a"}})
+        return (yield from svc.handle("rack0-n1", "read", {"name": "s"}))
+
+    assert run(sim, flow()) == ["b"]
+
+
+def test_unknown_ops_and_instances():
+    sim, topo, net, svc = make_service()
+
+    def bad_op():
+        yield from svc.handle("rack0-n1", "destroy", {"name": "x"})
+
+    with pytest.raises(UnknownCRDTError):
+        run(sim, bad_op())
+
+    def bad_type():
+        yield from svc.handle("rack0-n1", "create",
+                              {"name": "x", "type": "paxos"})
+
+    with pytest.raises(UnknownCRDTError):
+        run(sim, bad_type())
+
+    def missing_instance():
+        yield from svc.handle("rack0-n1", "read", {"name": "ghost"})
+
+    with pytest.raises(UnknownCRDTError):
+        run(sim, missing_instance())
+
+
+def test_gossip_survives_partition_via_later_updates():
+    sim, topo, net, svc = make_service(propagation=0.005)
+    inj = FailureInjector(sim, topo, net)
+    inj.partition({"rack2-n0"}, {"rack0-n0", "rack0-n1"}, at=0.0,
+                  heal_at=5.0)
+
+    def flow():
+        yield from svc.handle("rack0-n1", "create",
+                              {"name": "c", "type": "gcounter"})
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "c", "method": "increment"})
+        yield sim.timeout(6.0)  # partition heals
+        # A later update's gossip carries the merged state across.
+        yield from svc.handle("rack0-n1", "update",
+                              {"name": "c", "method": "increment"})
+
+    run(sim, flow())
+    sim.run()
+    assert svc.replica_value("rack2-n0", "c") == 2
+
+
+# ------------------------------------------------------ device-object access
+def test_crdt_behind_device_object():
+    cloud = PCSICloud(racks=3, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=13)
+    svc = ReplicatedCRDTService(
+        cloud.sim, cloud.network,
+        ["rack0-n0", "rack1-n0", "rack2-n0"])
+    cloud.register_device_service("crdt", svc)
+    dev = cloud.create_device("crdt")
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, dev, "create",
+                                   {"name": "likes", "type": "pncounter"})
+        yield from cloud.op_device(client, dev, "update",
+                                   {"name": "likes",
+                                    "method": "increment",
+                                    "args": {"amount": 5}})
+        yield from cloud.op_device(client, dev, "update",
+                                   {"name": "likes",
+                                    "method": "decrement",
+                                    "args": {"amount": 2}})
+        return (yield from cloud.op_device(client, dev, "read",
+                                           {"name": "likes"},
+                                           right=Right.READ))
+
+    assert cloud.run_process(flow()) == 3
+
+
+def test_device_rights_enforced():
+    cloud = PCSICloud(racks=2, nodes_per_rack=2, gpu_nodes_per_rack=0)
+    svc = ReplicatedCRDTService(cloud.sim, cloud.network, ["rack0-n0"])
+    cloud.register_device_service("crdt", svc)
+    dev = cloud.create_device("crdt", rights=Right.READ)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, dev, "update",
+                                   {"name": "x", "method": "increment"})
+
+    with pytest.raises(AccessDeniedError):
+        cloud.run_process(flow())
+
+
+def test_device_registration_validation():
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0)
+    with pytest.raises(TypeError):
+        cloud.register_device_service("bad", object())
+    with pytest.raises(ValueError):
+        cloud.create_device("unregistered")
+    svc = ReplicatedCRDTService(cloud.sim, cloud.network, ["rack0-n0"])
+    cloud.register_device_service("crdt", svc)
+    with pytest.raises(ValueError):
+        cloud.register_device_service("crdt", svc)
+
+
+def test_function_body_can_use_devices():
+    """Functions reach system services through device refs in args."""
+    from repro.cluster import cpu_task
+    from repro.core import FunctionImpl
+    from repro.faas import WASM
+
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=3)
+    svc = ReplicatedCRDTService(cloud.sim, cloud.network,
+                                ["rack0-n0", "rack1-n0"])
+    cloud.register_device_service("crdt", svc)
+    dev = cloud.create_device("crdt")
+
+    def body(ctx):
+        yield from ctx.device(ctx.args["counter"], "update",
+                              {"name": "calls", "method": "increment"})
+        value = yield from ctx.device(ctx.args["counter"], "read",
+                                      {"name": "calls"},
+                                      right=Right.READ)
+        return {"calls": value}
+
+    fn = cloud.define_function(
+        "counting", [FunctionImpl("wasm", WASM, cpu_task())], body=body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, dev, "create",
+                                   {"name": "calls", "type": "gcounter"})
+        r1 = yield from cloud.invoke(client, fn, {"counter": dev})
+        r2 = yield from cloud.invoke(client, fn, {"counter": dev})
+        return r1, r2
+
+    r1, r2 = cloud.run_process(flow())
+    assert r1 == {"calls": 1}
+    assert r2 == {"calls": 2}

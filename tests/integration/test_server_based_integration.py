@@ -1,0 +1,167 @@
+"""§3.4 "Limitations": server-based systems behind the universal
+abstraction.
+
+"Yet even those applications that run best with a server-based
+implementation can be integrated with the PCSI — we allow them to be
+invoked just like any other function. Things like OLTP databases and
+key-value stores benefit from detailed control over system resources,
+and can appear as part of a universal abstraction."
+
+These tests wrap a provisioned, stateful OLTP-style service behind an
+ordinary PCSI function + device object: callers see the universal
+interface; the service keeps its dedicated resources and internal
+state.
+"""
+
+import pytest
+
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, ObjectKind, PCSICloud
+from repro.faas import WASM
+from repro.net.service import RequestContext, Service
+from repro.security import Right
+from repro.sim import US
+
+
+class MiniOLTPService(Service):
+    """A deliberately server-ful system: dedicated node, internal
+    tables, transactions with row locks — everything §3.1's functions
+    forbid, living happily *behind* the interface."""
+
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id, "oltp",
+                         service_time=20 * US)
+        self._accounts = {}
+        self.committed = 0
+        self.register("create_account", self._create)
+        self.register("transfer", self._transfer)
+        self.register("balance", self._balance)
+
+    def _create(self, ctx: RequestContext):
+        yield self.sim.timeout(0)
+        name = ctx.body["name"]
+        self._accounts[name] = ctx.body.get("balance", 0)
+        return name
+
+    def _transfer(self, ctx: RequestContext):
+        src, dst = ctx.body["src"], ctx.body["dst"]
+        amount = ctx.body["amount"]
+        yield self.sim.timeout(10 * US)  # lock + log force
+        if self._accounts.get(src, 0) < amount:
+            raise ValueError("insufficient funds")
+        self._accounts[src] -= amount
+        self._accounts[dst] = self._accounts.get(dst, 0) + amount
+        self.committed += 1
+        return self.committed
+
+    def _balance(self, ctx: RequestContext):
+        yield self.sim.timeout(0)
+        return self._accounts[ctx.body["name"]]
+
+
+@pytest.fixture
+def env():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=91)
+    oltp = MiniOLTPService(cloud.sim, cloud.network, "rack1-n3")
+    # Expose the server through a device object.
+    cloud.register_device_service("oltp", _DeviceAdapter(oltp))
+    dev = cloud.create_device("oltp")
+    return cloud, oltp, dev
+
+
+class _DeviceAdapter:
+    """Bridge the Service duck type onto the device-service duck type,
+    charging the network hop to the dedicated machine."""
+
+    def __init__(self, service: Service):
+        self.service = service
+
+    def handle(self, client_node, op, body):
+        network = self.service.network
+        yield from network.round_trip(client_node, self.service.node_id,
+                                      256, 256, purpose="oltp")
+        result = yield from self.service.serve(
+            RequestContext(op=op, body=body, client_node=client_node))
+        return result
+
+
+def test_server_system_callable_from_function_bodies(env):
+    cloud, oltp, dev = env
+
+    def teller_body(ctx):
+        yield from ctx.device(ctx.args["db"], "transfer",
+                              {"src": "alice", "dst": "bob",
+                               "amount": 10})
+        balance = yield from ctx.device(ctx.args["db"], "balance",
+                                        {"name": "bob"},
+                                        right=Right.READ)
+        return {"bob": balance}
+
+    teller = cloud.define_function(
+        "teller", [FunctionImpl("wasm", WASM, cpu_task())],
+        body=teller_body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, dev, "create_account",
+                                   {"name": "alice", "balance": 100})
+        yield from cloud.op_device(client, dev, "create_account",
+                                   {"name": "bob"})
+        r1 = yield from cloud.invoke(client, teller, {"db": dev})
+        r2 = yield from cloud.invoke(client, teller, {"db": dev})
+        return r1, r2
+
+    r1, r2 = cloud.run_process(flow())
+    # Server-side state persists across invocations — exactly what the
+    # function model forbids internally and §3.4 delegates outward.
+    assert r1 == {"bob": 10}
+    assert r2 == {"bob": 20}
+    assert oltp.committed == 2
+
+
+def test_server_system_is_capability_governed(env):
+    from repro.security import AccessDeniedError
+    cloud, oltp, dev = env
+    read_only = dev.attenuate(Right.READ)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, read_only, "transfer",
+                                   {"src": "a", "dst": "b", "amount": 1})
+
+    with pytest.raises(AccessDeniedError):
+        cloud.run_process(flow())
+
+
+def test_server_system_transaction_errors_propagate(env):
+    cloud, oltp, dev = env
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.op_device(client, dev, "create_account",
+                                   {"name": "poor", "balance": 1})
+        yield from cloud.op_device(client, dev, "transfer",
+                                   {"src": "poor", "dst": "x",
+                                    "amount": 100})
+
+    with pytest.raises(ValueError, match="insufficient"):
+        cloud.run_process(flow())
+
+
+def test_server_keeps_dedicated_resources(env):
+    """The OLTP node is the server's alone; the scheduler can still use
+    the rest of the cluster for functions."""
+    cloud, oltp, dev = env
+    fn = cloud.define_function(
+        "f", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e8)])
+    client = cloud.client_node()
+
+    def flow():
+        for _ in range(3):
+            yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    used = {inv.executor_node for inv in cloud.scheduler.history}
+    assert oltp.node_id not in used or len(used) >= 1  # cluster served
+    assert oltp.requests_served == 0  # untouched by plain functions

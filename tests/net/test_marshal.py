@@ -1,0 +1,63 @@
+"""Tests for payload size estimation and the JSON codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import JsonCodec, SizedPayload, estimate_size
+
+
+def test_scalar_sizes():
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size(42) == 8
+    assert estimate_size(3.14) == 8
+    assert estimate_size(b"abc") == 3
+    assert estimate_size("héllo") == len("héllo".encode())
+
+
+def test_container_sizes_grow_with_content():
+    small = estimate_size({"k": "v"})
+    big = estimate_size({"k": "v" * 1000})
+    assert big > small + 900
+
+
+def test_sized_payload_reports_declared_size():
+    payload = SizedPayload(1024 * 1024, meta={"kind": "image"})
+    assert estimate_size(payload) == 1024 * 1024
+
+
+def test_sized_payload_validation_and_equality():
+    with pytest.raises(ValueError):
+        SizedPayload(-1)
+    assert SizedPayload(10, meta="x") == SizedPayload(10, meta="x")
+    assert SizedPayload(10) != SizedPayload(11)
+
+
+def test_unknown_type_rejected():
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError):
+        estimate_size(Opaque())
+
+
+def test_codec_round_trip():
+    codec = JsonCodec()
+    obj = {"a": [1, 2, 3], "b": {"nested": True}, "c": None}
+    assert codec.decode(codec.encode(obj)) == obj
+
+
+def test_codec_deterministic():
+    codec = JsonCodec()
+    assert codec.encode({"b": 1, "a": 2}) == codec.encode({"a": 2, "b": 1})
+
+
+@given(st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20))
+def test_estimate_size_total_and_nonnegative(obj):
+    assert estimate_size(obj) >= 0

@@ -1,0 +1,214 @@
+"""Tests for services, the REST transport, and the session transport."""
+
+import pytest
+
+from repro.cluster import DC_2021, Network, build_cluster
+from repro.net import (
+    RequestContext,
+    RestTransport,
+    Service,
+    SessionClosedError,
+    SessionTransport,
+    UnknownOperationError,
+)
+from repro.security import (
+    AccessDeniedError,
+    AclAuthenticator,
+    CapabilityRegistry,
+    Right,
+    Token,
+)
+from repro.sim import MS, US, Simulator
+
+
+def make_stack(service_time=0.0, concurrency=16):
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=2, gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    service = Service(sim, net, "rack1-n0", "echo", concurrency=concurrency,
+                      service_time=service_time)
+
+    def echo(ctx: RequestContext):
+        return ctx.body
+        yield  # pragma: no cover - makes this a generator function
+
+    service.register("echo", echo)
+    return sim, net, service
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    return sim.run_until_event(proc)
+
+
+# ---------------------------------------------------------------- Service
+def test_service_dispatches_to_handler():
+    sim, net, service = make_stack()
+    rest = RestTransport(net)
+    result = run(sim, rest.call("rack0-n0", service, "echo", {"x": 1}))
+    assert result == {"x": 1}
+    assert service.requests_served == 1
+
+
+def test_unknown_op_raises():
+    sim, net, service = make_stack()
+    rest = RestTransport(net)
+    with pytest.raises(UnknownOperationError):
+        run(sim, rest.call("rack0-n0", service, "nope", {}))
+
+
+def test_duplicate_handler_rejected():
+    sim, net, service = make_stack()
+    with pytest.raises(ValueError):
+        service.register("echo", lambda ctx: iter(()))
+
+
+def test_service_on_unknown_node_rejected():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=1, gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    with pytest.raises(ValueError):
+        Service(sim, net, "ghost", "svc")
+
+
+def test_service_concurrency_queues_requests():
+    sim, net, service = make_stack(service_time=10 * MS, concurrency=1)
+    rest = RestTransport(net)
+    done = []
+
+    def client(tag):
+        yield from rest.call("rack0-n0", service, "echo", tag)
+        done.append((tag, sim.now))
+
+    sim.spawn(client("a"))
+    sim.spawn(client("b"))
+    sim.run()
+    # Second request waits for the first to release the single thread.
+    assert done[1][1] - done[0][1] >= 10 * MS * 0.99
+
+
+# ----------------------------------------------------------------- REST
+def test_rest_charges_protocol_overhead():
+    sim, net, service = make_stack()
+    rest = RestTransport(net)
+    run(sim, rest.call("rack0-n0", service, "echo", "ping"))
+    latency = net.metrics.histogram("rest.latency").mean
+    # Must include 4 marshals (~200us) + HTTP (50us) + network RTT (200us).
+    assert latency > 400 * US
+    overhead = rest.protocol_overhead(100, 100)
+    assert overhead == pytest.approx(4 * DC_2021.marshal_time(612)
+                                     + DC_2021.http_protocol)
+
+
+def test_rest_auth_checked_every_call():
+    sim, net, service = make_stack()
+    auth = AclAuthenticator()
+    auth.grant("echo", "alice", Right.READ)
+    rest = RestTransport(net, authenticator=auth)
+    token = Token("alice")
+
+    def client():
+        for _ in range(5):
+            yield from rest.call("rack0-n0", service, "echo", "x",
+                                 token=token)
+
+    run(sim, client())
+    assert auth.checks_performed == 5
+    assert net.metrics.counter("rest.auth_checks").value == 5
+
+
+def test_rest_denies_without_rights():
+    sim, net, service = make_stack()
+    auth = AclAuthenticator()
+    auth.grant("echo", "alice", Right.READ)
+    rest = RestTransport(net, authenticator=auth)
+    with pytest.raises(AccessDeniedError):
+        run(sim, rest.call("rack0-n0", service, "echo", "x",
+                           token=Token("mallory")))
+
+
+def test_rest_requires_token_when_authenticated():
+    sim, net, service = make_stack()
+    rest = RestTransport(net, authenticator=AclAuthenticator())
+    with pytest.raises(ValueError):
+        run(sim, rest.call("rack0-n0", service, "echo", "x"))
+
+
+# --------------------------------------------------------------- Session
+def test_session_connect_then_call():
+    sim, net, service = make_stack()
+    reg = CapabilityRegistry()
+    cap = reg.mint("echo", Right.READ)
+    transport = SessionTransport(net, registry=reg)
+
+    def client():
+        session = yield from transport.connect("rack0-n0", service, cap)
+        result = yield from session.call("echo", "hello")
+        return result
+
+    assert run(sim, client()) == "hello"
+    assert net.metrics.counter("session.connects").value == 1
+    assert net.metrics.counter("session.cap_checks").value == 1
+
+
+def test_session_per_op_cheaper_than_rest():
+    """The E9/E10 claim in miniature: after amortizing the handshake,
+    session ops are much cheaper than REST ops."""
+    sim, net, service = make_stack()
+    auth = AclAuthenticator()
+    auth.grant("echo", "alice", Right.READ)
+    rest = RestTransport(net, authenticator=auth)
+    reg = CapabilityRegistry()
+    cap = reg.mint("echo", Right.READ)
+    sess_t = SessionTransport(net, registry=reg)
+
+    def client():
+        t0 = sim.now
+        for _ in range(10):
+            yield from rest.call("rack0-n0", service, "echo", "x",
+                                 token=Token("alice"))
+        rest_time = sim.now - t0
+
+        session = yield from sess_t.connect("rack0-n0", service, cap)
+        t1 = sim.now
+        for _ in range(10):
+            yield from session.call("echo", "x")
+        session_time = sim.now - t1
+        return rest_time, session_time
+
+    rest_time, session_time = run(sim, client())
+    assert session_time < rest_time / 2
+
+
+def test_closed_session_rejects_calls():
+    sim, net, service = make_stack()
+    transport = SessionTransport(net)
+
+    def client():
+        session = yield from transport.connect("rack0-n0", service)
+        session.close()
+        yield from session.call("echo", "x")
+
+    with pytest.raises(SessionClosedError):
+        run(sim, client())
+
+
+def test_session_requires_capability_with_registry():
+    sim, net, service = make_stack()
+    transport = SessionTransport(net, registry=CapabilityRegistry())
+    with pytest.raises(ValueError):
+        run(sim, transport.connect("rack0-n0", service))
+
+
+def test_session_cap_rights_enforced_per_op():
+    sim, net, service = make_stack()
+    reg = CapabilityRegistry()
+    cap = reg.mint("echo", Right.READ)
+    transport = SessionTransport(net, registry=reg)
+
+    def client():
+        session = yield from transport.connect("rack0-n0", service, cap)
+        yield from session.call("echo", "x", right=Right.WRITE)
+
+    with pytest.raises(AccessDeniedError):
+        run(sim, client())

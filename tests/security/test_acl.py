@@ -1,0 +1,77 @@
+"""Tests for the stateless token/ACL baseline."""
+
+import pytest
+
+from repro.security import (
+    AccessDeniedError,
+    AclAuthenticator,
+    InvalidTokenError,
+    Right,
+    Token,
+)
+
+
+def make_auth():
+    auth = AclAuthenticator()
+    auth.grant("bucket/photos", "alice", Right.READ | Right.WRITE)
+    auth.grant("bucket/photos", "bob", Right.READ)
+    return auth
+
+
+def test_valid_token_passes():
+    auth = make_auth()
+    principal = auth.check_request(Token("alice"), "bucket/photos",
+                                   Right.WRITE, now=0.0)
+    assert principal == "alice"
+
+
+def test_insufficient_rights_denied():
+    auth = make_auth()
+    with pytest.raises(AccessDeniedError):
+        auth.check_request(Token("bob"), "bucket/photos", Right.WRITE,
+                           now=0.0)
+
+
+def test_unknown_resource_denied():
+    auth = make_auth()
+    with pytest.raises(AccessDeniedError):
+        auth.check_request(Token("alice"), "bucket/other", Right.READ,
+                           now=0.0)
+
+
+def test_forged_token_rejected():
+    auth = make_auth()
+    with pytest.raises(InvalidTokenError):
+        auth.check_request(Token("alice", signature_valid=False),
+                           "bucket/photos", Right.READ, now=0.0)
+
+
+def test_expired_token_rejected():
+    auth = make_auth()
+    token = Token("alice", expires_at=10.0)
+    auth.check_request(token, "bucket/photos", Right.READ, now=5.0)
+    with pytest.raises(InvalidTokenError):
+        auth.check_request(token, "bucket/photos", Right.READ, now=11.0)
+
+
+def test_grants_accumulate():
+    auth = AclAuthenticator()
+    auth.grant("r", "p", Right.READ)
+    auth.grant("r", "p", Right.WRITE)
+    auth.authorize("p", "r", Right.READ | Right.WRITE)
+
+
+def test_revoke_principal():
+    auth = make_auth()
+    auth.revoke_principal("bucket/photos", "bob")
+    with pytest.raises(AccessDeniedError):
+        auth.authorize("bob", "bucket/photos", Right.READ)
+
+
+def test_every_check_is_counted():
+    """The statelessness tax is per-request: each check increments."""
+    auth = make_auth()
+    for _ in range(7):
+        auth.check_request(Token("alice"), "bucket/photos", Right.READ,
+                           now=0.0)
+    assert auth.checks_performed == 7

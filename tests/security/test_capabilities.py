@@ -1,0 +1,103 @@
+"""Tests for the capability model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.security import (
+    AccessDeniedError,
+    CapabilityRegistry,
+    RevokedCapabilityError,
+    Right,
+)
+
+
+def test_mint_grants_all_rights_by_default():
+    reg = CapabilityRegistry()
+    cap = reg.mint("obj1")
+    for right in Right:
+        assert cap.allows(right)
+
+
+def test_check_passes_and_fails():
+    reg = CapabilityRegistry()
+    cap = reg.mint("obj1", Right.READ)
+    reg.check(cap, Right.READ)
+    with pytest.raises(AccessDeniedError):
+        reg.check(cap, Right.WRITE)
+
+
+def test_attenuation_produces_subset():
+    reg = CapabilityRegistry()
+    root = reg.mint("obj1", Right.READ | Right.WRITE | Right.MINT)
+    child = root.attenuate(Right.READ)
+    assert child.allows(Right.READ)
+    assert not child.allows(Right.WRITE)
+    assert not child.allows(Right.MINT)
+    assert child.object_id == "obj1"
+
+
+def test_attenuation_cannot_amplify():
+    reg = CapabilityRegistry()
+    root = reg.mint("obj1", Right.READ | Right.MINT)
+    with pytest.raises(AccessDeniedError):
+        root.attenuate(Right.WRITE)
+
+
+def test_attenuation_requires_mint_right():
+    reg = CapabilityRegistry()
+    cap = reg.mint("obj1", Right.READ)
+    with pytest.raises(AccessDeniedError):
+        cap.attenuate(Right.READ)
+
+
+def test_revocation_is_transitive():
+    reg = CapabilityRegistry()
+    root = reg.mint("obj1", Right.READ | Right.MINT)
+    child = root.attenuate(Right.READ | Right.MINT)
+    grandchild = child.attenuate(Right.READ)
+    reg.revoke(child)
+    assert root.allows(Right.READ)
+    assert not child.allows(Right.READ)
+    assert not grandchild.allows(Right.READ)
+    with pytest.raises(RevokedCapabilityError):
+        reg.check(grandchild, Right.READ)
+
+
+def test_revoking_root_kills_whole_tree():
+    reg = CapabilityRegistry()
+    root = reg.mint("obj1", Right.all())
+    kids = [root.attenuate(Right.READ | Right.MINT) for _ in range(3)]
+    reg.revoke(root)
+    assert all(not k.allows(Right.READ) for k in kids)
+
+
+def test_live_count_tracks_revocation():
+    reg = CapabilityRegistry()
+    root = reg.mint("a", Right.all())
+    child = root.attenuate(Right.READ)
+    assert reg.live_count == 2
+    reg.revoke(root)
+    assert reg.live_count == 0
+
+
+@given(st.sets(st.sampled_from([Right.READ, Right.WRITE, Right.APPEND,
+                                Right.EXECUTE, Right.RESOLVE]),
+               min_size=1))
+def test_attenuation_chain_monotone(rights_set):
+    """Property: no attenuation chain can ever regain a dropped right."""
+    reg = CapabilityRegistry()
+    full = Right.all()
+    cap = reg.mint("obj", full)
+    requested = Right.MINT
+    for r in rights_set:
+        requested |= r
+    child = cap.attenuate(requested)
+    # Drop one right and verify no descendant can have it again.
+    dropped = next(iter(rights_set))
+    narrower = requested & ~dropped
+    grand = child.attenuate(narrower)
+    assert not grand.allows(dropped)
+    if grand.allows(Right.MINT):
+        with pytest.raises(AccessDeniedError):
+            grand.attenuate(narrower | dropped)

@@ -1,0 +1,163 @@
+"""Tests for the bounded Channel primitive and FIFO backpressure."""
+
+import pytest
+
+from repro.core import PCSICloud
+from repro.net import SizedPayload
+from repro.sim import Channel, Simulator
+
+
+def test_channel_put_get_roundtrip():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    got = []
+
+    def flow():
+        yield chan.put("a")
+        yield chan.put("b")
+        got.append((yield chan.get()))
+        got.append((yield chan.get()))
+
+    sim.run_until_event(sim.spawn(flow()))
+    assert got == ["a", "b"]
+
+
+def test_channel_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, capacity=0)
+
+
+def test_unbounded_channel_never_blocks_producer():
+    sim = Simulator()
+    chan = Channel(sim)
+
+    def producer():
+        for i in range(100):
+            yield chan.put(i)
+
+    sim.run_until_event(sim.spawn(producer()))
+    assert len(chan) == 100
+
+
+def test_full_channel_blocks_producer_until_drained():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield chan.put("first")
+        log.append(("put-first", sim.now))
+        yield chan.put("second")  # blocks: capacity 1, nobody reading
+        log.append(("put-second", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        item = yield chan.get()
+        log.append(("got", item, sim.now))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert log[0] == ("put-first", 0.0)
+    assert log[1] == ("got", "first", 5.0)
+    assert log[2] == ("put-second", 5.0)  # unblocked by the get
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    chan = Channel(sim, capacity=4)
+    got = []
+
+    def consumer():
+        got.append((yield chan.get()))
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield chan.put("late")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == ["late"]
+
+
+def test_channel_fifo_order_through_backpressure():
+    sim = Simulator()
+    chan = Channel(sim, capacity=2)
+    order = []
+
+    def producer():
+        for i in range(6):
+            yield chan.put(i)
+
+    def consumer():
+        for _ in range(6):
+            yield sim.timeout(1.0)
+            order.append((yield chan.get()))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+def test_direct_handoff_when_getter_waiting():
+    sim = Simulator()
+    chan = Channel(sim, capacity=1)
+    got = []
+
+    def consumer():
+        got.append((yield chan.get()))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield chan.put("x")
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert got == ["x"]
+    assert len(chan) == 0
+
+
+# --------------------------------------------------- kernel FIFO integration
+def test_bounded_fifo_backpressure_through_kernel():
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=33)
+    fifo = cloud.create_fifo(host_node="rack0-n0", capacity=2)
+    client = cloud.client_node()
+    progress = []
+
+    def producer():
+        for i in range(4):
+            yield from cloud.op_fifo_put(client, fifo, SizedPayload(64))
+            progress.append((f"put-{i}", cloud.sim.now))
+
+    def consumer():
+        yield cloud.sim.timeout(1.0)
+        for i in range(4):
+            yield from cloud.op_fifo_get(client, fifo)
+            progress.append((f"get-{i}", cloud.sim.now))
+
+    cloud.sim.spawn(producer())
+    cloud.sim.spawn(consumer())
+    cloud.sim.run()
+    times = dict(progress)
+    assert times["put-1"] < 0.5        # fits in the buffer
+    assert times["put-2"] >= 1.0       # blocked until the first get
+    assert times["put-3"] >= 1.0       # likewise gated on the drain
+
+
+def test_unbounded_fifo_unchanged():
+    cloud = PCSICloud(racks=2, nodes_per_rack=2, gpu_nodes_per_rack=0)
+    fifo = cloud.create_fifo(host_node="rack0-n0")
+    client = cloud.client_node()
+
+    def flow():
+        for _ in range(10):
+            yield from cloud.op_fifo_put(client, fifo, SizedPayload(8))
+        item = yield from cloud.op_fifo_get(client, fifo)
+        return item
+
+    assert cloud.run_process(flow()).nbytes == 8

@@ -1,0 +1,113 @@
+"""Unit tests for metrics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+
+
+def test_counter_accumulates():
+    c = Counter("ops")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    c = Counter("ops")
+    with pytest.raises(ValueError):
+        c.add(-1)
+
+
+def test_histogram_basic_stats():
+    h = Histogram("latency")
+    h.extend([1.0, 2.0, 3.0, 4.0])
+    assert h.count == 4
+    assert h.mean == 2.5
+    assert h.min == 1.0
+    assert h.max == 4.0
+    assert h.total == 10.0
+
+
+def test_histogram_percentile_interpolates():
+    h = Histogram()
+    h.extend([0.0, 10.0])
+    assert h.percentile(50) == 5.0
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 10.0
+
+
+def test_histogram_percentile_unsorted_input():
+    h = Histogram()
+    h.extend([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert h.p50 == 3.0
+
+
+def test_histogram_empty_returns_nan():
+    h = Histogram()
+    assert math.isnan(h.mean)
+    assert math.isnan(h.p50)
+
+
+def test_histogram_percentile_range_check():
+    h = Histogram()
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_histogram_percentiles_bounded_by_min_max(samples):
+    h = Histogram()
+    h.extend(samples)
+    for p in (0, 25, 50, 75, 99, 100):
+        value = h.percentile(p)
+        assert min(samples) - 1e-9 <= value <= max(samples) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100))
+def test_histogram_percentile_monotone_in_p(samples):
+    h = Histogram()
+    h.extend(samples)
+    values = [h.percentile(p) for p in range(0, 101, 10)]
+    assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_time_weighted_gauge_mean():
+    g = TimeWeightedGauge("util")
+    g.set(1.0, now=0.0)
+    g.set(0.0, now=5.0)   # level 1.0 for 5s
+    assert g.mean(now=10.0) == pytest.approx(0.5)  # then 0.0 for 5s
+
+
+def test_time_weighted_gauge_add_and_peak():
+    g = TimeWeightedGauge()
+    g.add(2.0, now=0.0)
+    g.add(3.0, now=1.0)
+    g.add(-4.0, now=2.0)
+    assert g.level == 1.0
+    assert g.peak == 5.0
+    # 2.0 for [0,1), 5.0 for [1,2), 1.0 for [2,4) -> (2+5+2)/4
+    assert g.mean(now=4.0) == pytest.approx(9.0 / 4.0)
+
+
+def test_time_weighted_gauge_rejects_time_reversal():
+    g = TimeWeightedGauge()
+    g.set(1.0, now=5.0)
+    with pytest.raises(ValueError):
+        g.set(0.0, now=4.0)
+
+
+def test_registry_reuses_instruments():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h") is reg.histogram("h")
+    reg.counter("a").add(3)
+    reg.histogram("h").observe(1.0)
+    assert reg.counters() == {"a": 3.0}
+    assert reg.histograms()["h"]["count"] == 1.0

@@ -1,0 +1,136 @@
+"""Tests for media models and the node-local store."""
+
+import pytest
+
+from repro.sim import MS, US, Simulator
+from repro.storage import (
+    DISK,
+    NVME,
+    RAM,
+    KeyNotFoundError,
+    LocalStore,
+    Record,
+)
+
+
+def run(sim, gen):
+    return sim.run_until_event(sim.spawn(gen))
+
+
+def test_media_ordering():
+    """RAM << NVMe << disk for small accesses."""
+    assert RAM.access_time(1024) < NVME.access_time(1024) / 10
+    assert NVME.access_time(1024) < DISK.access_time(1024) / 10
+
+
+def test_medium_access_time_components():
+    assert NVME.access_time(0) == pytest.approx(20 * US)
+    assert NVME.access_time(2_000_000_000) == pytest.approx(
+        20 * US + 1.0)
+    with pytest.raises(ValueError):
+        NVME.access_time(-1)
+
+
+def test_write_then_read_roundtrip():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+
+    def flow():
+        applied = yield from store.write(
+            "k", Record(version=(1, "w"), nbytes=100, meta="m"))
+        assert applied
+        record = yield from store.read("k")
+        return record
+
+    record = run(sim, flow())
+    assert record.nbytes == 100
+    assert record.meta == "m"
+    assert store.bytes_stored == 100
+
+
+def test_read_missing_key_raises_after_charge():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", NVME)
+
+    def flow():
+        yield from store.read("missing")
+
+    with pytest.raises(KeyNotFoundError):
+        run(sim, flow())
+    assert sim.now == pytest.approx(NVME.access_time(0))
+
+
+def test_stale_write_ignored():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+
+    def flow():
+        yield from store.write("k", Record((5, "a"), nbytes=10))
+        applied = yield from store.write("k", Record((3, "b"), nbytes=99))
+        return applied
+
+    assert run(sim, flow()) is False
+    assert store.peek("k").version == (5, "a")
+    assert store.bytes_stored == 10
+
+
+def test_version_tie_broken_by_writer():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+
+    def flow():
+        yield from store.write("k", Record((1, "b"), nbytes=10))
+        applied = yield from store.write("k", Record((1, "a"), nbytes=20))
+        return applied
+
+    # (1, "a") < (1, "b"): the later-sorting writer wins ties.
+    assert run(sim, flow()) is False
+
+
+def test_overwrite_updates_bytes_stored():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+
+    def flow():
+        yield from store.write("k", Record((1, "w"), nbytes=100))
+        yield from store.write("k", Record((2, "w"), nbytes=40))
+
+    run(sim, flow())
+    assert store.bytes_stored == 40
+    assert len(store) == 1
+
+
+def test_delete():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+
+    def flow():
+        yield from store.write("k", Record((1, "w"), nbytes=100))
+        removed = yield from store.delete("k")
+        missing = yield from store.delete("k")
+        return removed, missing
+
+    removed, missing = run(sim, flow())
+    assert removed is True and missing is False
+    assert store.bytes_stored == 0
+    assert "k" not in store
+
+
+def test_version_of_absent_is_zero():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", RAM)
+    assert store.version_of("nope") == (0, "")
+
+
+def test_medium_latency_charged_for_reads():
+    sim = Simulator()
+    store = LocalStore(sim, "n0", DISK)
+
+    def flow():
+        yield from store.write("k", Record((1, "w"), nbytes=0))
+        t0 = sim.now
+        yield from store.read("k")
+        return sim.now - t0
+
+    elapsed = run(sim, flow())
+    assert elapsed == pytest.approx(4 * MS)

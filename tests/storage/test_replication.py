@@ -1,0 +1,319 @@
+"""Tests for quorum (linearizable) and gossip (eventual) replication."""
+
+import pytest
+
+from repro.cluster import DC_2021, FailureInjector, Network, build_cluster
+from repro.sim import MS, SECOND, Simulator
+from repro.storage import (
+    KeyNotFoundError,
+    QuorumUnavailableError,
+    ReplicatedStore,
+    gather_first_k,
+)
+
+
+def make_store(replicas=3, propagation=0.050, racks=2, nodes_per_rack=4):
+    sim = Simulator()
+    topo = build_cluster(sim, racks=racks, nodes_per_rack=nodes_per_rack,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    replica_nodes = [n.node_id for n in topo.nodes[:replicas]]
+    store = ReplicatedStore(sim, net, replica_nodes,
+                            propagation_delay_mean=propagation)
+    return sim, topo, net, store
+
+
+def run(sim, gen):
+    return sim.run_until_event(sim.spawn(gen))
+
+
+# ------------------------------------------------------------ gather_first_k
+def test_gather_returns_first_k():
+    sim = Simulator()
+
+    def job(delay, tag):
+        yield sim.timeout(delay)
+        return tag
+
+    def flow():
+        results = yield from gather_first_k(
+            sim, [job(3.0, "slow"), job(1.0, "fast"), job(2.0, "mid")], 2)
+        return results
+
+    assert set(run(sim, flow())) == {"fast", "mid"}
+
+
+def test_gather_tolerates_failures_while_quorum_possible():
+    sim = Simulator()
+
+    def ok(delay, tag):
+        yield sim.timeout(delay)
+        return tag
+
+    def bad(delay):
+        yield sim.timeout(delay)
+        raise RuntimeError("replica down")
+
+    def flow():
+        return (yield from gather_first_k(
+            sim, [bad(0.5), ok(1.0, "a"), ok(2.0, "b")], 2))
+
+    assert run(sim, flow()) == ["a", "b"]
+
+
+def test_gather_fails_when_quorum_impossible():
+    sim = Simulator()
+
+    def bad(delay):
+        yield sim.timeout(delay)
+        raise RuntimeError("down")
+
+    def ok(delay):
+        yield sim.timeout(delay)
+        return "x"
+
+    def flow():
+        return (yield from gather_first_k(sim, [bad(1.0), bad(2.0), ok(5.0)],
+                                          2))
+
+    with pytest.raises(QuorumUnavailableError):
+        run(sim, flow())
+
+
+def test_gather_k_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        # Consume the generator to trigger validation.
+        next(gather_first_k(sim, [], 1))
+
+
+# --------------------------------------------------------------- linearizable
+def test_write_then_read_linearizable():
+    sim, topo, net, store = make_store()
+
+    def flow():
+        version = yield from store.write_linearizable("rack1-n0", "k",
+                                                      1024, meta="v1")
+        record = yield from store.read_linearizable("rack1-n1", "k")
+        return version, record
+
+    version, record = run(sim, flow())
+    assert record.version == version
+    assert record.meta == "v1"
+    assert record.nbytes == 1024
+
+
+def test_read_linearizable_missing_key():
+    sim, topo, net, store = make_store()
+
+    def flow():
+        yield from store.read_linearizable("rack1-n0", "nope")
+
+    with pytest.raises(KeyNotFoundError):
+        run(sim, flow())
+
+
+def test_writes_monotonically_increase_version():
+    sim, topo, net, store = make_store()
+
+    def flow():
+        v1 = yield from store.write_linearizable("rack1-n0", "k", 10)
+        v2 = yield from store.write_linearizable("rack1-n1", "k", 10)
+        v3 = yield from store.write_linearizable("rack1-n2", "k", 10)
+        return [v1, v2, v3]
+
+    versions = run(sim, flow())
+    assert versions == sorted(versions)
+    assert versions[0][0] < versions[1][0] < versions[2][0]
+
+
+def test_majority_size():
+    sim, topo, net, store = make_store(replicas=3)
+    assert store.majority == 2
+    sim, topo, net, store5 = make_store(replicas=5)
+    assert store5.majority == 3
+
+
+def test_linearizable_survives_minority_failure():
+    sim, topo, net, store = make_store(replicas=3)
+    topo.node(store.replica_nodes[0]).crash()
+
+    def flow():
+        yield from store.write_linearizable("rack1-n0", "k", 64, meta="ok")
+        record = yield from store.read_linearizable("rack1-n1", "k")
+        return record
+
+    record = run(sim, flow())
+    assert record.meta == "ok"
+
+
+def test_linearizable_blocks_on_majority_failure():
+    sim, topo, net, store = make_store(replicas=3)
+    topo.node(store.replica_nodes[0]).crash()
+    topo.node(store.replica_nodes[1]).crash()
+
+    def flow():
+        yield from store.write_linearizable("rack1-n0", "k", 64)
+
+    with pytest.raises(QuorumUnavailableError):
+        run(sim, flow())
+
+
+def test_read_sees_latest_completed_write():
+    """The linearizability core: once a write completes, every later
+    read returns it (or something newer), regardless of reader node."""
+    sim, topo, net, store = make_store(replicas=3)
+    observed = []
+
+    def writer():
+        yield from store.write_linearizable("rack0-n1", "k", 8, meta="A")
+        yield from store.write_linearizable("rack0-n2", "k", 8, meta="B")
+
+    def reader():
+        yield sim.timeout(1.0)  # well after both writes complete
+        record = yield from store.read_linearizable("rack1-n3", "k")
+        observed.append(record.meta)
+
+    sim.spawn(writer())
+    sim.spawn(reader())
+    sim.run()
+    assert observed == ["B"]
+
+
+def test_read_repair_reconciles_divergent_replicas():
+    sim, topo, net, store = make_store(replicas=3)
+
+    def flow():
+        yield from store.write_linearizable("rack0-n1", "k", 8, meta="x")
+        # Manually diverge one replica to an older version.
+        lagging = store.replicas[store.replica_nodes[2]]
+        lagging._records.pop("k", None)
+        record = yield from store.read_linearizable("rack1-n0", "k")
+        return record
+
+    record = run(sim, flow())
+    assert record.meta == "x"
+    # After repair, at least a majority holds the winning version.
+    holders = sum(1 for nid in store.replica_nodes
+                  if store.replicas[nid].version_of("k") == record.version)
+    assert holders >= store.majority
+
+
+# -------------------------------------------------------------------- eventual
+def test_eventual_write_acks_fast_then_propagates():
+    sim, topo, net, store = make_store(propagation=0.050)
+    ack_time = []
+
+    def flow():
+        yield from store.write_eventual("rack0-n1", "k", 256, meta="v")
+        ack_time.append(sim.now)
+
+    sim.spawn(flow())
+    sim.run()
+    # Ack happens after a single replica round trip (sub-millisecond),
+    # far sooner than full propagation.
+    assert ack_time[0] < 5 * MS
+    assert store.divergence("k") == 1  # all replicas converged by drain
+
+
+def test_eventual_read_can_be_stale():
+    sim, topo, net, store = make_store(propagation=10.0)  # slow gossip
+    results = []
+
+    def flow():
+        # Write lands on the last replica (the writer's own node);
+        # a cross-rack reader falls back to the *first* replica.
+        yield from store.write_eventual(store.replica_nodes[2], "k", 8,
+                                        meta="new")
+        # Read from a different rack => closest replica is a lagging one.
+        try:
+            record = yield from store.read_eventual("rack1-n3", "k")
+            results.append(record.meta)
+        except KeyNotFoundError:
+            results.append(None)
+
+    sim.spawn(flow())
+    sim.run(until=1.0)
+    assert results == [None]  # stale: the write hasn't propagated yet
+
+
+def test_eventual_converges_after_propagation():
+    sim, topo, net, store = make_store(propagation=0.010)
+
+    def flow():
+        yield from store.write_eventual(store.replica_nodes[0], "k", 8,
+                                        meta="v")
+
+    sim.spawn(flow())
+    sim.run()
+    assert store.divergence("k") == 1
+    for nid in store.replica_nodes:
+        assert store.replicas[nid].peek("k").meta == "v"
+
+
+def test_eventual_faster_than_linearizable():
+    """E7's mechanism: one replica ack vs quorum round trips."""
+    sim, topo, net, store = make_store()
+
+    def flow():
+        t0 = sim.now
+        yield from store.write_eventual("rack0-n1", "k1", 1024)
+        eventual = sim.now - t0
+        t1 = sim.now
+        yield from store.write_linearizable("rack0-n1", "k2", 1024)
+        strong = sim.now - t1
+        return eventual, strong
+
+    eventual, strong = run(sim, flow())
+    assert eventual < strong / 1.5
+
+
+def test_closest_replica_preference():
+    sim, topo, net, store = make_store(replicas=3)
+    # Client co-located with a replica reads locally.
+    assert store.closest_replica(store.replica_nodes[1]) == \
+        store.replica_nodes[1]
+    # Client in the same rack picks the same-rack replica.
+    same_rack_client = "rack0-n3"
+    chosen = store.closest_replica(same_rack_client)
+    assert topo.same_rack(chosen, same_rack_client)
+
+
+def test_closest_replica_requires_live_node():
+    sim, topo, net, store = make_store(replicas=3)
+    for nid in store.replica_nodes:
+        topo.node(nid).crash()
+    with pytest.raises(QuorumUnavailableError):
+        store.closest_replica("rack1-n0")
+
+
+def test_anti_entropy_reconciles_after_partition_heals():
+    sim, topo, net, store = make_store(replicas=3, propagation=0.010)
+    inj = FailureInjector(sim, topo, net)
+    lagging = store.replica_nodes[2]
+    others = [nid for nid in store.replica_nodes if nid != lagging]
+    inj.partition({lagging}, set(others), at=0.0, heal_at=5.0)
+    store.start_anti_entropy(interval=1.0)
+
+    def flow():
+        yield sim.timeout(0.1)
+        yield from store.write_eventual(others[0], "k", 8, meta="v")
+
+    sim.spawn(flow())
+    sim.run(until=60.0)
+    assert store.replicas[lagging].peek("k") is not None
+    assert store.divergence("k") == 1
+
+
+def test_store_validation():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    with pytest.raises(ValueError):
+        ReplicatedStore(sim, net, [])
+    with pytest.raises(ValueError):
+        ReplicatedStore(sim, net, ["rack0-n0", "rack0-n0"])
+    with pytest.raises(ValueError):
+        store = ReplicatedStore(sim, net, ["rack0-n0"])
+        store.start_anti_entropy(0)

@@ -1,0 +1,65 @@
+"""Meta-tests: documentation coverage and public-API hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro.sim", "repro.cluster", "repro.net", "repro.security",
+    "repro.storage", "repro.cost", "repro.faas", "repro.core",
+    "repro.baselines", "repro.workloads", "repro.crdt", "repro.verify",
+    "repro.bench",
+]
+
+
+def walk_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name.startswith("_"):
+                continue
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    undocumented = [m.__name__ for m in walk_modules()
+                    if not (m.__doc__ or "").strip()]
+    assert undocumented == []
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for module in walk_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at home
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+    assert missing == [], f"undocumented public items: {missing}"
+
+
+def test_all_exports_resolve():
+    """Every name in a package's __all__ must actually exist."""
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), \
+                f"{package_name}.__all__ lists missing name {name!r}"
+
+
+def test_experiment_registry_complete():
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    ids = list(ALL_EXPERIMENTS)
+    assert ids == [f"E{i}" for i in range(1, len(ids) + 1)]
+    for fn in ALL_EXPERIMENTS.values():
+        assert (fn.__doc__ or "").strip()
+
+
+def test_version_exposed():
+    assert repro.__version__

@@ -1,0 +1,116 @@
+"""Tests for small public APIs not exercised elsewhere."""
+
+import pytest
+
+from repro.cluster import DC_2021, Network, build_cluster
+from repro.core import PCSICloud
+from repro.core.unionfs import layer_of
+from repro.crdt import ORSet
+from repro.net import Service, SessionTransport, FRAME_ENCODE_TIME
+from repro.security import CAPABILITY_CHECK_TIME, CapabilityRegistry, Right
+from repro.sim import RandomStream, Simulator
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_rng_randint_bounds_and_shuffle_permutation():
+    rng = RandomStream(3, "misc")
+    draws = [rng.randint(2, 5) for _ in range(200)]
+    assert set(draws) <= {2, 3, 4, 5}
+    assert len(set(draws)) == 4
+    items = list(range(10))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_session_per_op_overhead_closed_form():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    bare = SessionTransport(net)
+    assert bare.per_op_overhead() == pytest.approx(2 * FRAME_ENCODE_TIME)
+    with_caps = SessionTransport(net, registry=CapabilityRegistry())
+    assert with_caps.per_op_overhead() == pytest.approx(
+        2 * FRAME_ENCODE_TIME + CAPABILITY_CHECK_TIME)
+
+
+def test_union_layer_of_reports_owner():
+    cloud = PCSICloud(racks=1, nodes_per_rack=4, gpu_nodes_per_rack=0)
+    lower = cloud.mkdir()
+    upper = cloud.mkdir()
+    below = cloud.create_object()
+    above = cloud.create_object()
+    cloud.link(lower, "deep", below)
+    cloud.link(upper, "top", above)
+    cloud.mount_union(upper, [lower])
+    table = cloud.table
+    upper_obj = table.get(upper.object_id)
+    assert layer_of(table, upper_obj, "top") == upper.object_id
+    assert layer_of(table, upper_obj, "deep") == lower.object_id
+    assert layer_of(table, upper_obj, "absent") is None
+
+
+def test_network_is_reachable_states():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    assert net.is_reachable("rack0-n0", "rack1-n0")
+    part = net.partition({"rack0-n0"}, {"rack1-n0"})
+    assert not net.is_reachable("rack0-n0", "rack1-n0")
+    assert net.is_reachable("rack0-n0", "rack0-n1")  # unaffected pair
+    net.heal(part)
+    assert net.is_reachable("rack0-n0", "rack1-n0")
+    topo.node("rack1-n0").crash()
+    assert not net.is_reachable("rack0-n0", "rack1-n0")
+
+
+def test_orset_elements_snapshot():
+    s = ORSet()
+    s.add("a", "r1")
+    s.add("b", "r1")
+    s.remove("a")
+    assert s.elements() == frozenset({"b"})
+
+
+def test_service_queue_length_visible():
+    from repro.net import RequestContext
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    svc = Service(sim, net, "rack0-n0", "slow", concurrency=1,
+                  service_time=1.0)
+
+    def handler(ctx):
+        yield sim.timeout(0)
+        return None
+
+    svc.register("op", handler)
+    observed = []
+
+    def caller():
+        yield from svc.serve(RequestContext(op="op", body={},
+                                            client_node="rack0-n1"))
+
+    def watcher():
+        yield sim.timeout(0.5)
+        observed.append(svc.queue_length)
+
+    for _ in range(3):
+        sim.spawn(caller())
+    sim.spawn(watcher())
+    sim.run()
+    assert observed == [2]  # one in service, two queued at t=0.5

@@ -1,0 +1,172 @@
+"""Tests for the linearizability checker itself, then the checker
+applied to the quorum store — the verification the consistency menu's
+strong entry rests on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import DC_2021, Network, build_cluster
+from repro.sim import MS, RandomStream, Simulator
+from repro.storage import ReplicatedStore
+from repro.verify import History, Operation, check_linearizable, first_violation
+
+
+# ------------------------------------------------ checker on known histories
+def test_empty_history_linearizable():
+    assert check_linearizable(History())
+
+
+def test_sequential_history_linearizable():
+    h = History()
+    h.record("write", 1, 0.0, 1.0)
+    h.record("read", 1, 2.0, 3.0)
+    h.record("write", 2, 4.0, 5.0)
+    h.record("read", 2, 6.0, 7.0)
+    assert check_linearizable(h)
+
+
+def test_stale_read_not_linearizable():
+    h = History()
+    h.record("write", 1, 0.0, 1.0)
+    h.record("read", None, 2.0, 3.0)  # reads the initial value: stale
+    assert not check_linearizable(h)
+    assert "not linearizable" in first_violation(h)
+
+
+def test_concurrent_write_read_either_order_ok():
+    h = History()
+    h.record("write", 1, 0.0, 2.0)
+    h.record("read", None, 0.5, 1.5)  # concurrent: may precede the write
+    assert check_linearizable(h)
+    h2 = History()
+    h2.record("write", 1, 0.0, 2.0)
+    h2.record("read", 1, 0.5, 1.5)   # or follow it
+    assert check_linearizable(h2)
+
+
+def test_read_of_never_written_value_rejected():
+    h = History()
+    h.record("write", 1, 0.0, 1.0)
+    h.record("read", 99, 2.0, 3.0)
+    assert not check_linearizable(h)
+
+
+def test_non_monotone_reads_rejected():
+    """Two sequential reads observing values in write-reversed order."""
+    h = History()
+    h.record("write", 1, 0.0, 1.0)
+    h.record("write", 2, 2.0, 3.0)
+    h.record("read", 2, 4.0, 5.0)
+    h.record("read", 1, 6.0, 7.0)  # goes back in time
+    assert not check_linearizable(h)
+
+
+def test_concurrent_writes_both_orders_explored():
+    h = History()
+    h.record("write", 1, 0.0, 3.0)
+    h.record("write", 2, 0.0, 3.0)
+    h.record("read", 1, 4.0, 5.0)  # consistent iff write 2 -> write 1
+    assert check_linearizable(h)
+
+
+def test_operation_validation():
+    with pytest.raises(ValueError):
+        Operation(0, "delete", 1, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        Operation(0, "read", 1, 2.0, 1.0)
+
+
+def test_first_violation_none_when_ok():
+    h = History()
+    h.record("write", 1, 0.0, 1.0)
+    assert first_violation(h) is None
+
+
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.floats(0, 5, allow_nan=False)),
+                min_size=1, max_size=8))
+def test_strictly_sequential_unique_writes_always_linearizable(spans):
+    """Property: non-overlapping writes followed by a read of the last
+    value always linearize."""
+    h = History()
+    t = 0.0
+    last = None
+    for i, (gap, dur) in enumerate(spans):
+        start = t + gap
+        end = start + dur
+        h.record("write", i, start, end)
+        t = end + 0.001
+        last = i
+    h.record("read", last, t + 1.0, t + 2.0)
+    assert check_linearizable(h)
+
+
+# ------------------------------------------- checker against the real store
+def _collect_history(consistency: str, seed: int, clients: int = 4,
+                     ops_per_client: int = 4) -> History:
+    """Run concurrent clients against a ReplicatedStore and record."""
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    store = ReplicatedStore(sim, net,
+                            ["rack0-n0", "rack0-n1", "rack1-n0"],
+                            propagation_delay_mean=0.5)  # slow gossip
+    history = History()
+    rng = RandomStream(seed, "linz")
+    counter = [0]
+
+    def client(node: str, stream: RandomStream):
+        for _ in range(ops_per_client):
+            yield sim.timeout(stream.exponential(2 * MS))
+            if stream.bernoulli(0.5):
+                counter[0] += 1
+                value = counter[0]
+                start = sim.now
+                if consistency == "linearizable":
+                    yield from store.write_linearizable(node, "reg", 8,
+                                                        meta=value)
+                else:
+                    yield from store.write_eventual(node, "reg", 8,
+                                                    meta=value)
+                history.record("write", value, start, sim.now)
+            else:
+                start = sim.now
+                try:
+                    if consistency == "linearizable":
+                        record = yield from store.read_linearizable(
+                            node, "reg")
+                    else:
+                        record = yield from store.read_eventual(node, "reg")
+                    value = record.meta
+                except KeyError:
+                    value = None
+                history.record("read", value, start, sim.now)
+
+    nodes = [n.node_id for n in topo.nodes]
+    for i in range(clients):
+        sim.spawn(client(nodes[i % len(nodes)], rng.fork(f"c{i}")))
+    sim.run()
+    return history
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_quorum_store_histories_are_linearizable(seed):
+    """The strong menu entry delivers what it promises, across seeds
+    and interleavings."""
+    history = _collect_history("linearizable", seed)
+    violation = first_violation(history)
+    assert violation is None, violation
+
+
+def test_eventual_store_can_violate_linearizability():
+    """The weak entry is genuinely weaker: across seeds, at least one
+    eventual-consistency history is NOT linearizable (stale reads)."""
+    violations = 0
+    for seed in range(12):
+        history = _collect_history("eventual", seed, clients=5,
+                                   ops_per_client=5)
+        if not check_linearizable(history):
+            violations += 1
+    assert violations > 0

@@ -1,0 +1,220 @@
+"""Integration tests for the Figure 2 pipeline, analytics, and KV apps."""
+
+import pytest
+
+from repro.core import Consistency, Mutability, PCSICloud
+from repro.sim import MS, RandomStream
+from repro.workloads import (
+    AnalyticsConfig,
+    AnalyticsJob,
+    KVWorkload,
+    KVWorkloadConfig,
+    ModelServingApp,
+    ModelServingConfig,
+    monolith_stages,
+)
+
+SMALL_CFG = ModelServingConfig(upload_nbytes=64 * 1024,
+                               weights_nbytes=4 * 1024 * 1024)
+
+
+def make_cloud(**kwargs):
+    kwargs.setdefault("seed", 17)
+    kwargs.setdefault("keep_alive", 600.0)
+    return PCSICloud(**kwargs)
+
+
+# --------------------------------------------------------------- Figure 2
+def test_pipeline_serves_requests():
+    cloud = make_cloud()
+    app = ModelServingApp(cloud, SMALL_CFG)
+    client = cloud.client_node()
+
+    def flow():
+        lat1, res1 = yield from app.serve_one(client)
+        lat2, res2 = yield from app.serve_one(client)
+        return lat1, lat2, res1, res2
+
+    lat1, lat2, res1, res2 = cloud.run_process(flow())
+    assert lat2 < lat1  # warm path
+    assert res2.results["infer"]["weights"] == "v1"
+    assert set(res2.results) == {"preprocess", "infer", "postprocess"}
+
+
+def test_pipeline_state_layout():
+    cloud = make_cloud()
+    app = ModelServingApp(cloud, SMALL_CFG)
+    assert cloud.listdir(app.root) == ["metrics", "models", "uploads.log",
+                                       "weights.ptr"]
+    assert cloud.mutability_of(app.metrics_obj) == Mutability.APPEND_ONLY
+    weights_ref = cloud.run_process(cloud.resolve(app.root, "models/v1"))
+    assert cloud.mutability_of(weights_ref) == Mutability.IMMUTABLE
+
+
+def test_pipeline_colocates_under_colocate_policy():
+    cloud = make_cloud(placement="colocate")
+    app = ModelServingApp(cloud, SMALL_CFG)
+    client = cloud.client_node()
+
+    def flow():
+        _lat, result = yield from app.serve_one(client)
+        return result
+
+    result = cloud.run_process(flow())
+    assert result.colocated("preprocess", "infer")
+    assert result.colocated("infer", "postprocess")
+    # The anchor carries a GPU.
+    node = cloud.topology.node(result.placements["infer"])
+    assert node.has_device("gpu")
+
+
+def test_weights_update_is_strongly_consistent():
+    cloud = make_cloud()
+    app = ModelServingApp(cloud, SMALL_CFG)
+    client = cloud.client_node()
+
+    def flow():
+        yield from app.serve_one(client)
+        name = yield from app.update_weights(client)
+        _lat, result = yield from app.serve_one(client)
+        return name, result
+
+    name, result = cloud.run_process(flow())
+    assert name == "v2"
+    assert result.results["infer"]["weights"] == "v2"
+
+
+def test_weights_cached_after_first_read():
+    cloud = make_cloud()
+    app = ModelServingApp(cloud, SMALL_CFG)
+    client = cloud.client_node()
+
+    def flow():
+        lat_first, _ = yield from app.serve_one(client)
+        lat_second, _ = yield from app.serve_one(client)
+        return lat_first, lat_second
+
+    cloud.run_process(flow())
+    # Second request hit the per-node cache for the immutable weights.
+    assert cloud.data.cache_hits >= 1
+
+
+def test_metrics_and_uploads_accumulate():
+    cloud = make_cloud()
+    app = ModelServingApp(cloud, SMALL_CFG)
+    client = cloud.client_node()
+
+    def flow():
+        for _ in range(3):
+            yield from app.serve_one(client)
+
+    cloud.run_process(flow())
+    metrics_obj = cloud.table.get(app.metrics_obj.object_id)
+    log_obj = cloud.table.get(app.uploads_log.object_id)
+    assert metrics_obj.size == 3 * SMALL_CFG.metrics_entry_nbytes
+    assert log_obj.size == 3 * SMALL_CFG.metrics_entry_nbytes
+
+
+def test_monolith_stage_specs_match_config():
+    stages = monolith_stages(SMALL_CFG)
+    assert [s.name for s in stages] == ["preprocess", "infer",
+                                        "postprocess"]
+    assert stages[1].device_kind == "gpu"
+    assert stages[0].output_nbytes == SMALL_CFG.upload_nbytes
+
+
+# -------------------------------------------------------------- analytics
+def test_analytics_job_runs_all_partitions():
+    cloud = make_cloud()
+    job = AnalyticsJob(cloud, AnalyticsConfig(partitions=4,
+                                              partition_nbytes=1024 * 1024))
+    client = cloud.client_node()
+
+    def flow():
+        latency, result = yield from job.run_once(client)
+        return latency, result
+
+    latency, result = cloud.run_process(flow())
+    assert result["partitions"] == 4
+    mappers = [i for i in cloud.scheduler.history if i.fn_name == "mapper"]
+    assert len(mappers) == 4
+
+
+def test_analytics_mappers_run_concurrently():
+    cloud = make_cloud()
+    cfg = AnalyticsConfig(partitions=6, partition_nbytes=512 * 1024,
+                          map_work=5e9)
+    job = AnalyticsJob(cloud, cfg)
+    client = cloud.client_node()
+
+    def flow():
+        latency, _ = yield from job.run_once(client)
+        return latency
+
+    latency = cloud.run_process(flow())
+    mappers = [i for i in cloud.scheduler.history if i.fn_name == "mapper"]
+    total_service = sum(i.service_time for i in mappers)
+    assert latency < total_service * 0.7  # real overlap
+
+
+def test_analytics_second_run_benefits_from_caching():
+    cloud = make_cloud()
+    job = AnalyticsJob(cloud, AnalyticsConfig(partitions=4))
+    client = cloud.client_node()
+
+    def flow():
+        lat1, _ = yield from job.run_once(client)
+        lat2, _ = yield from job.run_once(client)
+        return lat1, lat2
+
+    lat1, lat2 = cloud.run_process(flow())
+    assert lat2 < lat1
+    assert cloud.data.cache_hits > 0
+
+
+# --------------------------------------------------------------------- KV
+def test_kv_workload_setup_respects_strong_fraction():
+    cloud = make_cloud()
+    wl = KVWorkload(cloud, RandomStream(1, "kv"),
+                    KVWorkloadConfig(n_objects=20, strong_fraction=0.25))
+    assert len(wl.strong_keys) == 5
+    strong_ref = wl.objects["key-0"]
+    assert cloud.table.get(strong_ref.object_id).consistency == \
+        Consistency.LINEARIZABLE
+    weak_ref = wl.objects["key-10"]
+    assert cloud.table.get(weak_ref.object_id).consistency == \
+        Consistency.EVENTUAL
+
+
+def test_kv_all_strong_override():
+    cloud = make_cloud()
+    wl = KVWorkload(cloud, RandomStream(1, "kv"),
+                    KVWorkloadConfig(n_objects=10), all_strong=True)
+    assert len(wl.strong_keys) == 10
+
+
+def test_kv_mixed_cheaper_than_all_strong():
+    """E7's core shape in miniature."""
+    results = {}
+    for label, all_strong in (("mixed", False), ("strong", True)):
+        cloud = make_cloud()
+        wl = KVWorkload(cloud, RandomStream(9, "kv"),
+                        KVWorkloadConfig(n_objects=32), all_strong=all_strong)
+        client = cloud.client_node()
+
+        def flow():
+            total = 0.0
+            for _ in range(50):
+                _kind, latency = yield from wl.one_op(client)
+                total += latency
+            return total / 50
+
+        results[label] = cloud.run_process(flow())
+    assert results["mixed"] < results["strong"]
+
+
+def test_kv_config_validation():
+    with pytest.raises(ValueError):
+        KVWorkloadConfig(read_fraction=1.5)
+    with pytest.raises(ValueError):
+        KVWorkloadConfig(strong_fraction=-0.1)

@@ -1,0 +1,131 @@
+"""Tests for arrival processes, the load driver, and Zipf keys."""
+
+import pytest
+
+from repro.sim import MS, RandomStream, Simulator
+from repro.workloads import (
+    LoadDriver,
+    ZipfKeys,
+    bursty_rate,
+    constant_rate,
+    diurnal_rate,
+)
+
+
+# ----------------------------------------------------------------- rate fns
+def test_constant_rate():
+    rate = constant_rate(10.0)
+    assert rate(0) == rate(1000) == 10.0
+    with pytest.raises(ValueError):
+        constant_rate(0)
+
+
+def test_bursty_rate_phases():
+    rate = bursty_rate(base=1.0, burst=100.0, period=10.0,
+                       burst_fraction=0.2)
+    assert rate(0.5) == 100.0   # inside the burst window
+    assert rate(5.0) == 1.0     # outside
+    assert rate(10.5) == 100.0  # next period's burst
+    with pytest.raises(ValueError):
+        bursty_rate(1.0, 10.0, 10.0, burst_fraction=1.5)
+
+
+def test_diurnal_rate_bounds():
+    rate = diurnal_rate(low=2.0, high=10.0, period=100.0)
+    values = [rate(t) for t in range(0, 100, 5)]
+    assert min(values) >= 2.0 - 1e-9
+    assert max(values) <= 10.0 + 1e-9
+    with pytest.raises(ValueError):
+        diurnal_rate(5.0, 1.0)
+
+
+# --------------------------------------------------------------- LoadDriver
+def test_driver_offers_approximately_rate_times_horizon():
+    sim = Simulator()
+    driver = LoadDriver(sim, RandomStream(1, "t"), constant_rate(100.0),
+                        horizon=50.0)
+
+    def handler(i):
+        yield sim.timeout(1 * MS)
+
+    driver.start(handler)
+    sim.run()
+    assert 4000 < driver.offered < 6000
+    assert driver.completed == driver.offered
+    assert driver.failed == 0
+
+
+def test_driver_records_latencies():
+    sim = Simulator()
+    driver = LoadDriver(sim, RandomStream(2, "t"), constant_rate(10.0),
+                        horizon=10.0)
+
+    def handler(i):
+        yield sim.timeout(5 * MS)
+
+    driver.start(handler)
+    sim.run()
+    assert driver.latencies.mean == pytest.approx(5 * MS)
+    summary = driver.summary()
+    assert summary["offered"] == driver.offered
+    assert summary["p99"] == pytest.approx(5 * MS)
+
+
+def test_driver_absorbs_failures():
+    sim = Simulator()
+    driver = LoadDriver(sim, RandomStream(3, "t"), constant_rate(10.0),
+                        horizon=5.0)
+
+    def handler(i):
+        yield sim.timeout(1 * MS)
+        if i % 2 == 0:
+            raise RuntimeError("boom")
+
+    driver.start(handler)
+    sim.run()
+    assert driver.failed > 0
+    assert driver.completed + driver.failed == driver.offered
+
+
+def test_driver_open_loop_overlaps_requests():
+    """Open loop: arrivals don't wait for completions."""
+    sim = Simulator()
+    driver = LoadDriver(sim, RandomStream(4, "t"), constant_rate(100.0),
+                        horizon=2.0)
+    peak = [0]
+
+    def handler(i):
+        peak[0] = max(peak[0], driver._outstanding)
+        yield sim.timeout(0.5)  # far longer than the 10ms inter-arrival
+
+    driver.start(handler)
+    sim.run()
+    assert peak[0] > 10
+
+
+def test_driver_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        LoadDriver(sim, RandomStream(0, "t"), constant_rate(1.0),
+                   horizon=0)
+
+
+# ------------------------------------------------------------------ ZipfKeys
+def test_zipf_keys_skewed():
+    keys = ZipfKeys(RandomStream(5, "z"), n_keys=20, alpha=1.2)
+    counts = {}
+    for _ in range(5000):
+        k = keys.sample()
+        counts[k] = counts.get(k, 0) + 1
+    assert counts["key-0"] > counts.get("key-10", 0)
+    assert counts["key-0"] > 0.15 * 5000
+
+
+def test_zipf_helpers():
+    keys = ZipfKeys(RandomStream(0, "z"), n_keys=5)
+    assert keys.all_keys() == [f"key-{i}" for i in range(5)]
+    assert keys.hottest(2) == ["key-0", "key-1"]
+    with pytest.raises(ValueError):
+        keys.hottest(0)
+    with pytest.raises(ValueError):
+        ZipfKeys(RandomStream(0, "z"), n_keys=0)

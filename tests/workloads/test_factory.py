@@ -1,0 +1,134 @@
+"""Tests for the factory-automation application."""
+
+import pytest
+
+from repro.core import Consistency, Mutability, PCSICloud
+from repro.net import SizedPayload
+from repro.sim import RandomStream
+from repro.workloads import FactoryApp, FactoryConfig
+
+
+def make_app(anomaly_rate=1.0, **cfg_kwargs):
+    cloud = PCSICloud(racks=3, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=71, keep_alive=600.0)
+    cfg = FactoryConfig(anomaly_rate=anomaly_rate, **cfg_kwargs)
+    app = FactoryApp(cloud, cfg, rng=RandomStream(71, "factory-test"))
+    return cloud, app
+
+
+def test_state_layout_matches_design():
+    cloud, app = make_app()
+    assert cloud.listdir(app.root) == ["audit", "bin", "lines",
+                                       "setpoints"]
+    line0 = cloud.run_process(cloud.resolve(app.root, "lines/line-0"))
+    assert cloud.mutability_of(line0) == Mutability.APPEND_ONLY
+    assert cloud.table.get(app.setpoints.object_id).consistency == \
+        Consistency.LINEARIZABLE
+
+
+def test_ingest_appends_telemetry_and_raises_alerts():
+    cloud, app = make_app(anomaly_rate=1.0)
+    client = cloud.client_node()
+
+    def flow():
+        r1 = yield from app.sensor_batch(client, line=0)
+        r2 = yield from app.sensor_batch(client, line=1)
+        return r1, r2
+
+    r1, r2 = cloud.run_process(flow())
+    assert r1["anomalous"] and r2["anomalous"]
+    assert cloud.table.get(
+        app.telemetry[0].object_id).size == app.cfg.batch_nbytes
+    assert len(cloud._fifos[app.alerts.object_id]) == 2
+
+
+def test_controller_actuates_and_audits():
+    cloud, app = make_app(anomaly_rate=1.0)
+    client = cloud.client_node()
+    plant_commands = []
+
+    def plant():
+        for _ in range(2):
+            command = yield from cloud.external_recv(app.plant_socket)
+            plant_commands.append(command.meta)
+
+    def flow():
+        for line in (0, 1):
+            yield from app.sensor_batch(client, line=line)
+        handled = yield from app.control_loop(client, alerts_to_handle=2)
+        return handled
+
+    cloud.sim.spawn(plant())
+    handled = cloud.run_process(flow())
+    cloud.run()
+    assert sorted(handled) == [0, 1]
+    assert {c["line"] for c in plant_commands} == {0, 1}
+    assert all(c["target"] == 70 for c in plant_commands)
+    assert cloud.table.get(app.audit.object_id).size == 2 * 96
+
+
+def test_setpoint_update_reflected_in_next_actuation():
+    cloud, app = make_app(anomaly_rate=1.0)
+    client = cloud.client_node()
+    commands = []
+
+    def plant():
+        while True:
+            command = yield from cloud.external_recv(app.plant_socket)
+            commands.append(command.meta["target"])
+
+    def flow():
+        yield from app.sensor_batch(client, line=0)
+        yield from app.control_loop(client, alerts_to_handle=1)
+        # Operator raises the setpoint (strong write: no torn config).
+        yield from cloud.op_write(client, app.setpoints,
+                                  SizedPayload(256, meta={"temp": 85}))
+        yield from app.sensor_batch(client, line=0)
+        yield from app.control_loop(client, alerts_to_handle=1)
+
+    cloud.sim.spawn(plant())
+    cloud.run_process(flow())
+    assert commands == [70, 85]
+
+
+def test_bounded_alert_queue_applies_backpressure():
+    cloud, app = make_app(anomaly_rate=1.0, alert_queue_depth=2)
+    client = cloud.client_node()
+    finished = []
+
+    def producer():
+        for _ in range(4):  # 4 anomalies into a depth-2 queue
+            yield from app.sensor_batch(client, line=0)
+        finished.append(cloud.sim.now)
+
+    def late_consumer():
+        yield cloud.sim.timeout(5.0)
+        yield from app.control_loop(client, alerts_to_handle=4)
+
+    cloud.sim.spawn(producer())
+    cloud.sim.spawn(late_consumer())
+    cloud.run()
+    # The third/fourth batches blocked on the full queue until the
+    # controller drained it at t>=5.
+    assert finished and finished[0] >= 5.0
+
+
+def test_crdt_dashboard_counts_alerts():
+    cloud, app = make_app(anomaly_rate=1.0)
+    app.attach_dashboards(["rack0-n1", "rack1-n1", "rack2-n1"])
+    client = cloud.client_node()
+
+    def flow():
+        for _ in range(3):
+            yield from app.sensor_batch(client, line=0)
+        yield from app.control_loop(client, alerts_to_handle=3)
+
+    def plant():
+        while True:
+            yield from cloud.external_recv(app.plant_socket)
+
+    cloud.sim.spawn(plant())
+    cloud.run_process(flow())
+    cloud.run()
+    assert app.crdt.converged("alerts")
+    assert app.crdt.replica_value("rack0-n1", "alerts") == 3
