@@ -2,14 +2,23 @@
 
 Serves a few Figure 2 requests with tracing on and renders the
 invocation timeline — cold starts, stage overlap across concurrent
-requests, and placements, all visible from the terminal.
+requests, and placements, all visible from the terminal. Then walks
+the span tree of the slowest invocation to print its critical path
+(which layer — cold start, compute, quorum, wire — the latency is
+actually spent in), and dumps the whole tree as Chrome trace-event
+JSON for chrome://tracing or https://ui.perfetto.dev.
 
 Usage::
 
     python examples/trace_timeline.py
 """
 
-from repro.bench import render_timeline, span_summary
+from repro.bench import (
+    invocation_critical_paths,
+    merged_by_name,
+    render_timeline,
+    span_summary,
+)
 from repro.cluster import MB
 from repro.core import PCSICloud
 from repro.workloads import ModelServingApp, ModelServingConfig
@@ -41,6 +50,21 @@ def main() -> None:
     for fn, stats in sorted(span_summary(cloud.tracer).items()):
         print(f"  {fn:<12} {stats['count']} invocations, "
               f"{stats['cold']} cold, busy {stats['busy_s'] * 1e3:.1f} ms")
+
+    # Where did the latency of the slowest invocation actually go?
+    reports = invocation_critical_paths(cloud.tracer)
+    slowest = max(reports, key=lambda r: r.total)
+    print()
+    print(slowest.render())
+
+    # And across the whole run, per span name.
+    print("\naggregate critical-path time across all invocations:")
+    for name, secs in list(merged_by_name(reports).items())[:8]:
+        print(f"  {name:<20} {secs * 1e3:9.3f} ms")
+
+    cloud.tracer.write_chrome_trace("trace_timeline.json")
+    print("\nfull span tree written to trace_timeline.json "
+          "(load in chrome://tracing or ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

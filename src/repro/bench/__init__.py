@@ -1,5 +1,12 @@
 """Benchmark harness: experiment runners and table rendering."""
 
+from .critical_path import (
+    CriticalPathReport,
+    PathSegment,
+    critical_path,
+    invocation_critical_paths,
+    merged_by_name,
+)
 from .result import ExperimentResult
 from .timeline import render_timeline, span_summary
 from .tables import (
@@ -15,4 +22,6 @@ __all__ = [
     "ExperimentResult", "format_table",
     "fmt_ns", "fmt_us", "fmt_ms", "fmt_usd_per_million", "fmt_bytes",
     "render_timeline", "span_summary",
+    "critical_path", "invocation_critical_paths", "merged_by_name",
+    "CriticalPathReport", "PathSegment",
 ]

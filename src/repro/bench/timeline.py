@@ -1,9 +1,9 @@
-"""Text Gantt charts from invocation trace spans.
+"""Text Gantt charts from the invocation span tree.
 
-With ``PCSICloud(trace=True)``, every invocation leaves an
-``invoke.span`` record in the tracer. :func:`render_timeline` turns
-those records into an aligned text chart — the quickest way to *see*
-pipelining, cold starts, and co-location without leaving the terminal.
+With ``PCSICloud(trace=True)``, every invocation leaves an ``invoke``
+span tree in the tracer. :func:`render_timeline` turns those trees into
+an aligned text chart — the quickest way to *see* pipelining, cold
+starts, and co-location without leaving the terminal.
 
 Example output::
 
@@ -11,46 +11,85 @@ Example output::
     preprocess   [####......................................]
     infer              [..........##################........]
     postprocess                                 [......####..]
+
+Rows come from the span tree (root ``invoke`` spans and their
+``execute`` children); tracers that only hold legacy flat
+``invoke.span`` records still render via the back-compat path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from ..sim.trace import TraceRecord, Tracer
+from ..sim.trace import Span, Tracer
 
 #: Characters available for the bar area.
 DEFAULT_WIDTH = 60
 
 
+def _find_descendant(tracer: Tracer, span: Span,
+                     name: str) -> Optional[Span]:
+    """First descendant of ``span`` called ``name`` (depth-first)."""
+    for node in tracer.walk(span):
+        if node is not span and node.name == name:
+            return node
+    return None
+
+
+def _rows_from_spans(tracer: Tracer,
+                     label: Optional[str]) -> List[Tuple]:
+    """(start, exec_start, end, tag) per finished invoke span."""
+    rows: List[Tuple] = []
+    for span in tracer.spans(name="invoke"):
+        if not span.finished:
+            continue
+        attrs = span.attributes
+        if label is not None and attrs.get("fn") != label:
+            continue
+        execute = _find_descendant(tracer, span, "execute")
+        exec_start = execute.start if execute is not None else span.start
+        tag = (f"{attrs.get('fn', '?')}/{attrs.get('impl', '?')}"
+               f"@{attrs.get('node', '?')}"
+               + (" COLD" if attrs.get("cold") else ""))
+        rows.append((span.start, exec_start, span.end, tag))
+    return rows
+
+
+def _rows_from_records(tracer: Tracer,
+                       label: Optional[str]) -> List[Tuple]:
+    """Back-compat: rebuild rows from flat ``invoke.span`` records."""
+    rows: List[Tuple] = []
+    for record in tracer.select("invoke.span"):
+        p = record.payload
+        if label is not None and p.get("fn") != label:
+            continue
+        if "latency" not in p:
+            continue
+        end = record.time
+        rows.append((end - p["latency"], end - p["service"], end,
+                     f"{p['fn']}/{p['impl']}@{p['node']}"
+                     + (" COLD" if p.get("cold") else "")))
+    return rows
+
+
 def render_timeline(tracer: Tracer, width: int = DEFAULT_WIDTH,
                     max_rows: int = 40,
                     label: Optional[str] = None) -> str:
-    """Render every ``invoke.span`` in ``tracer`` as one chart row.
+    """Render every invocation in ``tracer`` as one chart row.
 
     Each row shows the invocation's full latency window (``#`` for the
-    executing portion, ``.`` for queueing/dispatch), labelled with the
-    function, implementation, and node. Rows beyond ``max_rows`` are
-    summarized.
+    executing portion, ``.`` for dispatch/placement/cold start),
+    labelled with the function, implementation, and node. Rows beyond
+    ``max_rows`` are summarized.
     """
     if width < 10:
         raise ValueError("width must be at least 10")
-    spans = tracer.select("invoke.span")
-    if label is not None:
-        spans = [s for s in spans if s.payload.get("fn") == label]
-    if not spans:
+    rows = _rows_from_spans(tracer, label)
+    if not rows:
+        rows = _rows_from_records(tracer, label)
+    if not rows:
         return "(no invocation spans recorded — construct the cloud "\
                "with trace=True)"
-
-    rows: List[tuple] = []
-    for record in spans:
-        p = record.payload
-        end = record.time
-        start = end - p["latency"]
-        exec_start = end - p["service"]
-        tag = f"{p['fn']}/{p['impl']}@{p['node']}" + \
-            (" COLD" if p.get("cold") else "")
-        rows.append((start, exec_start, end, tag))
 
     t0 = min(r[0] for r in rows)
     t1 = max(r[2] for r in rows)
@@ -77,11 +116,22 @@ def render_timeline(tracer: Tracer, width: int = DEFAULT_WIDTH,
 
 
 def span_summary(tracer: Tracer) -> dict:
-    """Aggregate statistics over recorded spans (counts by function,
+    """Aggregate statistics over invocations (counts by function,
     cold starts, total busy time)."""
-    spans = tracer.select("invoke.span")
     by_fn: dict = {}
-    for record in spans:
+    spans = [s for s in tracer.spans(name="invoke") if s.finished]
+    if spans:
+        for span in spans:
+            attrs = span.attributes
+            stats = by_fn.setdefault(attrs.get("fn", "?"),
+                                     {"count": 0, "cold": 0, "busy_s": 0.0})
+            stats["count"] += 1
+            stats["cold"] += 1 if attrs.get("cold") else 0
+            execute = _find_descendant(tracer, span, "execute")
+            stats["busy_s"] += execute.duration if execute is not None \
+                else span.duration
+        return by_fn
+    for record in tracer.select("invoke.span"):
         p = record.payload
         stats = by_fn.setdefault(p["fn"], {"count": 0, "cold": 0,
                                            "busy_s": 0.0})

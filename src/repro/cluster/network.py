@@ -25,7 +25,7 @@ from typing import Generator, List, Optional, Set, Tuple
 from ..sim.engine import Event, Simulator
 from ..sim.metrics import MetricsRegistry
 from ..sim.resources import Resource, Store
-from ..sim.trace import Tracer
+from ..sim.trace import NULL_TRACER, Tracer
 from .latency import LatencyProfile
 from .topology import Topology
 
@@ -63,7 +63,9 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.profile = profile
-        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer is not NULL_TRACER and self.tracer._sim is None:
+            self.tracer.bind(sim)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._partitions: List[Partition] = []
         #: Per-node egress NICs: a sender occupies its link for the
@@ -124,9 +126,32 @@ class Network:
         Returns the delay experienced. Unreachable destinations either
         raise (fail-fast) or block until the partition heals / node
         recovers (location-transparent).
+
+        With tracing enabled, the transfer is a span parented to
+        whichever span issued it (the invoke/storage op in whose
+        context this generator runs); disabled tracing takes a
+        zero-overhead fast path.
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
+        tracer = self.tracer
+        if not tracer.enabled:
+            delay = yield from self._transfer(src, dst, nbytes, fail_fast,
+                                              purpose)
+            return delay
+        if src != dst:
+            span_cm = tracer.span("net.transfer", src=src, dst=dst,
+                                  nbytes=nbytes, purpose=purpose)
+        else:
+            span_cm = tracer.span("net.local_copy", node=src, nbytes=nbytes,
+                                  purpose=purpose)
+        with span_cm:
+            delay = yield from self._transfer(src, dst, nbytes, fail_fast,
+                                              purpose)
+        return delay
+
+    def _transfer(self, src: str, dst: str, nbytes: int, fail_fast: bool,
+                  purpose: str) -> Generator:
         waited = yield from self._await_reachable(src, dst, fail_fast)
         start = self.sim.now
         if src != dst and self.model_contention and nbytes > 0:
@@ -149,12 +174,8 @@ class Network:
         if src != dst:
             self.metrics.counter("network.bytes").add(nbytes)
             self.metrics.counter("network.messages").add(1)
-            self.tracer.record(self.sim.now, "net.transfer", src=src,
-                               dst=dst, nbytes=nbytes, purpose=purpose)
         else:
             self.metrics.counter("network.local_bytes").add(nbytes)
-            self.tracer.record(self.sim.now, "net.local_copy", node=src,
-                               nbytes=nbytes, purpose=purpose)
         return delay + waited
 
     def round_trip(self, src: str, dst: str, request_nbytes: int,
@@ -186,7 +207,10 @@ class Network:
                 return
             inbox.put(message)
 
-        self.sim.spawn(deliver(), name=f"send:{src}->{dst}")
+        # Detached: the sender does not wait, so the delivery should not
+        # appear under whatever span the sender happened to have open.
+        self.sim.spawn(deliver(), name=f"send:{src}->{dst}",
+                       inherit_context=False)
 
     # -- internals ---------------------------------------------------------
     def _egress_link(self, node_id: str) -> Resource:

@@ -68,17 +68,23 @@ class DataLayer:
         self._check_write_allowed(obj, payload.nbytes, append)
         new_size = obj.size + payload.nbytes if append else payload.nbytes
         if obj.ephemeral:
-            yield from self._write_ephemeral(client_node, obj, payload,
-                                             new_size)
+            with self.network.tracer.span("data.write", object=obj.object_id,
+                                          nbytes=payload.nbytes,
+                                          append=append, ephemeral=True):
+                yield from self._write_ephemeral(client_node, obj, payload,
+                                                 new_size)
             obj.size = new_size
             return new_size
         level = consistency if consistency is not None else obj.consistency
-        if level == Consistency.LINEARIZABLE:
-            yield from self.store.write_linearizable(
-                client_node, obj.object_id, new_size, meta=payload.meta)
-        else:
-            yield from self.store.write_eventual(
-                client_node, obj.object_id, new_size, meta=payload.meta)
+        with self.network.tracer.span("data.write", object=obj.object_id,
+                                      nbytes=payload.nbytes, append=append,
+                                      consistency=level.value):
+            if level == Consistency.LINEARIZABLE:
+                yield from self.store.write_linearizable(
+                    client_node, obj.object_id, new_size, meta=payload.meta)
+            else:
+                yield from self.store.write_eventual(
+                    client_node, obj.object_id, new_size, meta=payload.meta)
         obj.size = new_size
         self._invalidate(obj.object_id)
         return new_size
@@ -111,24 +117,32 @@ class DataLayer:
         cache at RAM cost.
         """
         obj.require_kind(ObjectKind.REGULAR)
+        tracer = self.network.tracer
         if obj.ephemeral:
-            payload = yield from self._read_ephemeral(client_node, obj)
+            with tracer.span("data.read", object=obj.object_id,
+                             ephemeral=True):
+                payload = yield from self._read_ephemeral(client_node, obj)
             return payload
         cache_key = (client_node, obj.object_id)
         if self._cacheable(obj):
             cached = self._cache.get(cache_key)
             if cached is not None:
-                yield self.sim.timeout(RAM.access_time(cached.nbytes))
+                with tracer.span("data.read", object=obj.object_id,
+                                 nbytes=cached.nbytes, cache_hit=True):
+                    yield self.sim.timeout(RAM.access_time(cached.nbytes))
                 self.cache_hits += 1
                 return SizedPayload(cached.nbytes, meta=cached.meta)
         self.cache_misses += 1
         level = consistency if consistency is not None else obj.consistency
-        if level == Consistency.LINEARIZABLE:
-            record = yield from self.store.read_linearizable(
-                client_node, obj.object_id)
-        else:
-            record = yield from self.store.read_eventual(
-                client_node, obj.object_id)
+        with tracer.span("data.read", object=obj.object_id,
+                         consistency=level.value, cache_hit=False) as sp:
+            if level == Consistency.LINEARIZABLE:
+                record = yield from self.store.read_linearizable(
+                    client_node, obj.object_id)
+            else:
+                record = yield from self.store.read_eventual(
+                    client_node, obj.object_id)
+            sp.set(nbytes=record.nbytes)
         if self._cacheable(obj):
             self._cache[cache_key] = record
         return SizedPayload(record.nbytes, meta=record.meta)
@@ -154,20 +168,25 @@ class DataLayer:
             whole = yield from self._read_ephemeral(client_node, obj)
             return SizedPayload(length, meta=whole.meta)
         level = consistency if consistency is not None else obj.consistency
-        if level == Consistency.LINEARIZABLE:
-            # Version agreement needs quorum control messages, but only
-            # the requested extent leaves the winning replica's medium
-            # and crosses the wire.
-            record = yield from self._quorum_range(client_node, obj,
-                                                   length)
-        else:
-            target = self.store.closest_replica(client_node)
-            yield from self.network.transfer(client_node, target, 64,
-                                             purpose="range-req")
-            record = yield from self._replica_extent(target, obj, length)
-            yield from self.network.transfer(target, client_node,
-                                             64 + length,
-                                             purpose="range-resp")
+        with self.network.tracer.span("data.read_range",
+                                      object=obj.object_id, offset=offset,
+                                      nbytes=length,
+                                      consistency=level.value):
+            if level == Consistency.LINEARIZABLE:
+                # Version agreement needs quorum control messages, but
+                # only the requested extent leaves the winning replica's
+                # medium and crosses the wire.
+                record = yield from self._quorum_range(client_node, obj,
+                                                       length)
+            else:
+                target = self.store.closest_replica(client_node)
+                yield from self.network.transfer(client_node, target, 64,
+                                                 purpose="range-req")
+                record = yield from self._replica_extent(target, obj,
+                                                         length)
+                yield from self.network.transfer(target, client_node,
+                                                 64 + length,
+                                                 purpose="range-resp")
         return SizedPayload(length, meta=record.meta)
 
     def _replica_extent(self, replica: str, obj: PCSIObject,
@@ -213,15 +232,19 @@ class DataLayer:
                 raise ValueError(f"bad extent ({offset}, {length})")
         total = sum(length for _off, length in extents)
         target = self.store.closest_replica(client_node)
-        yield from self.network.transfer(client_node, target,
-                                         64 + 16 * len(extents),
-                                         purpose="readv-req")
-        # The replica seeks per extent but answers with one response.
-        record = None
-        for _offset, length in extents:
-            record = yield from self._replica_extent(target, obj, length)
-        yield from self.network.transfer(target, client_node, 64 + total,
-                                         purpose="readv-resp")
+        with self.network.tracer.span("data.readv", object=obj.object_id,
+                                      extents=len(extents), nbytes=total):
+            yield from self.network.transfer(client_node, target,
+                                             64 + 16 * len(extents),
+                                             purpose="readv-req")
+            # The replica seeks per extent but answers with one response.
+            record = None
+            for _offset, length in extents:
+                record = yield from self._replica_extent(target, obj,
+                                                         length)
+            yield from self.network.transfer(target, client_node,
+                                             64 + total,
+                                             purpose="readv-resp")
         return [SizedPayload(length, meta=record.meta)
                 for _off, length in extents]
 

@@ -57,7 +57,7 @@ class FunctionScheduler:
                 self.kernel.sim, name=f"{fn_def.name}/{impl.name}",
                 platform=impl.platform, resources=impl.resources,
                 placer=self.policy.placer(), keep_alive=self.keep_alive,
-                metrics=self.kernel.metrics)
+                metrics=self.kernel.metrics, tracer=self.kernel.tracer)
         return self._pools[key]
 
     def pools_by_impl(self, fn_def: FunctionDef) -> Dict[str, WarmPool]:
@@ -89,6 +89,7 @@ class FunctionScheduler:
             raise ValueError("max_attempts must be >= 1")
         kernel = self.kernel
         sim = kernel.sim
+        tracer = kernel.tracer
         validate_request(request)
         kernel.refs.check(fn_ref, Right.EXECUTE)
         fn_obj = kernel.table.get(fn_ref.object_id)
@@ -97,38 +98,52 @@ class FunctionScheduler:
             raise ObjectTypeError(
                 f"reference {fn_ref.object_id} is not a function object")
 
-        # Dispatch: tell the control plane, which queues the invocation.
-        yield from kernel.network.round_trip(
-            client_node, self.control_node, DISPATCH_MSG_BYTES,
-            DISPATCH_MSG_BYTES, purpose="dispatch")
+        # Root span of the whole request path: everything the invoke
+        # touches (dispatch, placement, cold start, execution, storage,
+        # transfers) nests under it via context propagation.
+        with tracer.span("invoke", fn=fn_def.name,
+                         client=client_node) as root:
+            with tracer.span("dispatch", control=self.control_node):
+                # Tell the control plane, which queues the invocation.
+                yield from kernel.network.round_trip(
+                    client_node, self.control_node, DISPATCH_MSG_BYTES,
+                    DISPATCH_MSG_BYTES, purpose="dispatch")
 
-        attempt = 0
-        backoff = kernel.profile.network_rtt * 4
-        while True:
-            attempt += 1
-            try:
-                result = yield from self._attempt(
-                    client_node, fn_ref, fn_def, args, request,
-                    preferred_node, impl_name)
-                return result
-            except self.RETRIABLE:
-                if attempt >= max_attempts:
-                    raise
-                kernel.metrics.counter("invoke.retries").add(1)
-                yield sim.timeout(backoff)
-                backoff = min(backoff * 2, 1.0)  # exponential, capped
+            attempt = 0
+            backoff = kernel.profile.network_rtt * 4
+            while True:
+                attempt += 1
+                try:
+                    with tracer.span("attempt", n=attempt):
+                        result = yield from self._attempt(
+                            client_node, fn_ref, fn_def, args, request,
+                            preferred_node, impl_name, root)
+                    return result
+                except self.RETRIABLE as exc:
+                    if attempt >= max_attempts:
+                        raise
+                    kernel.metrics.counter("invoke.retries").add(1)
+                    with tracer.span("retry.backoff", attempt=attempt,
+                                     cause=type(exc).__name__):
+                        yield sim.timeout(backoff)
+                    backoff = min(backoff * 2, 1.0)  # exponential, capped
 
     def _attempt(self, client_node: str, fn_ref: Reference,
                  fn_def: FunctionDef, args: Dict[str, Reference],
                  request: Dict[str, Any], preferred_node: Optional[str],
-                 impl_name: Optional[str]) -> Generator:
+                 impl_name: Optional[str], root_span=None) -> Generator:
         kernel = self.kernel
         sim = kernel.sim
-        if impl_name is not None:
-            impl = fn_def.impl_named(impl_name)
-        else:
-            impl = self.optimizer.choose(fn_def, self.pools_by_impl(fn_def))
-        pool = self.pool_for(fn_def, impl)
+        tracer = kernel.tracer
+        with tracer.span("placement", fn=fn_def.name,
+                         preferred=preferred_node) as psp:
+            if impl_name is not None:
+                impl = fn_def.impl_named(impl_name)
+            else:
+                impl = self.optimizer.choose(fn_def,
+                                             self.pools_by_impl(fn_def))
+            pool = self.pool_for(fn_def, impl)
+            psp.set(impl=impl.name)
 
         inv = Invocation(fn_name=fn_def.name, impl_name=impl.name,
                          args=dict(args), request=dict(request),
@@ -138,6 +153,9 @@ class FunctionScheduler:
         inv.cold_start = pool.cold_starts > size_before
         inv.executor_node = executor.node.node_id
         inv.started_at = sim.now
+        if root_span is not None:
+            root_span.set(impl=impl.name, node=inv.executor_node,
+                          cold=inv.cold_start)
 
         for ref in args.values():
             kernel.refs.pin(ref.object_id)
@@ -151,7 +169,9 @@ class FunctionScheduler:
                 run_request["__fn_def__"] = fn_def
                 inv.request = run_request
             ctx = FunctionContext(kernel, inv, executor, impl)
-            result = yield from body(ctx)
+            with tracer.span("execute", fn=fn_def.name, impl=impl.name,
+                             node=inv.executor_node, cold=inv.cold_start):
+                result = yield from body(ctx)
         finally:
             for ref in args.values():
                 kernel.refs.unpin(ref.object_id)

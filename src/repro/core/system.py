@@ -77,7 +77,7 @@ class PCSICloud:
                  topology: Optional[Topology] = None):
         self.sim = sim if sim is not None else Simulator()
         self.rng = RandomStream(seed, "pcsi")
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace).bind(self.sim)
         self.metrics = MetricsRegistry()
         self.topology = topology if topology is not None else build_cluster(
             self.sim, racks=racks, nodes_per_rack=nodes_per_rack,
@@ -454,6 +454,18 @@ class PCSICloud:
         if ephemeral_intermediates is None:
             ephemeral_intermediates = isinstance(self.policy,
                                                  ColocatePlacement)
+        graph_span = self.tracer.span(
+            "graph", stages=len(graph.stages), client=client_node,
+            ephemeral_intermediates=ephemeral_intermediates)
+        with graph_span:
+            result = yield from self._submit_graph(
+                client_node, graph, ephemeral_intermediates, t0)
+        return result
+
+    def _submit_graph(self, client_node: str, graph: TaskGraph,
+                      ephemeral_intermediates: bool,
+                      t0: float) -> Generator:
+        sim = self.sim
         # Ephemeral intermediates live in memory next to their producer;
         # the naive alternative bounces them through reliable remote
         # storage (which must be linearizable for read-after-write).

@@ -15,6 +15,7 @@ from ..cluster.node import Node
 from ..cluster.resources import ResourceVector
 from ..sim.engine import Simulator
 from ..sim.metrics import MetricsRegistry, TimeWeightedGauge
+from ..sim.trace import NULL_TRACER, Tracer
 from .platforms import Executor, PlatformSpec
 
 #: Default idle window before a warm sandbox is reaped.
@@ -39,7 +40,8 @@ class WarmPool:
                  placer: Callable[..., Optional[Node]],
                  keep_alive: float = DEFAULT_KEEP_ALIVE,
                  max_executors: Optional[int] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if keep_alive < 0:
             raise ValueError("negative keep_alive")
         self.sim = sim
@@ -50,6 +52,7 @@ class WarmPool:
         self.keep_alive = keep_alive
         self.max_executors = max_executors
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._executors: List[Executor] = []
         self._waiters: List = []
         self._provisioning = 0
@@ -86,6 +89,19 @@ class WarmPool:
         Only a pool that can never grow (no executor live or coming)
         raises :class:`PlacementFailedError`.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            executor = yield from self._acquire(preferred_node, None)
+            return executor
+        with tracer.span("warmpool.acquire", pool=self.name,
+                         preferred=preferred_node) as span:
+            executor = yield from self._acquire(preferred_node, span)
+            span.set(node=executor.node.node_id)
+        return executor
+
+    def _acquire(self, preferred_node: Optional[str],
+                 span) -> Generator:
+        tracer = self.tracer
         while True:
             candidates = self.idle
             if preferred_node is not None:
@@ -98,6 +114,8 @@ class WarmPool:
                 executor.mark_busy()
                 self.warm_hits += 1
                 self.metrics.counter(f"{self.name}.warm_hits").add(1)
+                if span is not None:
+                    span.set(outcome="warm")
                 return executor
 
             capped = (self.max_executors is not None
@@ -108,10 +126,13 @@ class WarmPool:
                                    preferred_node)
                 if node is not None:
                     executor = Executor(self.sim, node, self.platform,
-                                        self.resources)
+                                        self.resources, tracer=tracer)
                     self._provisioning += 1
                     try:
-                        yield from executor.provision()
+                        with tracer.span("coldstart", pool=self.name,
+                                         node=node.node_id,
+                                         platform=self.platform.name):
+                            yield from executor.provision()
                     finally:
                         self._provisioning -= 1
                     executor.mark_busy()
@@ -120,6 +141,8 @@ class WarmPool:
                     self.peak_size = max(self.peak_size, self.size)
                     self._live_gauge.set(self.size, self.sim.now)
                     self.metrics.counter(f"{self.name}.cold_starts").add(1)
+                    if span is not None:
+                        span.set(outcome="cold")
                     return executor
 
             if self._provisioning == 0 \
@@ -133,11 +156,14 @@ class WarmPool:
             self._waiters.append(waiter)
             self.queue_waits += 1
             self.metrics.counter(f"{self.name}.queue_waits").add(1)
-            executor = yield waiter
+            with tracer.span("queue.wait", pool=self.name):
+                executor = yield waiter
             if executor is not None and executor.live \
                     and not executor.busy and executor.node.alive:
                 executor.mark_busy()
                 self.warm_hits += 1
+                if span is not None:
+                    span.set(outcome="queued")
                 return executor
             # Handed a stale executor (e.g. its node died meanwhile):
             # loop and try again.
@@ -155,7 +181,7 @@ class WarmPool:
                 waiter.succeed(executor)
                 return
         self.sim.spawn(self._reap_after_idle(executor),
-                       name=f"reap:{self.name}")
+                       name=f"reap:{self.name}", inherit_context=False)
 
     def _reap_after_idle(self, executor: Executor) -> Generator:
         """Shut the executor down if it stays idle for the window."""

@@ -24,6 +24,7 @@ from ..cluster.latency import HYPERVISOR_CALL, SYSCALL, WASM_CALL
 from ..cluster.node import Node
 from ..cluster.resources import ResourceVector
 from ..sim.engine import MS, Simulator
+from ..sim.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -91,7 +92,8 @@ class Executor:
     """
 
     def __init__(self, sim: Simulator, node: Node, platform: PlatformSpec,
-                 resources: ResourceVector):
+                 resources: ResourceVector,
+                 tracer: Optional[Tracer] = None):
         if not node.has_device(platform.device_kind):
             raise ExecutorStateError(
                 f"node {node.node_id} lacks a {platform.device_kind!r} "
@@ -100,6 +102,7 @@ class Executor:
         self.node = node
         self.platform = platform
         self.resources = resources
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.live = False
         self.busy = False
         self.idle_since: Optional[float] = None
@@ -110,7 +113,10 @@ class Executor:
         if self.live:
             raise ExecutorStateError("executor already provisioned")
         self.node.allocate(self.resources)
-        yield self.sim.timeout(self.platform.cold_start)
+        with self.tracer.span("sandbox.provision", node=self.node.node_id,
+                              platform=self.platform.name,
+                              cold_start_s=self.platform.cold_start):
+            yield self.sim.timeout(self.platform.cold_start)
         self.live = True
         self.idle_since = self.sim.now
         return self
@@ -127,10 +133,13 @@ class Executor:
         duration = (device.compute_time(work_ops)
                     / self.platform.compute_efficiency
                     * self.node.interference_factor())
-        yield self.sim.timeout(duration)
-        if not self.node.alive:
-            raise ExecutorLostError(
-                f"node {self.node.node_id} died during compute")
+        with self.tracer.span("compute", node=self.node.node_id,
+                              device=self.platform.device_kind,
+                              work_ops=work_ops):
+            yield self.sim.timeout(duration)
+            if not self.node.alive:
+                raise ExecutorLostError(
+                    f"node {self.node.node_id} died during compute")
         return duration
 
     def isolation_cost(self, calls: int = 1) -> float:

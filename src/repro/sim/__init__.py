@@ -25,7 +25,7 @@ from .engine import (
 from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
 from .resources import Channel, Container, Resource, Store
 from .rng import RandomStream
-from .trace import TraceRecord, Tracer
+from .trace import NULL_SPAN, NULL_TRACER, Span, TraceRecord, Tracer
 
 __all__ = [
     "NS", "US", "MS", "SECOND", "MINUTE", "HOUR",
@@ -33,5 +33,6 @@ __all__ = [
     "Interrupt", "SimulationError",
     "Resource", "Container", "Store", "Channel",
     "Counter", "Histogram", "MetricsRegistry", "TimeWeightedGauge",
-    "RandomStream", "Tracer", "TraceRecord",
+    "RandomStream", "Tracer", "TraceRecord", "Span",
+    "NULL_SPAN", "NULL_TRACER",
 ]

@@ -156,14 +156,26 @@ class Process(Event):
     succeeds, its value is sent back into the generator; when it fails,
     the exception is thrown into the generator (and propagates out of
     the process if uncaught).
+
+    Each process carries a ``context`` dict, inherited (shallow-copied)
+    from the process that spawned it. The tracer stores the current
+    span there, which is what lets trace context flow across ``spawn``
+    boundaries (quorum fan-out, async invokes) while interleaved
+    processes keep their contexts separate. ``inherit_context=False``
+    detaches a background process (reapers, anti-entropy) from its
+    spawner's trace context.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "context")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 inherit_context: bool = True):
         super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        creator = sim.active_process
+        self.context: dict = dict(creator.context) \
+            if inherit_context and creator is not None else {}
         # Bootstrap: resume the process at the current instant.
         kick = Event(sim, name=f"init:{self.name}")
         kick.callbacks.append(self._resume)
@@ -200,19 +212,24 @@ class Process(Event):
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
+        prev_active = self.sim.active_process
+        self.sim.active_process = self
         try:
-            if trigger.ok:
-                target = self._generator.send(trigger.value)
-            else:
-                target = self._generator.throw(trigger.value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-            if self.callbacks or self.sim._strict:
-                self.fail(exc)
+            try:
+                if trigger.ok:
+                    target = self._generator.send(trigger.value)
+                else:
+                    target = self._generator.throw(trigger.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
                 return
-            raise
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if self.callbacks or self.sim._strict:
+                    self.fail(exc)
+                    return
+                raise
+        finally:
+            self.sim.active_process = prev_active
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
@@ -309,6 +326,9 @@ class Simulator:
         self._seq = 0
         self._strict = strict
         self._active_processes = 0
+        #: The process whose generator is executing right now (None
+        #: between resumptions). Trace context is keyed off this.
+        self.active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:
@@ -324,9 +344,18 @@ class Simulator:
         """An event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def spawn(self, generator: Generator, name: str = "") -> Process:
-        """Run ``generator`` as a concurrent process."""
-        return Process(self, generator, name=name)
+    def spawn(self, generator: Generator, name: str = "",
+              inherit_context: bool = True) -> Process:
+        """Run ``generator`` as a concurrent process.
+
+        The new process inherits the spawner's context (trace spans)
+        unless ``inherit_context=False`` detaches it — use that for
+        background work (reapers, anti-entropy, fire-and-forget sends)
+        that should not be parented to whatever span happened to be
+        open at spawn time.
+        """
+        return Process(self, generator, name=name,
+                       inherit_context=inherit_context)
 
     # Alias matching simpy vocabulary.
     process = spawn

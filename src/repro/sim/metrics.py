@@ -32,12 +32,14 @@ class Histogram:
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
+        self._sum = 0.0
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         if self._samples and value < self._samples[-1]:
             self._sorted = False
         self._samples.append(value)
+        self._sum += value
 
     def extend(self, values: Iterable[float]) -> None:
         """Record many samples."""
@@ -52,11 +54,11 @@ class Histogram:
     def mean(self) -> float:
         if not self._samples:
             return math.nan
-        return sum(self._samples) / len(self._samples)
+        return self._sum / len(self._samples)
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        return self._sum
 
     @property
     def min(self) -> float:

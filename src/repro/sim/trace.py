@@ -1,45 +1,333 @@
-"""Structured event tracing for simulations.
+"""Hierarchical tracing for simulations: spans with context propagation.
 
-A :class:`Tracer` records ``(time, category, payload)`` records. Traces
-feed the experiment harness (e.g. counting bytes moved over the network
-in E14) and make simulations debuggable without a debugger.
+A :class:`Tracer` records a *span tree*: every :class:`Span` has a
+start/end in simulated time, arbitrary attributes, an ok/error status,
+and a parent — so an invocation decomposes into placement, cold start,
+execution, storage operations, and the network transfers each of those
+issued (the whole-request visibility §4.1 argues PCSI gives the
+provider).
+
+Context propagation is cooperative with the simulation kernel: the
+current span is stored on the *active process* (see
+:class:`~repro.sim.engine.Process.context`), so spans opened inside a
+simulation process parent correctly even while many processes
+interleave, and child processes spawned mid-span (quorum fan-out)
+inherit the span that spawned them.
+
+The flat ``record()``/``select()`` API survives as a back-compatible
+shim: finishing a span appends a :class:`TraceRecord` in its category,
+so legacy consumers (``sum_field("net.transfer", "nbytes")``) keep
+working unchanged. ``select()`` is served from a per-category index and
+is O(matches).
+
+Tracing is off by default; a disabled tracer's ``span()`` returns a
+shared no-op singleton, so the hot path allocates nothing.
 """
 
 from __future__ import annotations
 
+import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Process-context key under which the current span is stored.
+_CTX_KEY = "trace.current_span"
+
+#: Span status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
 
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry."""
+    """One flat trace entry (the legacy record shape)."""
 
     time: float
     category: str
     payload: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class Span:
+    """One node of the span tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    status: str = STATUS_OK
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time (raises if the span is still open)."""
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} has not ended")
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach or update attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+
+class _NullSpan:
+    """Shared no-op stand-in when tracing is disabled or filtered.
+
+    Acts as both the context manager and the span, so call sites write
+    ``with tracer.span(...) as sp: sp.set(...)`` with zero branches.
+    A single instance is reused; the disabled hot path allocates nothing
+    beyond the call's argument tuple.
+    """
+
+    __slots__ = ()
+
+    span_id = -1
+    parent_id = None
+    name = ""
+    category = ""
+    start = 0.0
+    end = 0.0
+    status = STATUS_OK
+    error = None
+    attributes: Dict[str, Any] = {}
+    finished = True
+    duration = 0.0
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton returned by ``span()`` on a disabled tracer.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a span on entry and ends it on exit.
+
+    Entry and exit run in the same simulation process (the generator
+    that wrote the ``with``), so saving/restoring the process-local
+    current span is race-free under interleaving.
+    """
+
+    __slots__ = ("_tracer", "_name", "_category", "_parent", "_attributes",
+                 "_span", "_saved")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 parent: Optional[Span], attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._parent = parent
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+        self._saved: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        ctx = tracer._context()
+        parent = self._parent if self._parent is not None \
+            else ctx.get(_CTX_KEY)
+        self._span = tracer.start_span(
+            self._name, parent=parent, category=self._category,
+            **self._attributes)
+        self._saved = ctx.get(_CTX_KEY)
+        ctx[_CTX_KEY] = self._span
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        ctx = self._tracer._context()
+        if self._saved is None:
+            ctx.pop(_CTX_KEY, None)
+        else:
+            ctx[_CTX_KEY] = self._saved
+        if exc_type is None:
+            self._tracer.end_span(self._span)
+        else:
+            self._tracer.end_span(self._span, status=STATUS_ERROR,
+                                  error=f"{exc_type.__name__}: {exc}")
+        return False
+
+
 class Tracer:
-    """Append-only trace with category filtering.
+    """Span-tree trace with a flat back-compat record log.
 
     Tracing is off by default (``enabled=False`` constructs a no-op
-    tracer) so the hot path stays cheap in large experiments.
+    tracer) so the hot path stays cheap in large experiments. Bind a
+    simulator (:meth:`bind`) for simulated-time clocks and per-process
+    context propagation; unbound tracers fall back to an explicit
+    ``clock`` callable (or time 0) and a single shared context.
     """
 
     def __init__(self, enabled: bool = True,
-                 categories: Optional[List[str]] = None):
+                 categories: Optional[List[str]] = None,
+                 clock: Optional[Callable[[], float]] = None):
         self.enabled = enabled
         self._categories = set(categories) if categories else None
+        self._clock = clock
+        self._sim = None
         self._records: List[TraceRecord] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        self._spans: List[Span] = []
+        self._spans_by_id: Dict[int, Span] = {}
+        self._children: Dict[int, List[Span]] = {}
+        self._ids = itertools.count(1)
+        #: Fallback context when no simulator process is active.
+        self._local_ctx: Dict[str, Any] = {}
 
+    # -- wiring ---------------------------------------------------------
+    def bind(self, sim) -> "Tracer":
+        """Attach a simulator: clock = sim.now, context = active process."""
+        self._sim = sim
+        return self
+
+    def _now(self) -> float:
+        if self._sim is not None:
+            return self._sim.now
+        if self._clock is not None:
+            return self._clock()
+        return 0.0
+
+    def _context(self) -> Dict[str, Any]:
+        """The mutable context dict of whoever is running right now."""
+        if self._sim is not None:
+            proc = self._sim.active_process
+            if proc is not None:
+                return proc.context
+        return self._local_ctx
+
+    # -- span lifecycle -------------------------------------------------
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the running process (or None)."""
+        if not self.enabled:
+            return None
+        return self._context().get(_CTX_KEY)
+
+    def span(self, name: str, category: Optional[str] = None,
+             parent: Optional[Span] = None, **attributes: Any):
+        """Context manager: open a child of the current span.
+
+        Returns :data:`NULL_SPAN` (a shared no-op) when disabled or when
+        the category is filtered out, so wrapping hot-path code in
+        ``with tracer.span(...)`` costs almost nothing untraced.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        cat = category if category is not None else name
+        if self._categories is not None and cat not in self._categories:
+            return NULL_SPAN
+        return _SpanContext(self, name, cat, parent, attributes)
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   category: Optional[str] = None,
+                   time: Optional[float] = None,
+                   **attributes: Any) -> Span:
+        """Explicitly open a span (the context manager is preferred)."""
+        span = Span(span_id=next(self._ids),
+                    parent_id=parent.span_id if parent is not None
+                    and parent.span_id >= 0 else None,
+                    name=name,
+                    category=category if category is not None else name,
+                    start=self._now() if time is None else time,
+                    attributes=dict(attributes))
+        self._spans.append(span)
+        self._spans_by_id[span.span_id] = span
+        if span.parent_id is not None:
+            self._children.setdefault(span.parent_id, []).append(span)
+        return span
+
+    def end_span(self, span: Span, time: Optional[float] = None,
+                 status: str = STATUS_OK,
+                 error: Optional[str] = None) -> Span:
+        """Close a span and emit its back-compat flat record."""
+        if span is None or span is NULL_SPAN:
+            return span
+        if span.end is not None:
+            raise ValueError(f"span {span.name!r} already ended")
+        span.end = self._now() if time is None else time
+        span.status = status
+        span.error = error
+        self._append_record(TraceRecord(span.end, span.category,
+                                        dict(span.attributes)))
+        return span
+
+    # -- span queries ----------------------------------------------------
+    @property
+    def span_count(self) -> int:
+        return len(self._spans)
+
+    def spans(self, name: Optional[str] = None,
+              category: Optional[str] = None) -> List[Span]:
+        """All spans, optionally filtered by name and/or category."""
+        out = self._spans
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        if category is not None:
+            out = [s for s in out if s.category == category]
+        return list(out) if out is self._spans else out
+
+    def roots(self) -> List[Span]:
+        """Spans with no parent (request/graph roots)."""
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        """Direct children of ``span``, in start order."""
+        return list(self._children.get(span.span_id, ()))
+
+    def get_span(self, span_id: int) -> Optional[Span]:
+        return self._spans_by_id.get(span_id)
+
+    def root_of(self, span: Span) -> Span:
+        """Walk parent links to the tree root."""
+        while span.parent_id is not None:
+            span = self._spans_by_id[span.parent_id]
+        return span
+
+    def walk(self, span: Span) -> Iterator[Span]:
+        """Depth-first iteration over ``span`` and its descendants."""
+        stack = [span]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children.get(node.span_id, ())))
+
+    def depth_of(self, span: Span) -> int:
+        """Tree depth below ``span`` (a leaf has depth 0)."""
+        kids = self._children.get(span.span_id)
+        if not kids:
+            return 0
+        return 1 + max(self.depth_of(k) for k in kids)
+
+    # -- flat records (back-compat shim) ---------------------------------
     def record(self, time: float, category: str, **payload: Any) -> None:
-        """Append a record (no-op if disabled or category filtered out)."""
+        """Append a flat record (no-op if disabled or filtered out)."""
         if not self.enabled:
             return
         if self._categories is not None and category not in self._categories:
             return
-        self._records.append(TraceRecord(time, category, payload))
+        self._append_record(TraceRecord(time, category, payload))
+
+    def _append_record(self, rec: TraceRecord) -> None:
+        self._records.append(rec)
+        self._by_category.setdefault(rec.category, []).append(rec)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -50,17 +338,68 @@ class Tracer:
     def select(self, category: str,
                predicate: Optional[Callable[[TraceRecord], bool]] = None
                ) -> List[TraceRecord]:
-        """All records in ``category`` matching ``predicate``."""
-        out = [r for r in self._records if r.category == category]
+        """All records in ``category`` matching ``predicate``.
+
+        Served from the per-category index: repeated selects cost
+        O(matches), not O(all records).
+        """
+        out = self._by_category.get(category, [])
         if predicate is not None:
-            out = [r for r in out if predicate(r)]
-        return out
+            return [r for r in out if predicate(r)]
+        return list(out)
 
     def sum_field(self, category: str, fieldname: str) -> float:
         """Sum a numeric payload field over a category."""
-        return sum(r.payload.get(fieldname, 0.0) for r in self._records
-                   if r.category == category)
+        return sum(r.payload.get(fieldname, 0.0)
+                   for r in self._by_category.get(category, ()))
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records and spans."""
         self._records.clear()
+        self._by_category.clear()
+        self._spans.clear()
+        self._spans_by_id.clear()
+        self._children.clear()
+
+    # -- export -----------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The span tree as Chrome/Perfetto trace-event JSON (a dict).
+
+        Each finished span becomes one complete ("ph": "X") event;
+        timestamps are microseconds of simulated time. Each root span's
+        tree renders as its own track (tid = root span id), so
+        concurrent requests stack instead of smearing into one row.
+        Load the dumped file in ``chrome://tracing`` or
+        https://ui.perfetto.dev.
+        """
+        events: List[Dict[str, Any]] = []
+        for span in self._spans:
+            if span.end is None:
+                continue
+            args = dict(span.attributes)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            if span.status != STATUS_OK:
+                args["status"] = span.status
+                args["error"] = span.error
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": 0,
+                "tid": self.root_of(span).span_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Dump :meth:`to_chrome_trace` to a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, default=str)
+
+
+#: A shared disabled tracer, for components constructed without one.
+NULL_TRACER = Tracer(enabled=False)

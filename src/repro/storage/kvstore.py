@@ -73,20 +73,25 @@ class ManagedKVService(Service):
     def _handle_get(self, ctx: RequestContext) -> Generator:
         key = ctx.body["key"]
         consistent = ctx.body.get("consistent", True)
-        yield from self._metadata_hop()
-        if consistent:
-            record = yield from self.store.read_linearizable(self.node_id,
+        with self.network.tracer.span("kv.get", service=self.name, key=key,
+                                      consistent=consistent):
+            yield from self._metadata_hop()
+            if consistent:
+                record = yield from self.store.read_linearizable(
+                    self.node_id, key)
+            else:
+                record = yield from self.store.read_eventual(self.node_id,
                                                              key)
-        else:
-            record = yield from self.store.read_eventual(self.node_id, key)
         self.meter.kv_read(1)
         return SizedPayload(record.nbytes, meta=record.meta)
 
     def _handle_put(self, ctx: RequestContext) -> Generator:
         key = ctx.body["key"]
         payload: SizedPayload = ctx.body["payload"]
-        yield from self._metadata_hop()
-        version = yield from self.store.write_linearizable(
-            self.node_id, key, payload.nbytes, meta=payload.meta)
+        with self.network.tracer.span("kv.put", service=self.name, key=key,
+                                      nbytes=payload.nbytes):
+            yield from self._metadata_hop()
+            version = yield from self.store.write_linearizable(
+                self.node_id, key, payload.nbytes, meta=payload.meta)
         self.meter.kv_write(1)
         return version

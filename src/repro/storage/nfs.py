@@ -78,7 +78,10 @@ class NfsServer(Service):
 
     def _handle_read(self, ctx: RequestContext) -> Generator:
         path = self._resolve(ctx.body["fh"])
-        record = yield from self.store.read(path)
+        with self.network.tracer.span("nfs.read", service=self.name,
+                                      path=path) as sp:
+            record = yield from self.store.read(path)
+            sp.set(nbytes=record.nbytes)
         return SizedPayload(record.nbytes, meta=record.meta)
 
     def _handle_write(self, ctx: RequestContext) -> Generator:
@@ -87,9 +90,11 @@ class NfsServer(Service):
         old = self.store.peek(path)
         version = (old.version[0] + 1, self.node_id) if old \
             else (1, self.node_id)
-        yield from self.store.write(path, Record(
-            version=version, nbytes=payload.nbytes, meta=payload.meta,
-            timestamp=self.sim.now))
+        with self.network.tracer.span("nfs.write", service=self.name,
+                                      path=path, nbytes=payload.nbytes):
+            yield from self.store.write(path, Record(
+                version=version, nbytes=payload.nbytes, meta=payload.meta,
+                timestamp=self.sim.now))
         return payload.nbytes
 
     def _handle_create(self, ctx: RequestContext) -> Generator:

@@ -149,48 +149,59 @@ class ReplicatedStore:
     def write_linearizable(self, client_node: str, key: str, nbytes: int,
                            meta: Any = None) -> Generator:
         """ABD write; returns the installed :class:`Version`."""
-        versions = yield from gather_first_k(
-            self.sim,
-            [self._replica_version(client_node, nid, key)
-             for nid in self.replica_nodes],
-            self.majority)
-        counter = max(v[0] for v in versions) + 1
-        writer = f"{client_node}#{next(self._seq)}"
-        record = Record(version=(counter, writer), nbytes=nbytes, meta=meta,
-                        timestamp=self.sim.now)
-        yield from gather_first_k(
-            self.sim,
-            [self._replica_put(client_node, nid, key, record)
-             for nid in self.replica_nodes],
-            self.majority)
+        with self.network.tracer.span(
+                "quorum.write", store=self.name, key=key, nbytes=nbytes,
+                consistency="linearizable",
+                replicas=len(self.replica_nodes), quorum=self.majority):
+            versions = yield from gather_first_k(
+                self.sim,
+                [self._replica_version(client_node, nid, key)
+                 for nid in self.replica_nodes],
+                self.majority)
+            counter = max(v[0] for v in versions) + 1
+            writer = f"{client_node}#{next(self._seq)}"
+            record = Record(version=(counter, writer), nbytes=nbytes,
+                            meta=meta, timestamp=self.sim.now)
+            yield from gather_first_k(
+                self.sim,
+                [self._replica_put(client_node, nid, key, record)
+                 for nid in self.replica_nodes],
+                self.majority)
         self.metrics.counter(f"{self.name}.linearizable_writes").add(1)
         return record.version
 
     def read_linearizable(self, client_node: str, key: str) -> Generator:
         """ABD read with read-repair; returns the winning :class:`Record`."""
-        responses = yield from gather_first_k(
-            self.sim,
-            [self._replica_get(client_node, nid, key)
-             for nid in self.replica_nodes],
-            self.majority)
-        records = [rec for _nid, rec in responses if rec is not None]
-        if not records:
-            self.metrics.counter(f"{self.name}.read_misses").add(1)
-            raise KeyNotFoundError(key)
-        winner = max(records, key=lambda r: r.version)
-        versions_seen = {rec.version for _nid, rec in responses
-                         if rec is not None}
-        holes = [nid for nid, rec in responses
-                 if rec is None or rec.version < winner.version]
-        if len(versions_seen) > 1 or holes:
-            # Read repair: install the winner at a majority before
-            # returning, so a later read cannot observe an older value.
-            yield from gather_first_k(
+        with self.network.tracer.span(
+                "quorum.read", store=self.name, key=key,
+                consistency="linearizable",
+                replicas=len(self.replica_nodes),
+                quorum=self.majority) as sp:
+            responses = yield from gather_first_k(
                 self.sim,
-                [self._replica_put(client_node, nid, key, winner)
+                [self._replica_get(client_node, nid, key)
                  for nid in self.replica_nodes],
                 self.majority)
-            self.metrics.counter(f"{self.name}.read_repairs").add(1)
+            records = [rec for _nid, rec in responses if rec is not None]
+            if not records:
+                self.metrics.counter(f"{self.name}.read_misses").add(1)
+                raise KeyNotFoundError(key)
+            winner = max(records, key=lambda r: r.version)
+            versions_seen = {rec.version for _nid, rec in responses
+                             if rec is not None}
+            holes = [nid for nid, rec in responses
+                     if rec is None or rec.version < winner.version]
+            if len(versions_seen) > 1 or holes:
+                # Read repair: install the winner at a majority before
+                # returning, so a later read cannot observe an older value.
+                sp.set(read_repair=True)
+                yield from gather_first_k(
+                    self.sim,
+                    [self._replica_put(client_node, nid, key, winner)
+                     for nid in self.replica_nodes],
+                    self.majority)
+                self.metrics.counter(f"{self.name}.read_repairs").add(1)
+            sp.set(nbytes=winner.nbytes)
         self.metrics.counter(f"{self.name}.linearizable_reads").add(1)
         return winner
 
@@ -222,11 +233,19 @@ class ReplicatedStore:
         writer = f"{client_node}#{next(self._seq)}"
         record = Record(version=(counter, writer), nbytes=nbytes, meta=meta,
                         timestamp=self.sim.now)
-        yield from self._replica_put(client_node, target, key, record)
+        with self.network.tracer.span(
+                "eventual.write", store=self.name, key=key, nbytes=nbytes,
+                consistency="eventual", replica=target,
+                replicas=len(self.replica_nodes)):
+            yield from self._replica_put(client_node, target, key, record)
         for nid in self.replica_nodes:
             if nid != target:
+                # Background anti-entropy: runs (and finishes) long
+                # after the write acks, so it must not inherit the
+                # writer's span context.
                 self.sim.spawn(self._propagate(target, nid, key, record),
-                               name=f"propagate:{key}")
+                               name=f"propagate:{key}",
+                               inherit_context=False)
         self.metrics.counter(f"{self.name}.eventual_writes").add(1)
         return record.version
 
@@ -243,17 +262,22 @@ class ReplicatedStore:
     def read_eventual(self, client_node: str, key: str) -> Generator:
         """Read the closest replica; may return a stale record."""
         target = self.closest_replica(client_node)
-        yield from self.network.transfer(client_node, target,
-                                         CONTROL_MSG_BYTES,
-                                         purpose="eventual:get-req")
-        try:
-            record = yield from self.replicas[target].read(key)
-        except KeyNotFoundError:
-            self.metrics.counter(f"{self.name}.read_misses").add(1)
-            raise
-        yield from self.network.transfer(target, client_node,
-                                         CONTROL_MSG_BYTES + record.nbytes,
-                                         purpose="eventual:get-resp")
+        with self.network.tracer.span(
+                "eventual.read", store=self.name, key=key,
+                consistency="eventual", replica=target,
+                replicas=len(self.replica_nodes)) as sp:
+            yield from self.network.transfer(client_node, target,
+                                             CONTROL_MSG_BYTES,
+                                             purpose="eventual:get-req")
+            try:
+                record = yield from self.replicas[target].read(key)
+            except KeyNotFoundError:
+                self.metrics.counter(f"{self.name}.read_misses").add(1)
+                raise
+            yield from self.network.transfer(
+                target, client_node, CONTROL_MSG_BYTES + record.nbytes,
+                purpose="eventual:get-resp")
+            sp.set(nbytes=record.nbytes)
         self.metrics.counter(f"{self.name}.eventual_reads").add(1)
         return record
 
@@ -263,7 +287,8 @@ class ReplicatedStore:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim.spawn(self._anti_entropy_loop(interval),
-                       name=f"anti-entropy:{self.name}")
+                       name=f"anti-entropy:{self.name}",
+                       inherit_context=False)
 
     def _anti_entropy_loop(self, interval: float) -> Generator:
         while True:

@@ -1,0 +1,167 @@
+"""Unit tests for the hierarchical span API of the tracer."""
+
+import pytest
+
+from repro.sim import NULL_SPAN, NULL_TRACER, Tracer
+from repro.sim.trace import STATUS_ERROR, STATUS_OK
+
+
+class FakeClock:
+    """Manually-advanced clock for driving an unbound tracer."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(enabled=True, clock=clock)
+
+
+def test_nested_spans_parent_and_ids(tracer, clock):
+    with tracer.span("outer", a=1) as outer:
+        clock.tick()
+        with tracer.span("inner") as inner:
+            clock.tick()
+        clock.tick()
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.span_id != inner.span_id
+    # Child interval nested within the parent's.
+    assert outer.start <= inner.start <= inner.end <= outer.end
+    assert outer.duration == pytest.approx(3.0)
+    assert inner.duration == pytest.approx(1.0)
+    ids = [s.span_id for s in tracer.spans()]
+    assert len(ids) == len(set(ids))
+
+
+def test_siblings_share_parent_and_restore_current(tracer, clock):
+    with tracer.span("root") as root:
+        with tracer.span("first"):
+            assert tracer.current_span.name == "first"
+        assert tracer.current_span is root
+        with tracer.span("second"):
+            pass
+    assert tracer.current_span is None
+    first, second = tracer.spans(name="first") + tracer.spans(name="second")
+    assert first.parent_id == second.parent_id == root.span_id
+    assert tracer.children(root) == [first, second]
+    assert tracer.root_of(first) is root
+    assert tracer.depth_of(root) == 1
+
+
+def test_exception_marks_error_status(tracer, clock):
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            clock.tick()
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+    doomed, = tracer.spans(name="doomed")
+    outer, = tracer.spans(name="outer")
+    assert doomed.status == STATUS_ERROR
+    assert "boom" in doomed.error
+    assert doomed.finished
+    # The exception propagated through the outer span too.
+    assert outer.status == STATUS_ERROR
+    assert tracer.current_span is None  # context restored
+
+
+def test_explicit_parent_overrides_context(tracer):
+    with tracer.span("ambient"):
+        with tracer.span("adopted", parent=None) as kid:
+            pass
+    # parent=None means "use the ambient span"; pass an explicit span
+    # to re-parent.
+    assert kid.parent_id == tracer.spans(name="ambient")[0].span_id
+    other = tracer.start_span("elsewhere")
+    with tracer.span("stitched", parent=other) as s:
+        pass
+    assert s.parent_id == other.span_id
+
+
+def test_category_filter_returns_null_span(clock):
+    tracer = Tracer(enabled=True, categories=["keep"], clock=clock)
+    assert tracer.span("dropped", category="drop") is NULL_SPAN
+    with tracer.span("kept", category="keep"):
+        pass
+    assert [s.name for s in tracer.spans()] == ["kept"]
+    tracer.record(0.0, "drop", x=1)
+    tracer.record(0.0, "keep", x=1)
+    assert len(tracer) == 2  # span-end compat record + explicit record
+    assert len(tracer.select("keep")) == 2
+    assert tracer.select("drop") == []
+
+
+def test_disabled_tracer_is_free():
+    tracer = Tracer(enabled=False)
+    cm = tracer.span("anything", big=list(range(10)))
+    assert cm is NULL_SPAN  # the shared singleton, no allocation
+    with cm as sp:
+        assert sp is NULL_SPAN
+        sp.set(ignored=True)
+    tracer.record(1.0, "cat", x=1)
+    assert tracer.span_count == 0
+    assert len(tracer) == 0
+    assert tracer.current_span is None
+    assert not NULL_SPAN  # falsy, so `if span:` guards work
+
+
+def test_null_tracer_shared_and_disabled():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.span("x") is NULL_SPAN
+    assert NULL_TRACER.span_count == 0
+
+
+def test_span_end_emits_compat_record(tracer, clock):
+    with tracer.span("net.transfer", nbytes=100):
+        clock.tick()
+    with tracer.span("net.transfer", nbytes=50):
+        pass
+    assert tracer.sum_field("net.transfer", "nbytes") == 150
+    recs = tracer.select("net.transfer")
+    assert len(recs) == 2
+    assert recs[0].time == pytest.approx(1.0)
+
+
+def test_select_predicate_and_index(tracer):
+    for i in range(5):
+        tracer.record(float(i), "a", i=i)
+        tracer.record(float(i), "b", i=i)
+    assert len(tracer.select("a")) == 5
+    assert [r.payload["i"] for r in
+            tracer.select("a", lambda r: r.payload["i"] % 2 == 0)] \
+        == [0, 2, 4]
+    # Returned lists are copies: mutating one must not corrupt the index.
+    tracer.select("a").clear()
+    assert len(tracer.select("a")) == 5
+
+
+def test_clear_resets_spans_and_records(tracer):
+    with tracer.span("x"):
+        pass
+    tracer.record(0.0, "y")
+    tracer.clear()
+    assert tracer.span_count == 0
+    assert len(tracer) == 0
+    assert tracer.select("x") == []
+    assert tracer.roots() == []
+
+
+def test_unfinished_span_duration_raises(tracer):
+    span = tracer.start_span("open")
+    assert not span.finished
+    with pytest.raises(ValueError):
+        _ = span.duration
+    with pytest.raises(ValueError):
+        tracer.end_span(tracer.end_span(span))  # double end
