@@ -1,0 +1,250 @@
+"""Performance-regression gate over the E4 critical path.
+
+Runs the pinned-seed E4 model-serving pipeline (PCSI co-located, seed
+41, traced), extracts the per-invocation critical paths, folds the
+``merged_by_name`` totals into *layers* (cold start, network, quorum,
+storage, compute, control), and compares each layer's total seconds
+against a checked-in baseline (``benchmarks/baselines/
+e4_critical_path.json``) with per-layer tolerances.
+
+The simulation is deterministic, so any drift beyond tolerance is a
+real behavior change — a new network hop on the hot path, an extra
+quorum round, a changed placement decision — not noise. CI runs this
+as the ``perf-gate`` job and fails the build on violations.
+
+Usage::
+
+    python -m repro.bench.regress                 # compare, exit 0/1
+    python -m repro.bench.regress --update        # rewrite the baseline
+    python -m repro.bench.regress --out cp.json --metrics-out m.json
+
+Updating the baseline is a deliberate act: run with ``--update``,
+commit the JSON, and explain the perf delta in the commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.resources import MB
+from ..core.system import PCSICloud
+from ..sim.trace import ProbabilisticSampler
+from ..workloads.ml_serving import ModelServingApp, ModelServingConfig
+from .critical_path import invocation_critical_paths, merged_by_name
+
+#: The pinned E4 workload (mirrors e04_fig2_pipeline, co-locate arm).
+SEED = 41
+WARMUP = 2
+REQUESTS = 10
+CFG = ModelServingConfig(upload_nbytes=4 * MB, weights_nbytes=64 * MB)
+
+#: Span name -> layer. Unknown names fall into "other" so a new span
+#: can never silently vanish from the gate.
+LAYERS: Dict[str, str] = {
+    "coldstart": "coldstart",
+    "sandbox.provision": "coldstart",
+    "net.transfer": "network",
+    "net.local_copy": "network",
+    "quorum.read": "quorum",
+    "quorum.write": "quorum",
+    "eventual.read": "quorum",
+    "eventual.write": "quorum",
+    "data.read": "storage",
+    "data.write": "storage",
+    "data.read_range": "storage",
+    "data.readv": "storage",
+    "nfs.read": "storage",
+    "nfs.write": "storage",
+    "kv.get": "storage",
+    "kv.put": "storage",
+    "compute": "compute",
+    "execute": "compute",
+    "invoke": "control",
+    "dispatch": "control",
+    "placement": "control",
+    "attempt": "control",
+    "warmpool.acquire": "control",
+    "queue.wait": "control",
+    "retry.backoff": "control",
+    "graph": "control",
+    "pipeline": "control",
+    "fifo.put": "control",
+    "fifo.get": "control",
+    "socket.send": "control",
+    "socket.recv": "control",
+}
+
+#: Relative tolerance per layer (fraction of the baseline total);
+#: layers not listed use DEFAULT_TOLERANCE.
+DEFAULT_TOLERANCE = 0.15
+
+#: Absolute slack: deltas under this many seconds never fail, so
+#: near-zero layers don't trip on representation noise.
+ABS_FLOOR = 5e-5
+
+
+def layer_of(span_name: str) -> str:
+    """The gate layer a span name belongs to."""
+    return LAYERS.get(span_name, "other")
+
+
+def fold_layers(by_name: Dict[str, float]) -> Dict[str, float]:
+    """Collapse merged critical-path totals into layer totals."""
+    out: Dict[str, float] = {}
+    for name, secs in by_name.items():
+        layer = layer_of(name)
+        out[layer] = out.get(layer, 0.0) + secs
+    return dict(sorted(out.items()))
+
+
+def run_pinned_e4(requests: int = REQUESTS,
+                  sample_rate: Optional[float] = None
+                  ) -> Tuple[PCSICloud, Dict[str, float], Dict[str, float]]:
+    """Run the pinned workload; returns (cloud, by_name, by_layer).
+
+    ``sample_rate`` installs a probabilistic head sampler (used by the
+    sampling acceptance test; the gate itself traces everything).
+    """
+    sampler = None if sample_rate is None \
+        else ProbabilisticSampler(sample_rate, seed=SEED)
+    cloud = PCSICloud(racks=4, nodes_per_rack=8, gpu_nodes_per_rack=2,
+                      seed=SEED, placement="colocate", keep_alive=600.0,
+                      trace=True, sampler=sampler)
+    app = ModelServingApp(cloud, CFG)
+    client = cloud.client_node()
+
+    def flow() -> Generator:
+        for _ in range(WARMUP + requests):
+            yield from app.serve_one(client)
+
+    cloud.run_process(flow())
+    reports = invocation_critical_paths(cloud.tracer)
+    by_name = merged_by_name(reports)
+    return cloud, by_name, fold_layers(by_name)
+
+
+def compare(current: Dict[str, float], baseline: Dict[str, Any]
+            ) -> List[str]:
+    """Violations of ``current`` layer totals against a baseline doc."""
+    base_layers: Dict[str, float] = baseline["by_layer"]
+    tolerances: Dict[str, float] = baseline.get("tolerances", {})
+    default_tol = baseline.get("default_tolerance", DEFAULT_TOLERANCE)
+    abs_floor = baseline.get("abs_floor_s", ABS_FLOOR)
+    violations: List[str] = []
+    for layer in sorted(set(base_layers) | set(current)):
+        base = base_layers.get(layer, 0.0)
+        cur = current.get(layer, 0.0)
+        tol = tolerances.get(layer, default_tol)
+        allowed = max(tol * base, abs_floor)
+        delta = cur - base
+        if abs(delta) > allowed:
+            violations.append(
+                f"layer {layer!r}: {cur * 1e3:.3f} ms vs baseline "
+                f"{base * 1e3:.3f} ms ({delta:+.6f} s, allowed "
+                f"+/-{allowed:.6f} s)")
+    return violations
+
+
+def default_baseline_path() -> Path:
+    """``benchmarks/baselines/e4_critical_path.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "e4_critical_path.json"
+
+
+def baseline_doc(by_layer: Dict[str, float],
+                 by_name: Dict[str, float],
+                 requests: int) -> Dict[str, Any]:
+    """The JSON document checked in as the baseline."""
+    return {
+        "experiment": "E4 pinned (PCSI co-locate)",
+        "seed": SEED,
+        "warmup": WARMUP,
+        "requests": requests,
+        "by_layer": by_layer,
+        "by_name": by_name,
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "abs_floor_s": ABS_FLOOR,
+        "tolerances": {
+            # Cold starts happen once, then warm reuse: small absolute
+            # numbers, so give the layer more relative headroom.
+            "coldstart": 0.25,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns 0 (pass), 1 (regression), 2 (usage)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regress",
+        description="E4 critical-path regression gate")
+    parser.add_argument("--baseline", type=Path,
+                        default=default_baseline_path(),
+                        help="baseline JSON to compare against")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the current critical-path JSON here")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="write the run's labeled-metrics JSON here")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--requests", type=int, default=REQUESTS,
+                        help="measured requests after warmup")
+    parser.add_argument("--sample-rate", type=float, default=None,
+                        help="head-sampling rate (default: trace all)")
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.sample_rate is not None \
+            and not 0.0 <= args.sample_rate <= 1.0:
+        parser.error("--sample-rate must be in [0, 1]")
+
+    cloud, by_name, by_layer = run_pinned_e4(
+        requests=args.requests, sample_rate=args.sample_rate)
+    doc = baseline_doc(by_layer, by_name, args.requests)
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                            + "\n", encoding="utf-8")
+        print(f"critical-path totals written to {args.out}")
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        cloud.metrics.write_json(str(args.metrics_out), now=cloud.sim.now)
+        print(f"labeled metrics written to {args.metrics_out}")
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    if args.requests != baseline.get("requests", REQUESTS):
+        print("warning: request count differs from the baseline run; "
+              "totals are not comparable", file=sys.stderr)
+
+    for layer, secs in sorted(by_layer.items(), key=lambda kv: -kv[1]):
+        base = baseline["by_layer"].get(layer, 0.0)
+        print(f"  {layer:<10} {secs * 1e3:9.3f} ms "
+              f"(baseline {base * 1e3:9.3f} ms)")
+    violations = compare(by_layer, baseline)
+    if violations:
+        print("PERF REGRESSION:", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from typing import Generator, List, Optional, Set, Tuple
 
 from ..sim.engine import Event, Simulator
 from ..sim.metrics import MetricsRegistry
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.resources import Resource, Store
 from ..sim.trace import NULL_TRACER, Tracer
 from .latency import LatencyProfile
@@ -66,7 +67,11 @@ class Network:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer is not NULL_TRACER and self.tracer._sim is None:
             self.tracer.bind(sim)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None \
+            else LabeledMetricsRegistry()
+        #: True when the registry understands labels/gauges (a plain
+        #: MetricsRegistry passed in keeps the legacy flat counters).
+        self._labeled = isinstance(self.metrics, LabeledMetricsRegistry)
         self._partitions: List[Partition] = []
         #: Per-node egress NICs: a sender occupies its link for the
         #: payload's wire time, so concurrent large transfers from one
@@ -154,24 +159,44 @@ class Network:
                   purpose: str) -> Generator:
         waited = yield from self._await_reachable(src, dst, fail_fast)
         start = self.sim.now
-        if src != dst and self.model_contention and nbytes > 0:
-            # Serialize onto the sender's NIC: hold the egress link for
-            # the wire time (queueing behind concurrent senders), then
-            # pay the propagation/processing parts without the link.
-            link = self._egress_link(src)
-            yield link.acquire()
-            try:
-                yield self.sim.timeout(self.profile.wire_time(nbytes))
-            finally:
-                link.release()
-            yield self.sim.timeout(self.profile.socket_overhead
-                                   + self.profile.one_way(
-                                       same_rack=self.topology.same_rack(
-                                           src, dst)))
-        else:
-            yield self.sim.timeout(self.one_way_delay(src, dst, nbytes))
+        inflight = self.metrics.gauge("network.inflight") \
+            if self._labeled else None
+        if inflight is not None:
+            inflight.add(1, start)
+        try:
+            if src != dst and self.model_contention and nbytes > 0:
+                # Serialize onto the sender's NIC: hold the egress link
+                # for the wire time (queueing behind concurrent
+                # senders), then pay the propagation/processing parts
+                # without the link.
+                link = self._egress_link(src)
+                yield link.acquire()
+                try:
+                    yield self.sim.timeout(self.profile.wire_time(nbytes))
+                finally:
+                    link.release()
+                yield self.sim.timeout(self.profile.socket_overhead
+                                       + self.profile.one_way(
+                                           same_rack=self.topology.same_rack(
+                                               src, dst)))
+            else:
+                yield self.sim.timeout(self.one_way_delay(src, dst, nbytes))
+        finally:
+            if inflight is not None:
+                inflight.add(-1, self.sim.now)
         delay = self.sim.now - start
-        if src != dst:
+        if self._labeled:
+            # Labeled children roll up into the bare-name aggregates,
+            # so legacy readers of "network.bytes" see the same totals.
+            if src != dst:
+                self.metrics.counter("network.bytes",
+                                     purpose=purpose).add(nbytes)
+                self.metrics.counter("network.messages",
+                                     purpose=purpose).add(1)
+            else:
+                self.metrics.counter("network.local_bytes",
+                                     purpose=purpose).add(nbytes)
+        elif src != dst:
             self.metrics.counter("network.bytes").add(nbytes)
             self.metrics.counter("network.messages").add(1)
         else:

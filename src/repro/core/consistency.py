@@ -19,6 +19,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from ..cluster.network import Network
 from ..net.marshal import SizedPayload
 from ..sim.engine import Simulator, US
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.rng import RandomStream
 from ..storage.blockstore import Medium, NVME, RAM, Record
 from ..storage.replication import ReplicatedStore
@@ -52,6 +53,17 @@ class DataLayer:
         # Ephemeral (intermediate) content: object_id -> Record, living
         # in memory on obj.host_node.
         self._ephemeral: Dict[str, Record] = {}
+        self.metrics = network.metrics
+        self._labeled = isinstance(self.metrics, LabeledMetricsRegistry)
+
+    def _observe(self, op: str, consistency: str, start: float) -> None:
+        """Data-layer op latency by operation and consistency level
+        (``ephemeral`` and ``cache`` count as levels: they are the
+        paths that *bypass* the consistency machinery)."""
+        if self._labeled:
+            self.metrics.histogram("data.op_latency", op=op,
+                                   consistency=consistency) \
+                .observe(self.sim.now - start)
 
     # -- writes ---------------------------------------------------------------
     def write(self, client_node: str, obj: PCSIObject,
@@ -67,6 +79,7 @@ class DataLayer:
         obj.require_kind(ObjectKind.REGULAR)
         self._check_write_allowed(obj, payload.nbytes, append)
         new_size = obj.size + payload.nbytes if append else payload.nbytes
+        start = self.sim.now
         if obj.ephemeral:
             with self.network.tracer.span("data.write", object=obj.object_id,
                                           nbytes=payload.nbytes,
@@ -74,6 +87,7 @@ class DataLayer:
                 yield from self._write_ephemeral(client_node, obj, payload,
                                                  new_size)
             obj.size = new_size
+            self._observe("write", "ephemeral", start)
             return new_size
         level = consistency if consistency is not None else obj.consistency
         with self.network.tracer.span("data.write", object=obj.object_id,
@@ -87,6 +101,7 @@ class DataLayer:
                     client_node, obj.object_id, new_size, meta=payload.meta)
         obj.size = new_size
         self._invalidate(obj.object_id)
+        self._observe("write", level.value, start)
         return new_size
 
     def _check_write_allowed(self, obj: PCSIObject, nbytes: int,
@@ -118,10 +133,12 @@ class DataLayer:
         """
         obj.require_kind(ObjectKind.REGULAR)
         tracer = self.network.tracer
+        start = self.sim.now
         if obj.ephemeral:
             with tracer.span("data.read", object=obj.object_id,
                              ephemeral=True):
                 payload = yield from self._read_ephemeral(client_node, obj)
+            self._observe("read", "ephemeral", start)
             return payload
         cache_key = (client_node, obj.object_id)
         if self._cacheable(obj):
@@ -131,6 +148,7 @@ class DataLayer:
                                  nbytes=cached.nbytes, cache_hit=True):
                     yield self.sim.timeout(RAM.access_time(cached.nbytes))
                 self.cache_hits += 1
+                self._observe("read", "cache", start)
                 return SizedPayload(cached.nbytes, meta=cached.meta)
         self.cache_misses += 1
         level = consistency if consistency is not None else obj.consistency
@@ -145,6 +163,7 @@ class DataLayer:
             sp.set(nbytes=record.nbytes)
         if self._cacheable(obj):
             self._cache[cache_key] = record
+        self._observe("read", level.value, start)
         return SizedPayload(record.nbytes, meta=record.meta)
 
     def read_range(self, client_node: str, obj: PCSIObject, offset: int,

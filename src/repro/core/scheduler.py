@@ -19,6 +19,7 @@ from ..faas.autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
 from ..faas.platforms import ExecutorLostError
 from ..net.marshal import estimate_size
 from ..security.capabilities import Right
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..storage.replication import QuorumUnavailableError
 from .errors import InvocationError, ObjectTypeError
 from .functions import FunctionDef, FunctionImpl
@@ -122,7 +123,14 @@ class FunctionScheduler:
                 except self.RETRIABLE as exc:
                     if attempt >= max_attempts:
                         raise
-                    kernel.metrics.counter("invoke.retries").add(1)
+                    if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                        # Labeled child rolls up into the bare
+                        # "invoke.retries" aggregate.
+                        kernel.metrics.counter(
+                            "invoke.retries", fn=fn_def.name,
+                            cause=type(exc).__name__).add(1)
+                    else:
+                        kernel.metrics.counter("invoke.retries").add(1)
                     with tracer.span("retry.backoff", attempt=attempt,
                                      cause=type(exc).__name__):
                         yield sim.timeout(backoff)
@@ -144,6 +152,10 @@ class FunctionScheduler:
                                              self.pools_by_impl(fn_def))
             pool = self.pool_for(fn_def, impl)
             psp.set(impl=impl.name)
+            if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                kernel.metrics.counter("scheduler.placement",
+                                       fn=fn_def.name,
+                                       impl=impl.name).add(1)
 
         inv = Invocation(fn_name=fn_def.name, impl_name=impl.name,
                          args=dict(args), request=dict(request),
@@ -196,6 +208,10 @@ class FunctionScheduler:
                 + impl.resources.accelerators.get("npu", 0))
         kernel.meter.invocation(inv.service_time, memory_gb, gpus=gpus)
         kernel.metrics.histogram(f"invoke.{fn_def.name}").observe(inv.latency)
+        if isinstance(kernel.metrics, LabeledMetricsRegistry):
+            kernel.metrics.histogram(
+                "invoke.latency", fn=fn_def.name, impl=impl.name,
+                cold=inv.cold_start).observe(inv.latency)
         if inv.cold_start:
             kernel.metrics.counter(f"invoke.{fn_def.name}.cold").add(1)
 

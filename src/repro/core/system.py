@@ -32,10 +32,10 @@ from ..cost.pricing import PriceBook
 from ..net.marshal import SizedPayload
 from ..security.capabilities import CAPABILITY_CHECK_TIME, Right
 from ..sim.engine import Simulator
-from ..sim.metrics import MetricsRegistry
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.resources import Channel, Store
 from ..sim.rng import RandomStream
-from ..sim.trace import Tracer
+from ..sim.trace import SamplingPolicy, Tracer
 from ..storage.blockstore import Medium, NVME, Record
 from .consistency import DataLayer
 from .errors import NamespaceError, ObjectNotFoundError, ObjectTypeError
@@ -58,6 +58,31 @@ from .taskgraph import GraphResult, Intermediate, TaskGraph
 from .unionfs import mount_union, needs_copy_up, union_lookup
 
 
+class _Handoff:
+    """A queued FIFO/socket payload tagged with its producer's span id.
+
+    FIFO and socket hand-offs cross process boundaries: the consumer
+    runs in its own invocation, so its spans cannot *nest* under the
+    producer's. Carrying the producer's span id through the queue lets
+    the consumer's span record the causal edge (``origin_span``), which
+    is what stitches a pipelined StreamingTransform into one traceable
+    request flow.
+    """
+
+    __slots__ = ("payload", "origin_span")
+
+    def __init__(self, payload: SizedPayload, origin_span: int):
+        self.payload = payload
+        self.origin_span = origin_span
+
+
+def _unwrap(item):
+    """(payload, origin_span_id_or_None) for a queued item."""
+    if isinstance(item, _Handoff):
+        return item.payload, item.origin_span
+    return item, None
+
+
 class PCSICloud:
     """One PCSI deployment over a simulated warehouse-scale cluster."""
 
@@ -74,11 +99,12 @@ class PCSICloud:
                  keep_alive: float = 60.0,
                  prices: Optional[PriceBook] = None,
                  trace: bool = False,
+                 sampler: Optional[SamplingPolicy] = None,
                  topology: Optional[Topology] = None):
         self.sim = sim if sim is not None else Simulator()
         self.rng = RandomStream(seed, "pcsi")
-        self.tracer = Tracer(enabled=trace).bind(self.sim)
-        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=trace, sampler=sampler).bind(self.sim)
+        self.metrics = LabeledMetricsRegistry()
         self.topology = topology if topology is not None else build_cluster(
             self.sim, racks=racks, nodes_per_rack=nodes_per_rack,
             gpu_nodes_per_rack=gpu_nodes_per_rack)
@@ -332,19 +358,29 @@ class PCSICloud:
         """
         yield from self._authorize(ref, Right.WRITE)
         obj = self._object(ref).require_kind(ObjectKind.FIFO)
-        yield from self.network.transfer(node, obj.host_node,
-                                         payload.nbytes, purpose="fifo-put")
-        yield self._fifos[obj.object_id].put(payload)
+        with self.tracer.span("fifo.put", object=obj.object_id,
+                              nbytes=payload.nbytes) as sp:
+            yield from self.network.transfer(node, obj.host_node,
+                                             payload.nbytes,
+                                             purpose="fifo-put")
+            item = _Handoff(payload, sp.span_id) if sp else payload
+            yield self._fifos[obj.object_id].put(item)
 
     def op_fifo_get(self, node: str, ref: Reference) -> Generator:
         """Dequeue from a FIFO; blocks until an item is available."""
         yield from self._authorize(ref, Right.READ)
         obj = self._object(ref).require_kind(ObjectKind.FIFO)
-        yield from self.network.transfer(node, obj.host_node, 64,
-                                         purpose="fifo-get-req")
-        item: SizedPayload = yield self._fifos[obj.object_id].get()
-        yield from self.network.transfer(obj.host_node, node, item.nbytes,
-                                         purpose="fifo-get-resp")
+        with self.tracer.span("fifo.get", object=obj.object_id) as sp:
+            yield from self.network.transfer(node, obj.host_node, 64,
+                                             purpose="fifo-get-req")
+            queued = yield self._fifos[obj.object_id].get()
+            item, origin = _unwrap(queued)
+            if origin is not None:
+                sp.set(origin_span=origin)
+            sp.set(nbytes=item.nbytes)
+            yield from self.network.transfer(obj.host_node, node,
+                                             item.nbytes,
+                                             purpose="fifo-get-resp")
         return item
 
     def op_socket_send(self, node: str, ref: Reference,
@@ -353,20 +389,32 @@ class PCSICloud:
         """Send on a socket (server side sends toward the client)."""
         yield from self._authorize(ref, Right.WRITE)
         obj = self._object(ref).require_kind(ObjectKind.SOCKET)
-        yield from self.network.transfer(node, obj.host_node,
-                                         payload.nbytes, purpose="sock-send")
-        c2s, s2c = self._sockets[obj.object_id]
-        (s2c if server_side else c2s).put(payload)
+        with self.tracer.span("socket.send", object=obj.object_id,
+                              nbytes=payload.nbytes,
+                              server_side=server_side) as sp:
+            yield from self.network.transfer(node, obj.host_node,
+                                             payload.nbytes,
+                                             purpose="sock-send")
+            c2s, s2c = self._sockets[obj.object_id]
+            item = _Handoff(payload, sp.span_id) if sp else payload
+            (s2c if server_side else c2s).put(item)
 
     def op_socket_recv(self, node: str, ref: Reference,
                        server_side: bool = True) -> Generator:
         """Receive from a socket (server side reads client input)."""
         yield from self._authorize(ref, Right.READ)
         obj = self._object(ref).require_kind(ObjectKind.SOCKET)
-        c2s, s2c = self._sockets[obj.object_id]
-        item: SizedPayload = yield (c2s if server_side else s2c).get()
-        yield from self.network.transfer(obj.host_node, node, item.nbytes,
-                                         purpose="sock-recv")
+        with self.tracer.span("socket.recv", object=obj.object_id,
+                              server_side=server_side) as sp:
+            c2s, s2c = self._sockets[obj.object_id]
+            queued = yield (c2s if server_side else s2c).get()
+            item, origin = _unwrap(queued)
+            if origin is not None:
+                sp.set(origin_span=origin)
+            sp.set(nbytes=item.nbytes)
+            yield from self.network.transfer(obj.host_node, node,
+                                             item.nbytes,
+                                             purpose="sock-recv")
         return item
 
     def op_device(self, node: str, ref: Reference, op: str,
@@ -565,7 +613,8 @@ class PCSICloud:
         """Model the outside world awaiting the socket's response."""
         obj = self._object(socket_ref).require_kind(ObjectKind.SOCKET)
         _c2s, s2c = self._sockets[obj.object_id]
-        item = yield s2c.get()
+        queued = yield s2c.get()
+        item, _origin = _unwrap(queued)
         return item
 
     def _authorize(self, ref: Reference, right: Right) -> Generator:

@@ -15,6 +15,7 @@ from ..cluster.node import Node
 from ..cluster.resources import ResourceVector
 from ..sim.engine import Simulator
 from ..sim.metrics import MetricsRegistry, TimeWeightedGauge
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.trace import NULL_TRACER, Tracer
 from .platforms import Executor, PlatformSpec
 
@@ -51,7 +52,9 @@ class WarmPool:
         self.placer = placer
         self.keep_alive = keep_alive
         self.max_executors = max_executors
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = metrics if metrics is not None \
+            else LabeledMetricsRegistry()
+        self._labeled = isinstance(self.metrics, LabeledMetricsRegistry)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._executors: List[Executor] = []
         self._waiters: List = []
@@ -62,6 +65,28 @@ class WarmPool:
         self.peak_size = 0
         self._live_gauge = TimeWeightedGauge(f"{name}.live",
                                              start_time=sim.now)
+
+    # -- telemetry helpers -----------------------------------------------
+    def _count(self, event: str, **labels) -> None:
+        """One pool event: labeled ``warmpool.*`` family when the
+        registry supports labels, legacy ``{pool}.{event}`` flat
+        counter otherwise."""
+        if self._labeled:
+            self.metrics.counter(f"warmpool.{event}", pool=self.name,
+                                 **labels).add(1)
+        else:
+            self.metrics.counter(f"{self.name}.{event}").add(1)
+
+    def _track_size(self) -> None:
+        self._live_gauge.set(self.size, self.sim.now)
+        if self._labeled:
+            self.metrics.gauge("warmpool.size", pool=self.name) \
+                .set(self.size, self.sim.now)
+
+    def _track_queue_depth(self) -> None:
+        if self._labeled:
+            self.metrics.gauge("warmpool.queue_depth", pool=self.name) \
+                .set(len(self._waiters), self.sim.now)
 
     # -- pool state ------------------------------------------------------
     @property
@@ -113,7 +138,8 @@ class WarmPool:
                 executor = candidates[0]
                 executor.mark_busy()
                 self.warm_hits += 1
-                self.metrics.counter(f"{self.name}.warm_hits").add(1)
+                self._count("warm_hits")
+                self._count("acquire", outcome="warm")
                 if span is not None:
                     span.set(outcome="warm")
                 return executor
@@ -139,8 +165,10 @@ class WarmPool:
                     self._executors.append(executor)
                     self.cold_starts += 1
                     self.peak_size = max(self.peak_size, self.size)
-                    self._live_gauge.set(self.size, self.sim.now)
-                    self.metrics.counter(f"{self.name}.cold_starts").add(1)
+                    self._track_size()
+                    self._count("cold_starts",
+                                platform=self.platform.name)
+                    self._count("acquire", outcome="cold")
                     if span is not None:
                         span.set(outcome="cold")
                     return executor
@@ -155,13 +183,15 @@ class WarmPool:
             waiter = self.sim.event(name=f"starved:{self.name}")
             self._waiters.append(waiter)
             self.queue_waits += 1
-            self.metrics.counter(f"{self.name}.queue_waits").add(1)
+            self._count("queue_waits")
+            self._track_queue_depth()
             with tracer.span("queue.wait", pool=self.name):
                 executor = yield waiter
             if executor is not None and executor.live \
                     and not executor.busy and executor.node.alive:
                 executor.mark_busy()
                 self.warm_hits += 1
+                self._count("acquire", outcome="queued")
                 if span is not None:
                     span.set(outcome="queued")
                 return executor
@@ -177,6 +207,7 @@ class WarmPool:
         executor.mark_idle()
         while self._waiters:
             waiter = self._waiters.pop(0)
+            self._track_queue_depth()
             if not waiter.triggered:
                 waiter.succeed(executor)
                 return
@@ -190,14 +221,14 @@ class WarmPool:
         if (executor.live and not executor.busy
                 and executor.idle_since == idle_mark):
             executor.shutdown()
-            self._live_gauge.set(self.size, self.sim.now)
-            self.metrics.counter(f"{self.name}.reaped").add(1)
+            self._track_size()
+            self._count("reaped")
 
     def drain(self) -> None:
         """Immediately shut down all idle executors (tests/teardown)."""
         for executor in self.idle:
             executor.shutdown()
-        self._live_gauge.set(self.size, self.sim.now)
+        self._track_size()
 
     def live_executor_seconds(self, now: float) -> float:
         """Integrated sandbox-liveness (provider-side memory held),

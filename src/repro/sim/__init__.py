@@ -23,9 +23,25 @@ from .engine import (
     Timeout,
 )
 from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+from .metrics_registry import LabeledMetricsRegistry
 from .resources import Channel, Container, Resource, Store
 from .rng import RandomStream
-from .trace import NULL_SPAN, NULL_TRACER, Span, TraceRecord, Tracer
+from .trace import (
+    DEFER,
+    DROP,
+    NULL_SPAN,
+    NULL_TRACER,
+    SAMPLE,
+    AlwaysSample,
+    ErrorTailSampler,
+    KeyedRateSampler,
+    NeverSample,
+    ProbabilisticSampler,
+    SamplingPolicy,
+    Span,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "NS", "US", "MS", "SECOND", "MINUTE", "HOUR",
@@ -33,6 +49,10 @@ __all__ = [
     "Interrupt", "SimulationError",
     "Resource", "Container", "Store", "Channel",
     "Counter", "Histogram", "MetricsRegistry", "TimeWeightedGauge",
+    "LabeledMetricsRegistry",
     "RandomStream", "Tracer", "TraceRecord", "Span",
     "NULL_SPAN", "NULL_TRACER",
+    "SamplingPolicy", "AlwaysSample", "NeverSample",
+    "ProbabilisticSampler", "KeyedRateSampler", "ErrorTailSampler",
+    "SAMPLE", "DROP", "DEFER",
 ]

@@ -1,0 +1,330 @@
+"""Labeled metrics: instrument families keyed by label sets.
+
+The plain :class:`~repro.sim.metrics.MetricsRegistry` names every
+instrument with a flat string, which forces callers to mangle dimensions
+into names (``"pool-a.cold_starts"``) and makes cross-cutting questions
+("cold starts by platform", "bytes by purpose") a string-parsing
+exercise. This module adds the missing dimension: an *instrument
+family* is one name (``"network.bytes"``) with one child instrument per
+label set (``purpose="fifo-put"``), plus an always-present unlabeled
+aggregate that every labeled update forwards into.
+
+The aggregate forwarding is what keeps the registry backward
+compatible: ``registry.counter("network.bytes")`` still reads the total
+across all purposes, exactly as it did before labels existed, while
+``registry.counter("network.bytes", purpose="dispatch")`` reads one
+slice.
+
+Cardinality is bounded per family (``max_label_sets``): once a family
+is full, new label sets collapse into a single ``__overflow__`` child
+(and are counted in :attr:`LabeledMetricsRegistry.dropped_label_sets`)
+instead of growing memory without bound — the standard defense against
+accidentally labeling by request id.
+
+Time series: :meth:`LabeledMetricsRegistry.sample` snapshots every
+counter value and gauge level against *simulated* time;
+:meth:`series` reads one instrument's ``(t, value)`` points back.
+Snapshots are O(instruments) appends — cheap enough to run on an
+interval process (:meth:`sampler_process`) for E-series runs.
+
+Exporters: :meth:`to_json` (one self-contained dict: counters, gauges,
+histogram summaries, series) and :meth:`to_line_protocol` (Influx-style
+lines) turn a run's telemetry into a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
+
+from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+
+#: Label name used for the collapsed catch-all child of a full family.
+OVERFLOW_LABEL = "__overflow__"
+
+#: Default bound on distinct label sets per family.
+DEFAULT_MAX_LABEL_SETS = 256
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical (sorted, stringified) key for one label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_instrument(name: str, key: LabelKey) -> str:
+    """Printable instrument id: ``name{k=v,k2=v2}`` (bare name if unlabeled)."""
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class LabeledCounter(Counter):
+    """A counter child that forwards every increment to its aggregate."""
+
+    def __init__(self, name: str = "", aggregate: Optional[Counter] = None):
+        super().__init__(name)
+        self._aggregate = aggregate
+
+    def add(self, amount: float = 1.0) -> None:
+        super().add(amount)
+        if self._aggregate is not None:
+            self._aggregate.add(amount)
+
+
+class LabeledHistogram(Histogram):
+    """A histogram child that forwards every sample to its aggregate."""
+
+    def __init__(self, name: str = "",
+                 aggregate: Optional[Histogram] = None):
+        super().__init__(name)
+        self._aggregate = aggregate
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        if self._aggregate is not None:
+            self._aggregate.observe(value)
+
+
+class LabeledGauge(TimeWeightedGauge):
+    """A gauge child whose *level changes* flow into the aggregate.
+
+    The aggregate gauge therefore tracks the sum of all children's
+    levels (total in-flight transfers, total live sandboxes), which is
+    the meaningful roll-up for a level metric.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0,
+                 start_time: float = 0.0,
+                 aggregate: Optional[TimeWeightedGauge] = None):
+        super().__init__(name, initial=initial, start_time=start_time)
+        self._aggregate = aggregate
+
+    def set(self, level: float, now: float) -> None:
+        delta = level - self.level
+        super().set(level, now)
+        if self._aggregate is not None and delta:
+            self._aggregate.add(delta, now)
+
+
+class _Family:
+    """One instrument name: unlabeled aggregate + labeled children."""
+
+    __slots__ = ("name", "kind", "aggregate", "children", "series")
+
+    def __init__(self, name: str, kind: str, aggregate):
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.aggregate = aggregate
+        self.children: Dict[LabelKey, Any] = {}
+        #: (t, value) points per label key; () is the aggregate.
+        self.series: Dict[LabelKey, List[Tuple[float, float]]] = {}
+
+    def instruments(self) -> Iterator[Tuple[LabelKey, Any]]:
+        yield (), self.aggregate
+        for key in sorted(self.children):
+            yield key, self.children[key]
+
+
+class LabeledMetricsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` whose instruments accept label sets.
+
+    Unlabeled calls are exactly the legacy API (and read the family
+    aggregate); labeled calls address one child. Mixing is the normal
+    usage: hot paths update labeled children, summary code reads the
+    bare name.
+    """
+
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        super().__init__()
+        if max_label_sets < 1:
+            raise ValueError("max_label_sets must be >= 1")
+        self.max_label_sets = max_label_sets
+        self._families: Dict[str, _Family] = {}
+        #: Label sets collapsed into __overflow__ children, by family.
+        self.dropped_label_sets = 0
+        self._sample_times: List[float] = []
+
+    # -- family plumbing -------------------------------------------------
+    def _family(self, name: str, kind: str, factory) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, factory(name, None))
+            self._families[name] = family
+        elif family.kind != kind:
+            raise TypeError(
+                f"instrument {name!r} is a {family.kind}, not a {kind}")
+        return family
+
+    def _child(self, family: _Family, labels: Dict[str, Any], factory):
+        if not labels:
+            return family.aggregate
+        key = label_key(labels)
+        child = family.children.get(key)
+        if child is None:
+            if len(family.children) >= self.max_label_sets:
+                self.dropped_label_sets += 1
+                key = ((OVERFLOW_LABEL, "true"),)
+                child = family.children.get(key)
+                if child is None:
+                    child = factory(format_instrument(family.name, key),
+                                    family.aggregate)
+                    family.children[key] = child
+                return child
+            child = factory(format_instrument(family.name, key),
+                            family.aggregate)
+            family.children[key] = child
+        return child
+
+    # -- instruments ------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create a counter (the family aggregate if unlabeled)."""
+        family = self._family(
+            name, "counter", lambda n, agg: LabeledCounter(n, agg))
+        return self._child(family, labels,
+                           lambda n, agg: LabeledCounter(n, agg))
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """Get or create a histogram (the family aggregate if unlabeled)."""
+        family = self._family(
+            name, "histogram", lambda n, agg: LabeledHistogram(n, agg))
+        return self._child(family, labels,
+                           lambda n, agg: LabeledHistogram(n, agg))
+
+    def gauge(self, name: str, **labels: Any) -> TimeWeightedGauge:
+        """Get or create a time-weighted gauge.
+
+        The aggregate of a labeled gauge family tracks the *sum* of its
+        children's levels.
+        """
+        family = self._family(
+            name, "gauge", lambda n, agg: LabeledGauge(n, aggregate=agg))
+        return self._child(family, labels,
+                           lambda n, agg: LabeledGauge(n, aggregate=agg))
+
+    # -- snapshots ---------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """All counter values: aggregates under bare names, children
+        under ``name{label=value}`` keys."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "counter":
+                continue
+            for key, inst in family.instruments():
+                out[format_instrument(name, key)] = inst.value
+        return out
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """All histogram summaries (aggregates and labeled children)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "histogram":
+                continue
+            for key, inst in family.instruments():
+                out[format_instrument(name, key)] = inst.summary()
+        return out
+
+    def gauges(self, now: float) -> Dict[str, Dict[str, float]]:
+        """All gauge levels / time-weighted means / peaks as of ``now``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "gauge":
+                continue
+            for key, inst in family.instruments():
+                out[format_instrument(name, key)] = {
+                    "level": inst.level,
+                    "mean": inst.mean(now),
+                    "peak": inst.peak,
+                }
+        return out
+
+    # -- time series -------------------------------------------------------
+    def sample(self, now: float) -> None:
+        """Snapshot every counter value and gauge level at sim time
+        ``now`` (histograms are cumulative; they are exported once at
+        the end instead of per sample)."""
+        self._sample_times.append(now)
+        for family in self._families.values():
+            if family.kind == "histogram":
+                continue
+            for key, inst in family.instruments():
+                value = inst.value if family.kind == "counter" \
+                    else inst.level
+                family.series.setdefault(key, []).append((now, value))
+
+    def series(self, name: str, **labels: Any) -> List[Tuple[float, float]]:
+        """The sampled ``(t, value)`` points of one instrument."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        return list(family.series.get(label_key(labels), ()))
+
+    def sampler_process(self, sim, interval: float) -> Generator:
+        """A simulation process that samples every ``interval`` seconds.
+
+        Spawn with ``inherit_context=False`` so the sampler never
+        parents under whatever span is open when it starts::
+
+            sim.spawn(registry.sampler_process(sim, 1.0),
+                      inherit_context=False)
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        while True:
+            yield sim.timeout(interval)
+            self.sample(sim.now)
+
+    # -- export ------------------------------------------------------------
+    def to_json(self, now: float = 0.0) -> Dict[str, Any]:
+        """The whole registry as one JSON-serializable dict."""
+        out: Dict[str, Any] = {
+            "now_s": now,
+            "counters": self.counters(),
+            "gauges": self.gauges(now),
+            "histograms": self.histograms(),
+            "dropped_label_sets": self.dropped_label_sets,
+        }
+        series: Dict[str, List[List[float]]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key, points in sorted(family.series.items()):
+                series[format_instrument(name, key)] = \
+                    [[t, v] for t, v in points]
+        if series:
+            out["series"] = series
+        return out
+
+    def write_json(self, path: str, now: float = 0.0) -> None:
+        """Dump :meth:`to_json` to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(now), fh, indent=2, sort_keys=True)
+
+    def to_line_protocol(self, now: float = 0.0) -> str:
+        """Final values as Influx line protocol (one line per
+        instrument; histogram summaries become multiple fields).
+        Timestamps are integer nanoseconds of simulated time."""
+        ts = int(now * 1e9)
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key, inst in family.instruments():
+                tags = "".join(f",{k}={v}" for k, v in key)
+                if family.kind == "counter":
+                    fields = f"value={inst.value}"
+                elif family.kind == "gauge":
+                    fields = (f"level={inst.level}"
+                              f",mean={inst.mean(now)}"
+                              f",peak={inst.peak}")
+                else:
+                    summary = inst.summary()
+                    if not summary["count"]:
+                        continue
+                    fields = ",".join(f"{k}={v}"
+                                      for k, v in summary.items())
+                lines.append(f"{name}{tags} {fields} {ts}")
+        return "\n".join(lines)

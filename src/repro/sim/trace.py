@@ -22,6 +22,20 @@ is O(matches).
 
 Tracing is off by default; a disabled tracer's ``span()`` returns a
 shared no-op singleton, so the hot path allocates nothing.
+
+**Head-based sampling** makes tracing affordable under load: a
+:class:`SamplingPolicy` decides *once*, when a root span is about to
+open, whether that whole request tree is recorded. The decision
+propagates through the same process-context mechanism as the spans
+themselves, so every descendant of an unsampled root gets the
+allocation-free :data:`NULL_SPAN` without consulting the policy again.
+Three decisions exist:
+
+* :data:`SAMPLE` — record the tree normally;
+* :data:`DROP` — record nothing (children all see :data:`NULL_SPAN`);
+* :data:`DEFER` — record *provisionally* and keep the tree only if any
+  span in it ends with an error (tail-latency/error capture on top of
+  an otherwise aggressive drop rate; see :class:`ErrorTailSampler`).
 """
 
 from __future__ import annotations
@@ -31,12 +45,19 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .rng import RandomStream
+
 #: Process-context key under which the current span is stored.
 _CTX_KEY = "trace.current_span"
 
 #: Span status values.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+
+#: Sampling decisions a :class:`SamplingPolicy` may return.
+SAMPLE = "sample"
+DROP = "drop"
+DEFER = "defer"
 
 
 @dataclass(frozen=True)
@@ -61,6 +82,10 @@ class Span:
     end: Optional[float] = None
     status: str = STATUS_OK
     error: Optional[str] = None
+    #: Sampling disposition of a root: None (normal), DEFER (recorded
+    #: provisionally, fate decided at root end), or "error_tail" (a
+    #: deferred tree that was kept because it contained an error).
+    sampling: Optional[str] = field(default=None, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -118,6 +143,131 @@ class _NullSpan:
 #: The singleton returned by ``span()`` on a disabled tracer.
 NULL_SPAN = _NullSpan()
 
+#: Context-dict sentinel marking "this process is inside an unsampled
+#: root": every span opened while it is set short-circuits to
+#: :data:`NULL_SPAN`. Spawned children inherit it with the context.
+_UNSAMPLED = object()
+
+
+class SamplingPolicy:
+    """Decides the fate of a would-be root span (head-based sampling).
+
+    ``decide`` sees the root's name and attributes — for the kernel's
+    request roots that means ``invoke`` with ``fn=...``/``client=...``
+    (plus whatever the caller attached, e.g. ``tenant=...``) — and
+    returns :data:`SAMPLE`, :data:`DROP`, or :data:`DEFER`. It is never
+    consulted for child spans: the root decision covers the tree.
+    """
+
+    def decide(self, name: str,
+               attributes: Dict[str, Any]) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AlwaysSample(SamplingPolicy):
+    """Record every root (the implicit default of a sampler-less tracer)."""
+
+    def decide(self, name: str, attributes: Dict[str, Any]) -> str:
+        return SAMPLE
+
+
+class NeverSample(SamplingPolicy):
+    """Drop every root (spans off, flat ``record()`` still works)."""
+
+    def decide(self, name: str, attributes: Dict[str, Any]) -> str:
+        return DROP
+
+
+class ProbabilisticSampler(SamplingPolicy):
+    """Sample each root independently with fixed probability ``rate``.
+
+    Draws come from a seeded :class:`~repro.sim.rng.RandomStream`, so a
+    run's sampled set is reproducible from the seed.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate out of range: {rate}")
+        self.rate = rate
+        self._rng = RandomStream(seed, f"trace-sampler/p={rate}")
+
+    def decide(self, name: str, attributes: Dict[str, Any]) -> str:
+        if self.rate >= 1.0:
+            return SAMPLE
+        if self.rate <= 0.0:
+            return DROP
+        return SAMPLE if self._rng.uniform() < self.rate else DROP
+
+
+class KeyedRateSampler(SamplingPolicy):
+    """Per-key sampling rates read from one root attribute.
+
+    ``KeyedRateSampler("fn", {"infer": 0.01}, default=1.0)`` traces 1%
+    of ``infer`` invocations and everything else; keying on ``tenant``
+    gives per-tenant budgets. Roots missing the attribute use
+    ``default``.
+    """
+
+    def __init__(self, key: str, rates: Dict[str, float],
+                 default: float = 1.0, seed: int = 0):
+        for k, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {k!r} out of range: {rate}")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default rate out of range: {default}")
+        self.key = key
+        self.rates = dict(rates)
+        self.default = default
+        self._rng = RandomStream(seed, f"trace-sampler/{key}")
+
+    def decide(self, name: str, attributes: Dict[str, Any]) -> str:
+        rate = self.rates.get(attributes.get(self.key), self.default)
+        if rate >= 1.0:
+            return SAMPLE
+        if rate <= 0.0:
+            return DROP
+        return SAMPLE if self._rng.uniform() < rate else DROP
+
+
+class ErrorTailSampler(SamplingPolicy):
+    """Upgrade a base policy's drops to deferred (keep-on-error) roots.
+
+    The wrapped policy sets the steady-state budget; any root it would
+    drop is instead recorded provisionally and retained only if its
+    tree finishes with an error somewhere — so failures are *always*
+    traced, no matter how aggressive the base rate.
+    """
+
+    def __init__(self, base: SamplingPolicy):
+        self.base = base
+
+    def decide(self, name: str, attributes: Dict[str, Any]) -> str:
+        decision = self.base.decide(name, attributes)
+        return DEFER if decision == DROP else decision
+
+
+class _UnsampledRootContext:
+    """Context manager for a dropped root: marks the process context so
+    every descendant span short-circuits to :data:`NULL_SPAN`.
+
+    Stateless — a single instance per tracer is shared by all processes
+    (the marker lives in each process's own context dict, and roots by
+    definition open with no current span, so exit simply clears it).
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> _NullSpan:
+        self._tracer._context()[_CTX_KEY] = _UNSAMPLED
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._context().pop(_CTX_KEY, None)
+        return False
+
 
 class _SpanContext:
     """Context manager that opens a span on entry and ends it on exit.
@@ -128,10 +278,11 @@ class _SpanContext:
     """
 
     __slots__ = ("_tracer", "_name", "_category", "_parent", "_attributes",
-                 "_span", "_saved")
+                 "_span", "_saved", "_sampling")
 
     def __init__(self, tracer: "Tracer", name: str, category: str,
-                 parent: Optional[Span], attributes: Dict[str, Any]):
+                 parent: Optional[Span], attributes: Dict[str, Any],
+                 sampling: Optional[str] = None):
         self._tracer = tracer
         self._name = name
         self._category = category
@@ -139,15 +290,20 @@ class _SpanContext:
         self._attributes = attributes
         self._span: Optional[Span] = None
         self._saved: Optional[Span] = None
+        self._sampling = sampling
 
     def __enter__(self) -> Span:
         tracer = self._tracer
         ctx = tracer._context()
         parent = self._parent if self._parent is not None \
             else ctx.get(_CTX_KEY)
+        if parent is _UNSAMPLED:
+            parent = None
         self._span = tracer.start_span(
             self._name, parent=parent, category=self._category,
             **self._attributes)
+        if self._sampling is not None:
+            self._span.sampling = self._sampling
         self._saved = ctx.get(_CTX_KEY)
         ctx[_CTX_KEY] = self._span
         return self._span
@@ -178,7 +334,8 @@ class Tracer:
 
     def __init__(self, enabled: bool = True,
                  categories: Optional[List[str]] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 sampler: Optional[SamplingPolicy] = None):
         self.enabled = enabled
         self._categories = set(categories) if categories else None
         self._clock = clock
@@ -191,11 +348,30 @@ class Tracer:
         self._ids = itertools.count(1)
         #: Fallback context when no simulator process is active.
         self._local_ctx: Dict[str, Any] = {}
+        self._sampler = sampler
+        self._unsampled_cm = _UnsampledRootContext(self)
+        #: Compat records of still-undecided deferred trees, by root id.
+        self._deferred_records: Dict[int, List[TraceRecord]] = {}
+        #: Head-sampling accounting (roots only).
+        self.sampled_roots = 0
+        self.unsampled_roots = 0
+        self.deferred_kept = 0
+        self.deferred_dropped = 0
 
     # -- wiring ---------------------------------------------------------
     def bind(self, sim) -> "Tracer":
         """Attach a simulator: clock = sim.now, context = active process."""
         self._sim = sim
+        return self
+
+    def set_sampler(self, sampler: Optional[SamplingPolicy]) -> "Tracer":
+        """Install (or clear) the head-based sampling policy.
+
+        ``None`` restores the default: every root is recorded. The
+        policy is consulted only when a *root* span opens; in-flight
+        trees keep the decision made at their root.
+        """
+        self._sampler = sampler
         return self
 
     def _now(self) -> float:
@@ -219,22 +395,43 @@ class Tracer:
         """The innermost open span of the running process (or None)."""
         if not self.enabled:
             return None
-        return self._context().get(_CTX_KEY)
+        span = self._context().get(_CTX_KEY)
+        return None if span is _UNSAMPLED else span
 
     def span(self, name: str, category: Optional[str] = None,
              parent: Optional[Span] = None, **attributes: Any):
         """Context manager: open a child of the current span.
 
-        Returns :data:`NULL_SPAN` (a shared no-op) when disabled or when
-        the category is filtered out, so wrapping hot-path code in
+        Returns :data:`NULL_SPAN` (a shared no-op) when disabled, when
+        the category is filtered out, or anywhere inside an unsampled
+        root's tree, so wrapping hot-path code in
         ``with tracer.span(...)`` costs almost nothing untraced.
+
+        With a sampler installed, a span opening with no current span
+        (a *root*) consults the policy once; the verdict rides the
+        process context to every descendant, across ``spawn`` fan-out.
         """
         if not self.enabled:
             return NULL_SPAN
         cat = category if category is not None else name
         if self._categories is not None and cat not in self._categories:
             return NULL_SPAN
-        return _SpanContext(self, name, cat, parent, attributes)
+        sampling = None
+        if self._sampler is not None and parent is None:
+            current = self._context().get(_CTX_KEY)
+            if current is _UNSAMPLED:
+                return NULL_SPAN
+            if current is None:
+                decision = self._sampler.decide(name, attributes)
+                if decision == DROP:
+                    self.unsampled_roots += 1
+                    return self._unsampled_cm
+                if decision == DEFER:
+                    sampling = DEFER
+                else:
+                    self.sampled_roots += 1
+        return _SpanContext(self, name, cat, parent, attributes,
+                            sampling=sampling)
 
     def start_span(self, name: str, parent: Optional[Span] = None,
                    category: Optional[str] = None,
@@ -257,7 +454,11 @@ class Tracer:
     def end_span(self, span: Span, time: Optional[float] = None,
                  status: str = STATUS_OK,
                  error: Optional[str] = None) -> Span:
-        """Close a span and emit its back-compat flat record."""
+        """Close a span and emit its back-compat flat record.
+
+        Spans inside a *deferred* (keep-on-error) tree buffer their
+        records until the root closes and the tree's fate is known.
+        """
         if span is None or span is NULL_SPAN:
             return span
         if span.end is not None:
@@ -265,9 +466,54 @@ class Tracer:
         span.end = self._now() if time is None else time
         span.status = status
         span.error = error
-        self._append_record(TraceRecord(span.end, span.category,
-                                        dict(span.attributes)))
+        record = TraceRecord(span.end, span.category, dict(span.attributes))
+        root = self._deferred_root_of(span)
+        if root is None:
+            self._append_record(record)
+        else:
+            self._deferred_records.setdefault(root.span_id, []).append(record)
+            if root is span:
+                self._resolve_deferred(root)
         return span
+
+    def _deferred_root_of(self, span: Span) -> Optional[Span]:
+        """The span's root, if that root is still DEFER-undecided.
+
+        Returns None for normal trees; spans orphaned by a discarded
+        deferred tree (a straggler process ending a span whose root was
+        already dropped) also resolve to None and record nothing.
+        """
+        node = span
+        while node.parent_id is not None:
+            parent = self._spans_by_id.get(node.parent_id)
+            if parent is None:
+                # Tree already discarded: drop this straggler too.
+                self._spans_by_id.pop(span.span_id, None)
+                self._children.pop(span.span_id, None)
+                self._spans = [s for s in self._spans if s is not span]
+                return None
+            node = parent
+        return node if node.sampling == DEFER else None
+
+    def _resolve_deferred(self, root: Span) -> None:
+        """Decide a deferred tree at root end: keep on error, else drop."""
+        records = self._deferred_records.pop(root.span_id, [])
+        if any(s.status == STATUS_ERROR for s in self.walk(root)):
+            root.sampling = "error_tail"
+            self.deferred_kept += 1
+            for record in records:
+                self._append_record(record)
+        else:
+            self.deferred_dropped += 1
+            self._discard_tree(root)
+
+    def _discard_tree(self, root: Span) -> None:
+        """Remove a root and all its descendants from the tracer."""
+        doomed = {node.span_id for node in self.walk(root)}
+        for span_id in doomed:
+            self._spans_by_id.pop(span_id, None)
+            self._children.pop(span_id, None)
+        self._spans = [s for s in self._spans if s.span_id not in doomed]
 
     # -- span queries ----------------------------------------------------
     @property
@@ -360,6 +606,7 @@ class Tracer:
         self._spans.clear()
         self._spans_by_id.clear()
         self._children.clear()
+        self._deferred_records.clear()
 
     # -- export -----------------------------------------------------------
     def to_chrome_trace(self) -> Dict[str, Any]:

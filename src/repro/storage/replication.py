@@ -22,6 +22,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cluster.network import Network, NetworkUnreachableError
 from ..sim.engine import Event, Simulator
+from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.rng import RandomStream
 from .blockstore import (
     ZERO_VERSION,
@@ -101,11 +102,36 @@ class ReplicatedStore:
         self.rng = rng if rng is not None else RandomStream(0, f"repl:{name}")
         self._seq = itertools.count(1)
         self.metrics = network.metrics
+        self._labeled = isinstance(self.metrics, LabeledMetricsRegistry)
 
     @property
     def majority(self) -> int:
         """Quorum size: floor(n/2) + 1."""
         return len(self.replica_nodes) // 2 + 1
+
+    # -- telemetry helpers -------------------------------------------------
+    def _count(self, event: str, amount: float = 1.0, **labels) -> None:
+        """One store event: the labeled ``store.*`` family keyed by
+        store name when the registry supports labels, the legacy flat
+        ``{store}.{event}`` counter otherwise."""
+        if self._labeled:
+            self.metrics.counter(f"store.{event}", store=self.name,
+                                 **labels).add(amount)
+        else:
+            self.metrics.counter(f"{self.name}.{event}").add(amount)
+
+    def _observe_op(self, op: str, consistency: str, start: float) -> None:
+        """Per-consistency-level operation latency."""
+        if self._labeled:
+            self.metrics.histogram("storage.op_latency", op=op,
+                                   consistency=consistency) \
+                .observe(self.sim.now - start)
+
+    def _fanout(self, op: str, n: int) -> None:
+        """Replicas contacted by one quorum phase."""
+        if self._labeled:
+            self.metrics.counter("quorum.fanout", store=self.name,
+                                 op=op).add(n)
 
     # -- replica-side primitives (one network hop each) -------------------
     def _replica_get(self, client_node: str, replica_node: str,
@@ -149,10 +175,12 @@ class ReplicatedStore:
     def write_linearizable(self, client_node: str, key: str, nbytes: int,
                            meta: Any = None) -> Generator:
         """ABD write; returns the installed :class:`Version`."""
+        start = self.sim.now
         with self.network.tracer.span(
                 "quorum.write", store=self.name, key=key, nbytes=nbytes,
                 consistency="linearizable",
                 replicas=len(self.replica_nodes), quorum=self.majority):
+            self._fanout("write", 2 * len(self.replica_nodes))
             versions = yield from gather_first_k(
                 self.sim,
                 [self._replica_version(client_node, nid, key)
@@ -167,16 +195,19 @@ class ReplicatedStore:
                 [self._replica_put(client_node, nid, key, record)
                  for nid in self.replica_nodes],
                 self.majority)
-        self.metrics.counter(f"{self.name}.linearizable_writes").add(1)
+        self._count("linearizable_writes")
+        self._observe_op("write", "linearizable", start)
         return record.version
 
     def read_linearizable(self, client_node: str, key: str) -> Generator:
         """ABD read with read-repair; returns the winning :class:`Record`."""
+        start = self.sim.now
         with self.network.tracer.span(
                 "quorum.read", store=self.name, key=key,
                 consistency="linearizable",
                 replicas=len(self.replica_nodes),
                 quorum=self.majority) as sp:
+            self._fanout("read", len(self.replica_nodes))
             responses = yield from gather_first_k(
                 self.sim,
                 [self._replica_get(client_node, nid, key)
@@ -184,7 +215,7 @@ class ReplicatedStore:
                 self.majority)
             records = [rec for _nid, rec in responses if rec is not None]
             if not records:
-                self.metrics.counter(f"{self.name}.read_misses").add(1)
+                self._count("read_misses")
                 raise KeyNotFoundError(key)
             winner = max(records, key=lambda r: r.version)
             versions_seen = {rec.version for _nid, rec in responses
@@ -195,14 +226,16 @@ class ReplicatedStore:
                 # Read repair: install the winner at a majority before
                 # returning, so a later read cannot observe an older value.
                 sp.set(read_repair=True)
+                self._fanout("repair", len(self.replica_nodes))
                 yield from gather_first_k(
                     self.sim,
                     [self._replica_put(client_node, nid, key, winner)
                      for nid in self.replica_nodes],
                     self.majority)
-                self.metrics.counter(f"{self.name}.read_repairs").add(1)
+                self._count("read_repairs")
             sp.set(nbytes=winner.nbytes)
-        self.metrics.counter(f"{self.name}.linearizable_reads").add(1)
+        self._count("linearizable_reads")
+        self._observe_op("read", "linearizable", start)
         return winner
 
     # -- eventual operations ------------------------------------------------
@@ -228,6 +261,7 @@ class ReplicatedStore:
         converge but may overwrite each other (the documented weak
         contract).
         """
+        start = self.sim.now
         target = self.closest_replica(client_node)
         counter = self.replicas[target].version_of(key)[0] + 1
         writer = f"{client_node}#{next(self._seq)}"
@@ -246,7 +280,8 @@ class ReplicatedStore:
                 self.sim.spawn(self._propagate(target, nid, key, record),
                                name=f"propagate:{key}",
                                inherit_context=False)
-        self.metrics.counter(f"{self.name}.eventual_writes").add(1)
+        self._count("eventual_writes")
+        self._observe_op("write", "eventual", start)
         return record.version
 
     def _propagate(self, src: str, dst: str, key: str,
@@ -257,10 +292,11 @@ class ReplicatedStore:
             yield from self._replica_put(src, dst, key, record)
         except NetworkUnreachableError:
             # Anti-entropy will reconcile once the replica is back.
-            self.metrics.counter(f"{self.name}.propagation_failures").add(1)
+            self._count("propagation_failures")
 
     def read_eventual(self, client_node: str, key: str) -> Generator:
         """Read the closest replica; may return a stale record."""
+        start = self.sim.now
         target = self.closest_replica(client_node)
         with self.network.tracer.span(
                 "eventual.read", store=self.name, key=key,
@@ -272,13 +308,14 @@ class ReplicatedStore:
             try:
                 record = yield from self.replicas[target].read(key)
             except KeyNotFoundError:
-                self.metrics.counter(f"{self.name}.read_misses").add(1)
+                self._count("read_misses")
                 raise
             yield from self.network.transfer(
                 target, client_node, CONTROL_MSG_BYTES + record.nbytes,
                 purpose="eventual:get-resp")
             sp.set(nbytes=record.nbytes)
-        self.metrics.counter(f"{self.name}.eventual_reads").add(1)
+        self._count("eventual_reads")
+        self._observe_op("read", "eventual", start)
         return record
 
     # -- anti-entropy ---------------------------------------------------------
@@ -311,8 +348,7 @@ class ReplicatedStore:
             if src_rec.version > dst_store.version_of(key):
                 try:
                     yield from self._replica_put(src, dst, key, src_rec)
-                    self.metrics.counter(
-                        f"{self.name}.anti_entropy_repairs").add(1)
+                    self._count("anti_entropy_repairs")
                 except NetworkUnreachableError:
                     return
 

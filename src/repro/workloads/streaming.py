@@ -103,10 +103,11 @@ class StreamingTransform:
         mid = cloud.create_object(consistency=Consistency.EVENTUAL,
                                   ephemeral=True)
         t0 = cloud.sim.now
-        yield from cloud.invoke(client_node, self.seq_decode,
-                                {"source": self.source, "mid": mid})
-        yield from cloud.invoke(client_node, self.seq_encode,
-                                {"mid": mid, "sink": self.sink})
+        with cloud.tracer.span("pipeline", mode="sequential", stages=2):
+            yield from cloud.invoke(client_node, self.seq_decode,
+                                    {"source": self.source, "mid": mid})
+            yield from cloud.invoke(client_node, self.seq_encode,
+                                    {"mid": mid, "sink": self.sink})
         return cloud.sim.now - t0
 
     def run_pipelined(self, client_node: str) -> Generator:
@@ -116,11 +117,16 @@ class StreamingTransform:
         gpu_free_node = cloud.topology.nodes[0].node_id
         pipe = cloud.create_fifo(host_node=gpu_free_node)
         t0 = cloud.sim.now
-        producer = cloud.sim.spawn(cloud.invoke(
-            client_node, self.stream_decode,
-            {"source": self.source, "pipe": pipe}))
-        consumer = cloud.sim.spawn(cloud.invoke(
-            client_node, self.stream_encode,
-            {"pipe": pipe, "sink": self.sink}))
-        yield cloud.sim.all_of([producer, consumer])
+        # One root span over both stages: the spawned invocations
+        # inherit the process context, so their span trees nest here
+        # and the FIFO hand-offs stitch producer to consumer.
+        with cloud.tracer.span("pipeline", mode="pipelined", stages=2,
+                               chunks=self.cfg.chunks):
+            producer = cloud.sim.spawn(cloud.invoke(
+                client_node, self.stream_decode,
+                {"source": self.source, "pipe": pipe}))
+            consumer = cloud.sim.spawn(cloud.invoke(
+                client_node, self.stream_encode,
+                {"pipe": pipe, "sink": self.sink}))
+            yield cloud.sim.all_of([producer, consumer])
         return cloud.sim.now - t0

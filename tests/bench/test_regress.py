@@ -1,0 +1,125 @@
+"""The perf-regression gate: layer folding, comparison, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    ABS_FLOOR,
+    compare,
+    fold_layers,
+    layer_of,
+    main,
+    run_pinned_e4,
+)
+
+
+def _baseline(by_layer, **overrides):
+    doc = {"by_layer": by_layer, "requests": 10,
+           "default_tolerance": 0.15, "abs_floor_s": ABS_FLOOR,
+           "tolerances": {}}
+    doc.update(overrides)
+    return doc
+
+
+# -- layer folding -------------------------------------------------------
+
+def test_layer_of_known_and_unknown_names():
+    assert layer_of("net.transfer") == "network"
+    assert layer_of("quorum.write") == "quorum"
+    assert layer_of("coldstart") == "coldstart"
+    assert layer_of("brand.new.span") == "other"
+
+
+def test_fold_layers_sums_names_into_layers():
+    folded = fold_layers({"net.transfer": 1.0, "net.local_copy": 0.5,
+                          "compute": 2.0, "mystery": 0.25})
+    assert folded == {"compute": 2.0, "network": 1.5, "other": 0.25}
+
+
+# -- comparator edges ----------------------------------------------------
+
+def test_compare_passes_within_tolerance():
+    base = _baseline({"network": 1.0, "compute": 2.0})
+    assert compare({"network": 1.1, "compute": 2.2}, base) == []
+
+
+def test_compare_flags_drift_beyond_tolerance():
+    base = _baseline({"network": 1.0})
+    violations = compare({"network": 1.2}, base)
+    assert len(violations) == 1
+    assert "network" in violations[0]
+    # Improvements beyond tolerance are flagged too: the baseline is
+    # stale either way and must be consciously updated.
+    assert compare({"network": 0.7}, base)
+
+
+def test_compare_per_layer_tolerance_overrides_default():
+    base = _baseline({"coldstart": 1.0}, tolerances={"coldstart": 0.5})
+    assert compare({"coldstart": 1.4}, base) == []
+    assert compare({"coldstart": 1.6}, base)
+
+
+def test_compare_absolute_floor_ignores_tiny_layers():
+    # 40 us of drift on a near-zero layer stays under the floor.
+    base = _baseline({"quorum": 0.0})
+    assert compare({"quorum": 4e-5}, base) == []
+    assert compare({"quorum": 4e-4}, base)
+
+
+def test_compare_missing_and_new_layers():
+    base = _baseline({"network": 1.0, "storage": 0.5})
+    # A layer vanishing entirely is a violation...
+    assert compare({"network": 1.0}, base)
+    # ...as is a substantial brand-new layer.
+    violations = compare({"network": 1.0, "storage": 0.5,
+                          "other": 0.01}, base)
+    assert len(violations) == 1
+    assert "other" in violations[0]
+
+
+# -- pinned run + CLI (one small E4 run, reused) -------------------------
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_pinned_e4(requests=1)
+
+
+def test_pinned_run_produces_layer_totals(small_run):
+    _cloud, by_name, by_layer = small_run
+    assert by_layer.get("compute", 0) > 0
+    assert by_layer.get("network", 0) > 0
+    assert by_layer.get("coldstart", 0) > 0
+    assert sum(by_layer.values()) == pytest.approx(sum(by_name.values()))
+
+
+def test_pinned_run_emits_labeled_metrics(small_run):
+    cloud, _by_name, _by_layer = small_run
+    counters = cloud.metrics.to_json(cloud.sim.now)["counters"]
+    assert counters["network.bytes"] > 0
+    labeled = [k for k in counters if "{purpose=" in k]
+    assert labeled, "expected per-purpose network counters"
+
+
+def test_cli_update_then_compare_and_perturb(tmp_path):
+    baseline = tmp_path / "base.json"
+    out = tmp_path / "cp.json"
+    metrics = tmp_path / "metrics.json"
+    assert main(["--requests", "1", "--update",
+                 "--baseline", str(baseline)]) == 0
+    assert main(["--requests", "1", "--baseline", str(baseline),
+                 "--out", str(out), "--metrics-out", str(metrics)]) == 0
+    assert json.loads(out.read_text())["by_layer"]
+    assert json.loads(metrics.read_text())["counters"]
+
+    # Perturb one layer in the baseline: the gate must fail.
+    doc = json.loads(baseline.read_text())
+    doc["by_layer"]["network"] *= 2.0
+    baseline.write_text(json.dumps(doc))
+    assert main(["--requests", "1",
+                 "--baseline", str(baseline)]) == 1
+
+
+def test_cli_missing_baseline_is_usage_error(tmp_path):
+    assert main(["--requests", "1",
+                 "--baseline", str(tmp_path / "nope.json")]) == 2

@@ -1,0 +1,55 @@
+"""Diffing two runs' critical-path totals."""
+
+import json
+
+import pytest
+
+from repro.bench.span_diff import diff_totals, main, render_diff
+
+
+def test_diff_rows_sorted_by_absolute_delta():
+    rows = diff_totals({"a": 1.0, "b": 2.0, "gone": 0.3},
+                       {"a": 1.05, "b": 1.0, "new": 0.2})
+    assert [r.name for r in rows] == ["b", "gone", "new", "a"]
+    by_name = {r.name: r for r in rows}
+    assert by_name["b"].delta == -1.0
+    assert by_name["gone"].after == 0.0
+    assert by_name["new"].before == 0.0
+    assert by_name["new"].pct is None  # relative change undefined
+    assert by_name["a"].pct == pytest.approx(0.05)
+
+
+def test_render_diff_marks_new_gone_and_residual():
+    rows = diff_totals({"gone": 0.5, "tiny": 0.001},
+                       {"new": 0.25, "tiny": 0.0010001})
+    text = render_diff(rows, min_delta=1e-6)
+    assert "new" in text and "gone" in text
+    assert "residual" in text  # the sub-threshold "tiny" row
+
+
+def test_identical_runs_have_no_changes():
+    rows = diff_totals({"a": 1.0}, {"a": 1.0})
+    assert all(r.delta == 0.0 for r in rows)
+
+
+def test_cli_accepts_regress_artifacts_and_flat_dicts(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    # A regress-style artifact and a plain name->seconds dict.
+    a.write_text(json.dumps(
+        {"by_name": {"net.transfer": 0.010, "compute": 0.100}}))
+    b.write_text(json.dumps({"net.transfer": 0.020, "compute": 0.100}))
+    assert main([str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "net.transfer" in out
+    assert "per-layer totals" in out
+    assert "network" in out
+
+
+def test_cli_rejects_malformed_input(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nested": {"not": "numbers"}}))
+    ok = tmp_path / "ok.json"
+    ok.write_text(json.dumps({"a": 1.0}))
+    assert main([str(bad), str(ok)]) == 2
+    assert main([str(tmp_path / "missing.json"), str(ok)]) == 2

@@ -1,0 +1,200 @@
+"""Trace context across async invokes and FIFO/socket hand-offs."""
+
+import pytest
+
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, PCSICloud
+from repro.faas import WASM
+from repro.net.marshal import SizedPayload
+from repro.sim import NeverSample
+from repro.bench.timeline import render_graph_timeline
+from repro.workloads.streaming import StreamingConfig, StreamingTransform
+
+
+def _cloud(**kw):
+    kw.setdefault("racks", 2)
+    kw.setdefault("nodes_per_rack", 4)
+    kw.setdefault("gpu_nodes_per_rack", 0)
+    kw.setdefault("seed", 66)
+    return PCSICloud(**kw)
+
+
+# -- invoke_async --------------------------------------------------------
+
+def test_invoke_async_nests_under_the_caller_tree():
+    cloud = _cloud(trace=True)
+    inner = cloud.define_function(
+        "inner", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e7)])
+
+    def outer_body(ctx):
+        pending = ctx.invoke_async(inner)
+        result = yield pending
+        return result
+
+    outer = cloud.define_function(
+        "outer", [FunctionImpl("wasm", WASM, cpu_task(), work_ops=1e7)],
+        body=outer_body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, outer)
+
+    cloud.run_process(flow())
+    tracer = cloud.tracer
+    invokes = [s for s in tracer.spans(name="invoke") if s.finished]
+    by_fn = {s.attributes["fn"]: s for s in invokes}
+    assert set(by_fn) == {"outer", "inner"}
+    # The async invocation's spans live in the SAME tree: its root is
+    # the outer invoke, reached through the spawned process's context.
+    assert tracer.root_of(by_fn["inner"]) is by_fn["outer"]
+    assert by_fn["inner"].parent_id is not None
+
+
+# -- FIFO hand-off stitching --------------------------------------------
+
+@pytest.fixture(scope="module")
+def pipelined():
+    cloud = _cloud(trace=True)
+    st = StreamingTransform(cloud, StreamingConfig(
+        input_nbytes=1 << 20, chunks=4, stage_work=1e8))
+    client = cloud.client_node()
+
+    def flow():
+        makespan = yield from st.run_pipelined(client)
+        return makespan
+
+    makespan = cloud.run_process(flow())
+    cloud.run()
+    return cloud, makespan
+
+
+def test_pipelined_run_is_one_span_tree(pipelined):
+    cloud, makespan = pipelined
+    assert makespan > 0
+    tracer = cloud.tracer
+    roots = [s for s in tracer.roots() if s.finished]
+    pipeline_roots = [s for s in roots if s.name == "pipeline"]
+    assert len(pipeline_roots) == 1
+    root = pipeline_roots[0]
+    # Both stage invocations nest under the single pipeline root.
+    stage_fns = {s.attributes["fn"] for s in tracer.walk(root)
+                 if s.name == "invoke"}
+    assert stage_fns == {"stream-decode", "stream-encode"}
+
+
+def test_fifo_gets_record_their_producing_put(pipelined):
+    cloud, _ = pipelined
+    tracer = cloud.tracer
+    puts = {s.span_id: s for s in tracer.spans(name="fifo.put")}
+    gets = tracer.spans(name="fifo.get")
+    assert len(puts) == 4 and len(gets) == 4
+    for get in gets:
+        origin = get.attributes.get("origin_span")
+        assert origin in puts
+        put = puts[origin]
+        # Causality: the chunk was produced before it was consumed,
+        # and both sides agree on its size.
+        assert put.start <= get.end
+        assert get.attributes["nbytes"] == put.attributes["nbytes"]
+    # Each put feeds exactly one get.
+    origins = [g.attributes["origin_span"] for g in gets]
+    assert len(set(origins)) == 4
+
+
+def test_graph_timeline_renders_stage_lanes(pipelined):
+    cloud, _ = pipelined
+    text = render_graph_timeline(cloud.tracer)
+    assert text.startswith("pipeline ")
+    assert "stream-decode" in text and "stream-encode" in text
+    assert "#" in text      # execution
+    assert ">" in text      # fifo hand-offs
+    assert "legend:" in text
+    lanes = [line for line in text.splitlines() if "[" in line]
+    assert len(lanes) == 2
+
+
+def test_graph_timeline_without_roots_is_graceful():
+    cloud = _cloud(trace=True)
+    assert "no finished graph/pipeline" in \
+        render_graph_timeline(cloud.tracer)
+
+
+# -- socket hand-off stitching ------------------------------------------
+
+def test_socket_recv_records_origin_and_unwraps():
+    cloud = _cloud(trace=True)
+    host = cloud.topology.nodes[0].node_id
+    other = cloud.client_node()
+    sock = cloud.create_socket(host_node=host)
+
+    def server():
+        with cloud.tracer.span("server"):
+            yield from cloud.op_socket_send(host, sock,
+                                            SizedPayload(100))
+
+    def client():
+        with cloud.tracer.span("client"):
+            item = yield from cloud.op_socket_recv(other, sock,
+                                                   server_side=False)
+            return item
+
+    cloud.sim.spawn(server())
+    item = cloud.run_process(client())
+    assert isinstance(item, SizedPayload) and item.nbytes == 100
+    send = cloud.tracer.spans(name="socket.send")[0]
+    recv = cloud.tracer.spans(name="socket.recv")[0]
+    assert recv.attributes["origin_span"] == send.span_id
+
+
+def test_external_world_paths_stay_unwrapped():
+    cloud = _cloud(trace=True)
+    host = cloud.topology.nodes[0].node_id
+    sock = cloud.create_socket(host_node=host)
+
+    # Outside world -> kernel: raw payload, no origin recorded.
+    cloud.external_send(sock, SizedPayload(10))
+
+    def serve():
+        req = yield from cloud.op_socket_recv(host, sock)
+        yield from cloud.op_socket_send(host, sock,
+                                        SizedPayload(req.nbytes * 2))
+
+    cloud.sim.spawn(serve())
+
+    def outside():
+        resp = yield from cloud.external_recv(sock)
+        return resp
+
+    resp = cloud.run_process(outside())
+    # Kernel -> outside world: the traced hand-off is unwrapped before
+    # leaving the system.
+    assert isinstance(resp, SizedPayload) and resp.nbytes == 20
+    recv = cloud.tracer.spans(name="socket.recv")[0]
+    assert "origin_span" not in recv.attributes
+
+
+# -- sampling end to end -------------------------------------------------
+
+def test_unsampled_pipeline_keeps_metrics_complete():
+    cloud = _cloud(trace=True, sampler=NeverSample())
+    st = StreamingTransform(cloud, StreamingConfig(
+        input_nbytes=1 << 20, chunks=4, stage_work=1e8))
+    client = cloud.client_node()
+
+    def flow():
+        makespan = yield from st.run_pipelined(client)
+        return makespan
+
+    makespan = cloud.run_process(flow())
+    cloud.run()
+    assert makespan > 0
+    # No spans were retained...
+    assert cloud.tracer.span_count == 0
+    assert cloud.tracer.unsampled_roots >= 1
+    # ...but the labeled metrics saw every request.
+    counters = cloud.metrics.counters()
+    assert counters["network.bytes"] > 0
+    fifo_bytes = (counters.get("network.bytes{purpose=fifo-put}", 0)
+                  + counters.get("network.local_bytes{purpose=fifo-put}",
+                                 0))
+    assert fifo_bytes > 0

@@ -1,0 +1,163 @@
+"""Labeled metrics: aggregation, cardinality bounds, series, export."""
+
+import json
+
+import pytest
+
+from repro.sim import LabeledMetricsRegistry, Simulator
+from repro.sim.metrics_registry import (
+    OVERFLOW_LABEL,
+    format_instrument,
+    label_key,
+)
+
+
+@pytest.fixture
+def reg():
+    return LabeledMetricsRegistry()
+
+
+# -- keys and formatting -------------------------------------------------
+
+def test_label_key_is_order_insensitive_and_stringified():
+    assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+    assert label_key({"a": "x", "b": 2}) == label_key({"b": 2, "a": "x"})
+    assert format_instrument("n", ()) == "n"
+    assert format_instrument("n", (("a", "1"), ("b", "2"))) \
+        == "n{a=1,b=2}"
+
+
+# -- aggregate forwarding ------------------------------------------------
+
+def test_labeled_counter_rolls_up_into_aggregate(reg):
+    reg.counter("net.bytes", purpose="fifo").add(100)
+    reg.counter("net.bytes", purpose="rpc").add(50)
+    reg.counter("net.bytes").add(1)  # direct aggregate update
+    assert reg.counter("net.bytes").value == 151
+    assert reg.counter("net.bytes", purpose="fifo").value == 100
+    snap = reg.counters()
+    assert snap["net.bytes"] == 151
+    assert snap["net.bytes{purpose=rpc}"] == 50
+
+
+def test_labeled_histogram_rolls_up_into_aggregate(reg):
+    reg.histogram("lat", fn="a").observe(1.0)
+    reg.histogram("lat", fn="b").observe(3.0)
+    agg = reg.histogram("lat").summary()
+    assert agg["count"] == 2
+    assert agg["mean"] == pytest.approx(2.0)
+    assert reg.histogram("lat", fn="a").summary()["count"] == 1
+    assert "lat{fn=b}" in reg.histograms()
+
+
+def test_labeled_gauge_aggregate_is_sum_of_levels(reg):
+    reg.gauge("pool.size", pool="a").set(3, now=1.0)
+    reg.gauge("pool.size", pool="b").set(2, now=1.0)
+    assert reg.gauge("pool.size").level == 5
+    reg.gauge("pool.size", pool="a").set(1, now=2.0)
+    assert reg.gauge("pool.size").level == 3
+    assert reg.gauge("pool.size", pool="b").level == 2
+    assert reg.gauges(now=3.0)["pool.size"]["level"] == 3
+
+
+def test_unlabeled_calls_are_plain_registry_api(reg):
+    # The legacy interface is untouched: bare names, same totals.
+    reg.counter("hits").add(2)
+    reg.counter("hits").add(3)
+    assert reg.counters() == {"hits": 5}
+
+
+def test_kind_mismatch_is_an_error(reg):
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x", node="n1")
+
+
+# -- cardinality bound ---------------------------------------------------
+
+def test_label_cardinality_cap_collapses_to_overflow():
+    reg = LabeledMetricsRegistry(max_label_sets=2)
+    reg.counter("ops", k="a").add(1)
+    reg.counter("ops", k="b").add(1)
+    reg.counter("ops", k="c").add(1)  # over the cap
+    reg.counter("ops", k="d").add(2)  # also over; same overflow child
+    assert reg.dropped_label_sets == 2
+    overflow = format_instrument("ops", ((OVERFLOW_LABEL, "true"),))
+    snap = reg.counters()
+    assert snap[overflow] == 3
+    assert snap["ops"] == 5  # aggregate still sees everything
+    # Existing children keep working at the cap.
+    reg.counter("ops", k="a").add(1)
+    assert reg.counters()["ops{k=a}"] == 2
+
+
+def test_max_label_sets_validation():
+    with pytest.raises(ValueError):
+        LabeledMetricsRegistry(max_label_sets=0)
+
+
+# -- time series ---------------------------------------------------------
+
+def test_sample_records_counter_and_gauge_series(reg):
+    c = reg.counter("reqs", fn="f")
+    g = reg.gauge("inflight")
+    c.add(1)
+    g.set(2, now=0.5)
+    reg.sample(1.0)
+    c.add(4)
+    g.set(1, now=1.5)
+    reg.sample(2.0)
+    assert reg.series("reqs", fn="f") == [(1.0, 1.0), (2.0, 5.0)]
+    assert reg.series("reqs") == [(1.0, 1.0), (2.0, 5.0)]
+    assert reg.series("inflight") == [(1.0, 2.0), (2.0, 1.0)]
+    assert reg.series("missing") == []
+    assert reg.series("reqs", fn="nope") == []
+
+
+def test_sampler_process_runs_on_interval(reg):
+    sim = Simulator()
+    c = reg.counter("ticks")
+
+    def work():
+        for _ in range(3):
+            c.add(1)
+            yield sim.timeout(1.0)
+
+    sim.spawn(reg.sampler_process(sim, 1.0), inherit_context=False)
+    sim.spawn(work())
+    sim.run(until=3.5)
+    points = reg.series("ticks")
+    assert [t for t, _v in points] == [1.0, 2.0, 3.0]
+    assert points[-1][1] == 3.0
+    with pytest.raises(ValueError):
+        next(reg.sampler_process(sim, 0.0))
+
+
+# -- exporters -----------------------------------------------------------
+
+def test_to_json_round_trips_and_is_serializable(reg, tmp_path):
+    reg.counter("c", k="v").add(1)
+    reg.gauge("g").set(2, now=1.0)
+    reg.histogram("h").observe(0.5)
+    reg.sample(1.0)
+    doc = reg.to_json(now=2.0)
+    assert doc["counters"]["c"] == 1
+    assert doc["counters"]["c{k=v}"] == 1
+    assert doc["gauges"]["g"]["level"] == 2
+    assert doc["histograms"]["h"]["count"] == 1
+    assert doc["series"]["c"] == [[1.0, 1.0]]
+    path = tmp_path / "metrics.json"
+    reg.write_json(str(path), now=2.0)
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(doc))
+
+
+def test_line_protocol_output(reg):
+    reg.counter("net.bytes", purpose="rpc").add(10)
+    reg.gauge("inflight").set(1, now=0.5)
+    lines = reg.to_line_protocol(now=1.0).splitlines()
+    assert "net.bytes value=10.0 1000000000" in lines
+    assert "net.bytes,purpose=rpc value=10.0 1000000000" in lines
+    assert any(line.startswith("inflight level=1") for line in lines)
