@@ -1,24 +1,38 @@
-"""Performance-regression gate over the E4 critical path.
+"""Performance-regression gates: E4 critical path + autoscale wins.
 
-Runs the pinned-seed E4 model-serving pipeline (PCSI co-located, seed
-41, traced), extracts the per-invocation critical paths, folds the
-``merged_by_name`` totals into *layers* (cold start, network, quorum,
-storage, compute, control), and compares each layer's total seconds
-against a checked-in baseline (``benchmarks/baselines/
+**E4 gate** — runs the pinned-seed E4 model-serving pipeline (PCSI
+co-located, seed 41, traced), extracts the per-invocation critical
+paths, folds the ``merged_by_name`` totals into *layers* (cold start,
+network, quorum, storage, compute, control), and compares each layer's
+total seconds against a checked-in baseline (``benchmarks/baselines/
 e4_critical_path.json``) with per-layer tolerances.
+
+**Autoscale gate** — replays the pinned burst schedule through the
+deterministic controller harness under ``FixedPolicy`` and
+``QueueDepthPolicy`` and pins (``benchmarks/baselines/
+autoscale_burst.json``):
+
+* the ``FixedPolicy`` arm's exact cold-start / warm-hit / latency
+  outcome (it must stay byte-identical to the pre-controller system),
+* the ``QueueDepthPolicy`` arm's exact cold-start count, and
+* the controller *win*: cold starts reduced by at least
+  ``min_reduction`` (30%) with the pool still scaled to zero at the
+  end — so a change that quietly weakens the control loop fails CI
+  the same way a slow hot path does.
 
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
-quorum round, a changed placement decision — not noise. CI runs this
+quorum round, a changed control decision — not noise. CI runs this
 as the ``perf-gate`` job and fails the build on violations.
 
 Usage::
 
-    python -m repro.bench.regress                 # compare, exit 0/1
-    python -m repro.bench.regress --update        # rewrite the baseline
+    python -m repro.bench.regress                 # both gates, exit 0/1
+    python -m repro.bench.regress --update        # rewrite baselines
     python -m repro.bench.regress --out cp.json --metrics-out m.json
+    python -m repro.bench.regress --skip-autoscale   # E4 gate only
 
-Updating the baseline is a deliberate act: run with ``--update``,
+Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
 """
 
@@ -32,6 +46,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cluster.resources import MB
 from ..core.system import PCSICloud
+from ..faas.harness import ControllerHarness, HarnessResult, burst_phases
 from ..sim.trace import ProbabilisticSampler
 from ..workloads.ml_serving import ModelServingApp, ModelServingConfig
 from .critical_path import invocation_critical_paths, merged_by_name
@@ -68,6 +83,9 @@ LAYERS: Dict[str, str] = {
     "placement": "control",
     "attempt": "control",
     "warmpool.acquire": "control",
+    "warmpool.prewarm": "coldstart",
+    "autoscale.tick": "control",
+    "autoscale.resize": "control",
     "queue.wait": "control",
     "retry.backoff": "control",
     "graph": "control",
@@ -155,6 +173,106 @@ def default_baseline_path() -> Path:
         / "baselines" / "e4_critical_path.json"
 
 
+# ---------------------------------------------------------------------------
+# Autoscale gate
+# ---------------------------------------------------------------------------
+
+#: The pinned burst schedule the controller must win on.
+AUTOSCALE_SEED = 47
+AUTOSCALE_BURSTS = 3
+AUTOSCALE_BURST_DURATION = 10.0
+AUTOSCALE_BURST_RATE = 10.0
+AUTOSCALE_GAP = 60.0
+#: The controller must cut cold starts by at least this fraction.
+MIN_REDUCTION = 0.30
+
+
+def autoscale_baseline_path() -> Path:
+    """``benchmarks/baselines/autoscale_burst.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "autoscale_burst.json"
+
+
+def _arm_doc(result: HarnessResult) -> Dict[str, Any]:
+    """The pinned, exactly-reproducible facts of one harness arm."""
+    return {
+        "policy": result.policy,
+        "offered": result.offered,
+        "completed": result.completed,
+        "failed": result.failed,
+        "cold_starts": result.cold_starts,
+        "warm_hits": result.warm_hits,
+        "prewarmed": result.prewarmed,
+        "queue_waits": result.queue_waits,
+        "final_size": result.final_size,
+        "p99_s": result.p99,
+        "held_seconds": result.held_seconds,
+    }
+
+
+def run_autoscale_gate() -> Dict[str, Any]:
+    """Replay both arms of the pinned burst schedule."""
+    phases = burst_phases(bursts=AUTOSCALE_BURSTS,
+                          burst_duration=AUTOSCALE_BURST_DURATION,
+                          burst_rate=AUTOSCALE_BURST_RATE,
+                          gap=AUTOSCALE_GAP)
+    fixed = ControllerHarness(policy="fixed",
+                              seed=AUTOSCALE_SEED).run(phases)
+    controlled = ControllerHarness(policy="queue-depth",
+                                   seed=AUTOSCALE_SEED).run(phases)
+    reduction = (1.0 - controlled.cold_starts / fixed.cold_starts
+                 if fixed.cold_starts else 0.0)
+    return {
+        "experiment": "autoscale pinned burst (fixed vs queue-depth)",
+        "seed": AUTOSCALE_SEED,
+        "schedule": {
+            "bursts": AUTOSCALE_BURSTS,
+            "burst_duration_s": AUTOSCALE_BURST_DURATION,
+            "burst_rate_rps": AUTOSCALE_BURST_RATE,
+            "gap_s": AUTOSCALE_GAP,
+        },
+        "fixed": _arm_doc(fixed),
+        "controlled": _arm_doc(controlled),
+        "cold_start_reduction": reduction,
+        "min_reduction": MIN_REDUCTION,
+    }
+
+
+#: Arm fields compared exactly — the replay is deterministic, so any
+#: drift is a behavior change, not noise. (Float fields like p99 and
+#: held_seconds are informational: they ride along in the baseline but
+#: only the integer outcome counts are pinned.)
+PINNED_ARM_FIELDS = ("offered", "completed", "failed", "cold_starts",
+                     "warm_hits", "prewarmed", "queue_waits",
+                     "final_size")
+
+
+def compare_autoscale(current: Dict[str, Any],
+                      baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the autoscale gate against its baseline doc."""
+    violations: List[str] = []
+    for arm in ("fixed", "controlled"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_ARM_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"{arm}.{fld}: {cur} vs pinned {base}")
+    min_reduction = baseline.get("min_reduction", MIN_REDUCTION)
+    reduction = current.get("cold_start_reduction", 0.0)
+    if reduction < min_reduction:
+        violations.append(
+            f"cold-start reduction {reduction:.1%} is below the "
+            f"required {min_reduction:.0%}")
+    for arm in ("fixed", "controlled"):
+        if current.get(arm, {}).get("final_size") != 0:
+            violations.append(
+                f"{arm}: pool did not scale to zero "
+                f"(final_size={current.get(arm, {}).get('final_size')})")
+    return violations
+
+
 def baseline_doc(by_layer: Dict[str, float],
                  by_name: Dict[str, float],
                  requests: int) -> Dict[str, Any]:
@@ -194,6 +312,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="measured requests after warmup")
     parser.add_argument("--sample-rate", type=float, default=None,
                         help="head-sampling rate (default: trace all)")
+    parser.add_argument("--autoscale-baseline", type=Path,
+                        default=autoscale_baseline_path(),
+                        help="autoscale-gate baseline JSON")
+    parser.add_argument("--skip-autoscale", action="store_true",
+                        help="run only the E4 critical-path gate")
     args = parser.parse_args(argv)
     if args.requests < 1:
         parser.error("--requests must be >= 1")
@@ -215,12 +338,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         cloud.metrics.write_json(str(args.metrics_out), now=cloud.sim.now)
         print(f"labeled metrics written to {args.metrics_out}")
 
+    autoscale_doc = None if args.skip_autoscale else run_autoscale_gate()
+
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         print(f"baseline updated: {args.baseline}")
+        if autoscale_doc is not None:
+            args.autoscale_baseline.parent.mkdir(parents=True,
+                                                 exist_ok=True)
+            args.autoscale_baseline.write_text(
+                json.dumps(autoscale_doc, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            print(f"baseline updated: {args.autoscale_baseline}")
         return 0
 
     if not args.baseline.exists():
@@ -237,6 +369,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  {layer:<10} {secs * 1e3:9.3f} ms "
               f"(baseline {base * 1e3:9.3f} ms)")
     violations = compare(by_layer, baseline)
+
+    if autoscale_doc is not None:
+        if not args.autoscale_baseline.exists():
+            print(f"no baseline at {args.autoscale_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        autoscale_baseline = json.loads(
+            args.autoscale_baseline.read_text(encoding="utf-8"))
+        print(f"  autoscale  cold {autoscale_doc['fixed']['cold_starts']} "
+              f"(fixed) -> {autoscale_doc['controlled']['cold_starts']} "
+              f"(queue-depth), "
+              f"-{autoscale_doc['cold_start_reduction']:.1%}")
+        violations += compare_autoscale(autoscale_doc, autoscale_baseline)
+
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)
         for violation in violations:

@@ -39,13 +39,17 @@ class FunctionScheduler:
     def __init__(self, kernel, policy: PlacementPolicy,
                  optimizer: ImplOptimizer,
                  keep_alive: float = DEFAULT_KEEP_ALIVE,
-                 control_node: Optional[str] = None):
+                 control_node: Optional[str] = None,
+                 autoscaler=None):
         self.kernel = kernel
         self.policy = policy
         self.optimizer = optimizer
         self.keep_alive = keep_alive
         self.control_node = control_node or \
             kernel.topology.nodes[0].node_id
+        #: Optional :class:`~repro.faas.controller.AutoscaleController`;
+        #: when set, every pool is registered with it on creation.
+        self.autoscaler = autoscaler
         self._pools: Dict[Tuple[str, str], WarmPool] = {}
         self.history: list = []
 
@@ -54,11 +58,14 @@ class FunctionScheduler:
         """Get or create the warm pool for one implementation."""
         key = (fn_def.name, impl.name)
         if key not in self._pools:
-            self._pools[key] = WarmPool(
+            pool = WarmPool(
                 self.kernel.sim, name=f"{fn_def.name}/{impl.name}",
                 platform=impl.platform, resources=impl.resources,
                 placer=self.policy.placer(), keep_alive=self.keep_alive,
                 metrics=self.kernel.metrics, tracer=self.kernel.tracer)
+            if self.autoscaler is not None:
+                self.autoscaler.register(pool)
+            self._pools[key] = pool
         return self._pools[key]
 
     def pools_by_impl(self, fn_def: FunctionDef) -> Dict[str, WarmPool]:

@@ -29,6 +29,7 @@ from ..cluster.network import Network
 from ..cluster.topology import Topology, build_cluster
 from ..cost.accounting import CostMeter
 from ..cost.pricing import PriceBook
+from ..faas.controller import AutoscaleController, make_policy_factory
 from ..net.marshal import SizedPayload
 from ..security.capabilities import CAPABILITY_CHECK_TIME, Right
 from ..sim.engine import Simulator
@@ -97,6 +98,8 @@ class PCSICloud:
                  data_replicas: int = 3,
                  data_medium: Medium = NVME,
                  keep_alive: float = 60.0,
+                 autoscale=None,
+                 autoscale_interval: float = 5.0,
                  prices: Optional[PriceBook] = None,
                  trace: bool = False,
                  sampler: Optional[SamplingPolicy] = None,
@@ -124,8 +127,21 @@ class PCSICloud:
         self.policy: PlacementPolicy = make_policy(
             placement, self.topology, self.rng.fork("placement"))
         self.optimizer = ImplOptimizer(goal=goal, prices=prices, slo=slo)
+        # ``autoscale`` closes the metrics → controller → pool loop:
+        # a policy spec (name / class / prototype / factory) builds one
+        # AutoscaleController that every warm pool registers with. The
+        # default (None) leaves pools exactly as before — no controller
+        # process exists and event order is untouched.
+        self.autoscaler = None
+        if autoscale is not None:
+            self.autoscaler = AutoscaleController(
+                self.sim, self.metrics,
+                make_policy_factory(autoscale),
+                interval=autoscale_interval, tracer=self.tracer)
+            self.autoscaler.start()
         self.scheduler = FunctionScheduler(self, self.policy, self.optimizer,
-                                           keep_alive=keep_alive)
+                                           keep_alive=keep_alive,
+                                           autoscaler=self.autoscaler)
         self.gc = GarbageCollector(self)
 
         # Transient kernel state for FIFO/socket objects.

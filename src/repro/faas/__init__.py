@@ -1,6 +1,26 @@
-"""Serverless execution substrate: platforms, executors, warm pools."""
+"""Serverless execution substrate: platforms, executors, warm pools,
+and the closed-loop autoscale controller."""
 
 from .autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
+from .controller import (
+    AutoscaleController,
+    AutoscalePolicy,
+    Decision,
+    FixedPolicy,
+    HitRatePolicy,
+    POLICIES,
+    PoolObservation,
+    QueueDepthPolicy,
+    TickRecord,
+    make_policy_factory,
+)
+from .harness import (
+    ControllerHarness,
+    HarnessResult,
+    Phase,
+    burst_phases,
+    ramp_phases,
+)
 from .platforms import (
     CONTAINER,
     GPU_CONTAINER,
@@ -20,4 +40,9 @@ __all__ = [
     "CONTAINER", "MICROVM", "UNIKERNEL", "WASM",
     "GPU_CONTAINER", "NPU_CONTAINER", "PLATFORMS",
     "WarmPool", "PlacementFailedError", "DEFAULT_KEEP_ALIVE",
+    "AutoscaleController", "AutoscalePolicy", "Decision", "FixedPolicy",
+    "HitRatePolicy", "POLICIES", "PoolObservation", "QueueDepthPolicy",
+    "TickRecord", "make_policy_factory",
+    "ControllerHarness", "HarnessResult", "Phase", "burst_phases",
+    "ramp_phases",
 ]

@@ -62,7 +62,15 @@ class WarmPool:
         self.cold_starts = 0
         self.warm_hits = 0
         self.queue_waits = 0
+        self.prewarmed = 0
         self.peak_size = 0
+        #: Autoscale floor: when set, the keep-alive reaper will not
+        #: shrink the pool below this many live executors — the
+        #: controller owns downscaling through :meth:`shrink`.
+        self.target_warm: Optional[int] = None
+        #: The :class:`~repro.faas.controller.AutoscaleController`
+        #: watching this pool (if any); acquires poke it awake.
+        self.controller = None
         self._live_gauge = TimeWeightedGauge(f"{name}.live",
                                              start_time=sim.now)
 
@@ -78,10 +86,23 @@ class WarmPool:
             self.metrics.counter(f"{self.name}.{event}").add(1)
 
     def _track_size(self) -> None:
-        self._live_gauge.set(self.size, self.sim.now)
+        """Reconcile the size gauge with reality.
+
+        Called on *every* transition that changes sandbox liveness —
+        provisioning start/finish (including failures), cold-start
+        completion, reaps, shrinks, and drains. Dead executors are
+        pruned from the roster here, so the invariant the tests pin is
+        ``gauge level == len(self._executors) + self._provisioning``
+        with every listed executor live. In-flight provisioning counts:
+        its resources are already allocated on the node.
+        """
+        self._executors = [e for e in self._executors if e.live]
+        level = len(self._executors) + self._provisioning
+        self.peak_size = max(self.peak_size, level)
+        self._live_gauge.set(level, self.sim.now)
         if self._labeled:
             self.metrics.gauge("warmpool.size", pool=self.name) \
-                .set(self.size, self.sim.now)
+                .set(level, self.sim.now)
 
     def _track_queue_depth(self) -> None:
         if self._labeled:
@@ -93,6 +114,21 @@ class WarmPool:
     def size(self) -> int:
         """Live executors (busy + idle)."""
         return sum(1 for e in self._executors if e.live)
+
+    @property
+    def provisioning(self) -> int:
+        """Cold starts in flight right now."""
+        return self._provisioning
+
+    @property
+    def busy_count(self) -> int:
+        """Live executors currently claimed by an invocation."""
+        return sum(1 for e in self._executors if e.live and e.busy)
+
+    @property
+    def waiting(self) -> int:
+        """Callers queued for a released executor."""
+        return len(self._waiters)
 
     @property
     def idle(self) -> List[Executor]:
@@ -127,6 +163,8 @@ class WarmPool:
     def _acquire(self, preferred_node: Optional[str],
                  span) -> Generator:
         tracer = self.tracer
+        if self.controller is not None:
+            self.controller.notify_activity()
         while True:
             candidates = self.idle
             if preferred_node is not None:
@@ -154,6 +192,7 @@ class WarmPool:
                     executor = Executor(self.sim, node, self.platform,
                                         self.resources, tracer=tracer)
                     self._provisioning += 1
+                    self._track_size()
                     try:
                         with tracer.span("coldstart", pool=self.name,
                                          node=node.node_id,
@@ -161,10 +200,10 @@ class WarmPool:
                             yield from executor.provision()
                     finally:
                         self._provisioning -= 1
+                        self._track_size()
                     executor.mark_busy()
                     self._executors.append(executor)
                     self.cold_starts += 1
-                    self.peak_size = max(self.peak_size, self.size)
                     self._track_size()
                     self._count("cold_starts",
                                 platform=self.platform.name)
@@ -215,14 +254,90 @@ class WarmPool:
                        name=f"reap:{self.name}", inherit_context=False)
 
     def _reap_after_idle(self, executor: Executor) -> Generator:
-        """Shut the executor down if it stays idle for the window."""
+        """Shut the executor down if it stays idle for the window.
+
+        The window length is read when the reaper is *armed* (at
+        release time), so an adaptive keep-alive applies to executors
+        released after the change. A :attr:`target_warm` floor set by
+        the autoscale controller vetoes the reap — the controller then
+        owns downscaling through :meth:`shrink`.
+        """
         idle_mark = executor.idle_since
         yield self.sim.timeout(self.keep_alive)
-        if (executor.live and not executor.busy
+        if not (executor.live and not executor.busy
                 and executor.idle_since == idle_mark):
-            executor.shutdown()
+            return
+        if self.target_warm is not None and self.size <= self.target_warm:
+            return
+        executor.shutdown()
+        self._track_size()
+        self._count("reaped")
+
+    # -- controller actuation ----------------------------------------------
+    def set_keep_alive(self, keep_alive: float) -> None:
+        """Adapt the idle window; applies to reapers armed from now on."""
+        if keep_alive < 0:
+            raise ValueError("negative keep_alive")
+        self.keep_alive = keep_alive
+
+    def prewarm(self) -> Generator:
+        """Provision one idle executor ahead of demand (controller path).
+
+        Unlike the demand cold start in :meth:`acquire`, a prewarmed
+        sandbox is *not* claimed: it lands idle (or is handed straight
+        to a starved waiter) and does not count as a cold start —
+        ``warmpool.prewarm`` counts it instead. Respects the executor
+        cap; returns ``None`` when the cap or the cluster refuses.
+        """
+        if (self.max_executors is not None
+                and self.size + self._provisioning >= self.max_executors):
+            self._count("prewarm_skipped")
+            return None
+        node = self.placer(self.resources, self.platform, None)
+        if node is None:
+            self._count("prewarm_failed")
+            return None
+        executor = Executor(self.sim, node, self.platform, self.resources,
+                            tracer=self.tracer, prewarmed=True)
+        self._provisioning += 1
+        self._track_size()
+        try:
+            with self.tracer.span("warmpool.prewarm", pool=self.name,
+                                  node=node.node_id,
+                                  platform=self.platform.name):
+                yield from executor.provision()
+        finally:
+            self._provisioning -= 1
             self._track_size()
-            self._count("reaped")
+        self._executors.append(executor)
+        self.prewarmed += 1
+        self._track_size()
+        self._count("prewarm", platform=self.platform.name)
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            self._track_queue_depth()
+            if not waiter.triggered:
+                waiter.succeed(executor)
+                return executor
+        self.sim.spawn(self._reap_after_idle(executor),
+                       name=f"reap:{self.name}", inherit_context=False)
+        return executor
+
+    def shrink(self, count: int) -> int:
+        """Shut down up to ``count`` idle executors now (controller
+        downscaling); busy executors are never touched. Returns how
+        many were reaped."""
+        reaped = 0
+        for executor in self.idle:
+            if reaped >= count:
+                break
+            executor.shutdown()
+            reaped += 1
+        if reaped:
+            self._track_size()
+            for _ in range(reaped):
+                self._count("shrunk")
+        return reaped
 
     def drain(self) -> None:
         """Immediately shut down all idle executors (tests/teardown)."""
@@ -233,4 +348,4 @@ class WarmPool:
     def live_executor_seconds(self, now: float) -> float:
         """Integrated sandbox-liveness (provider-side memory held),
         the cost of keep-alive warmth that pay-per-use bills hide."""
-        return self._live_gauge.mean(now) * now
+        return self._live_gauge.integral(now)

@@ -93,7 +93,8 @@ class Executor:
 
     def __init__(self, sim: Simulator, node: Node, platform: PlatformSpec,
                  resources: ResourceVector,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 prewarmed: bool = False):
         if not node.has_device(platform.device_kind):
             raise ExecutorStateError(
                 f"node {node.node_id} lacks a {platform.device_kind!r} "
@@ -107,6 +108,9 @@ class Executor:
         self.busy = False
         self.idle_since: Optional[float] = None
         self.invocations = 0
+        #: True when the autoscale controller provisioned this sandbox
+        #: ahead of demand rather than a waiting invocation.
+        self.prewarmed = prewarmed
 
     def provision(self) -> Generator:
         """Allocate resources and pay the cold start."""

@@ -157,6 +157,17 @@ class TimeWeightedGauge:
             return self._level
         return area / elapsed
 
+    def integral(self, now: float) -> float:
+        """Level-seconds accumulated over [start_time, now].
+
+        Exact (no mean round-trip): two runs whose level trajectories
+        match produce bit-identical integrals even if read at
+        different end times once the level has returned to zero.
+        """
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        return self._area + self._level * (now - self._last_time)
+
     @property
     def peak(self) -> float:
         return self._max

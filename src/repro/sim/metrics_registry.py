@@ -264,6 +264,73 @@ class LabeledMetricsRegistry(MetricsRegistry):
             return []
         return list(family.series.get(label_key(labels), ()))
 
+    # -- windowed reads (the autoscale controller's view) -----------------
+    def series_window(self, name: str, since: float,
+                      **labels: Any) -> List[Tuple[float, float]]:
+        """The sampled points of one instrument with ``t >= since``.
+
+        Points are appended in time order, so the window is the tail of
+        the series; the scan walks backwards from the end and is
+        O(window), not O(history).
+        """
+        family = self._families.get(name)
+        if family is None:
+            return []
+        points = family.series.get(label_key(labels), ())
+        idx = len(points)
+        while idx > 0 and points[idx - 1][0] >= since:
+            idx -= 1
+        return list(points[idx:])
+
+    def _matching_keys(self, family: _Family,
+                       labels: Dict[str, Any]) -> List[LabelKey]:
+        """Children whose label set contains ``labels`` (subset filter);
+        the bare aggregate when no labels are given."""
+        if not labels:
+            return [()]
+        want = set(label_key(labels))
+        return [key for key in sorted(family.series)
+                if key and want <= set(key)]
+
+    def window_delta(self, name: str, since: float,
+                     **labels: Any) -> float:
+        """How much a counter family grew over the sampled window.
+
+        ``labels`` is a *subset* filter: every child whose label set
+        contains the given pairs contributes (so ``window_delta(
+        "warmpool.cold_starts", t, pool="fn/impl")`` sums across the
+        ``platform=...`` label that rides along). With no labels the
+        family aggregate is read. The delta is measured from the last
+        sample at or before ``since`` to the newest sample; instruments
+        born inside the window contribute their full value.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "counter":
+            return 0.0
+        total = 0.0
+        for key in self._matching_keys(family, labels):
+            points = family.series.get(key)
+            if not points:
+                continue
+            idx = len(points)
+            while idx > 0 and points[idx - 1][0] > since:
+                idx -= 1
+            base = points[idx - 1][1] if idx > 0 else 0.0
+            total += points[-1][1] - base
+        return total
+
+    def window_level(self, name: str, **labels: Any) -> float:
+        """Sum of current gauge levels across children matching the
+        subset filter (the family aggregate with no labels)."""
+        family = self._families.get(name)
+        if family is None or family.kind != "gauge":
+            return 0.0
+        if not labels:
+            return family.aggregate.level
+        want = set(label_key(labels))
+        return sum(child.level for key, child in sorted(
+            family.children.items()) if want <= set(key))
+
     def sampler_process(self, sim, interval: float) -> Generator:
         """A simulation process that samples every ``interval`` seconds.
 

@@ -7,9 +7,11 @@ import pytest
 from repro.bench.regress import (
     ABS_FLOOR,
     compare,
+    compare_autoscale,
     fold_layers,
     layer_of,
     main,
+    run_autoscale_gate,
     run_pinned_e4,
 )
 
@@ -29,6 +31,13 @@ def test_layer_of_known_and_unknown_names():
     assert layer_of("quorum.write") == "quorum"
     assert layer_of("coldstart") == "coldstart"
     assert layer_of("brand.new.span") == "other"
+
+
+def test_layer_of_autoscale_spans():
+    assert layer_of("autoscale.tick") == "control"
+    assert layer_of("autoscale.resize") == "control"
+    # Prewarming is provisioning work, so it folds with cold starts.
+    assert layer_of("warmpool.prewarm") == "coldstart"
 
 
 def test_fold_layers_sums_names_into_layers():
@@ -105,9 +114,10 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     baseline = tmp_path / "base.json"
     out = tmp_path / "cp.json"
     metrics = tmp_path / "metrics.json"
-    assert main(["--requests", "1", "--update",
+    assert main(["--requests", "1", "--update", "--skip-autoscale",
                  "--baseline", str(baseline)]) == 0
-    assert main(["--requests", "1", "--baseline", str(baseline),
+    assert main(["--requests", "1", "--skip-autoscale",
+                 "--baseline", str(baseline),
                  "--out", str(out), "--metrics-out", str(metrics)]) == 0
     assert json.loads(out.read_text())["by_layer"]
     assert json.loads(metrics.read_text())["counters"]
@@ -116,10 +126,78 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     doc = json.loads(baseline.read_text())
     doc["by_layer"]["network"] *= 2.0
     baseline.write_text(json.dumps(doc))
-    assert main(["--requests", "1",
+    assert main(["--requests", "1", "--skip-autoscale",
                  "--baseline", str(baseline)]) == 1
 
 
 def test_cli_missing_baseline_is_usage_error(tmp_path):
-    assert main(["--requests", "1",
+    assert main(["--requests", "1", "--skip-autoscale",
                  "--baseline", str(tmp_path / "nope.json")]) == 2
+
+
+# -- the autoscale sub-gate ------------------------------------------------
+
+@pytest.fixture(scope="module")
+def autoscale_doc():
+    return run_autoscale_gate()
+
+
+def test_autoscale_gate_meets_its_own_bar(autoscale_doc):
+    """A fresh gate run satisfies its own baseline: deterministic
+    replay, reduction above the floor, both arms back at zero."""
+    assert compare_autoscale(autoscale_doc, autoscale_doc) == []
+    assert autoscale_doc["cold_start_reduction"] \
+        >= autoscale_doc["min_reduction"]
+    assert autoscale_doc["controlled"]["cold_starts"] \
+        < autoscale_doc["fixed"]["cold_starts"]
+
+
+def test_compare_autoscale_flags_pinned_field_drift(autoscale_doc):
+    base = json.loads(json.dumps(autoscale_doc))
+    base["controlled"]["cold_starts"] += 1
+    violations = compare_autoscale(autoscale_doc, base)
+    assert len(violations) == 1
+    assert "controlled.cold_starts" in violations[0]
+
+
+def test_compare_autoscale_flags_weak_reduction(autoscale_doc):
+    cur = json.loads(json.dumps(autoscale_doc))
+    cur["cold_start_reduction"] = 0.1
+    violations = compare_autoscale(cur, autoscale_doc)
+    assert any("below the required" in v for v in violations)
+
+
+def test_compare_autoscale_flags_pools_that_never_drain(autoscale_doc):
+    cur = json.loads(json.dumps(autoscale_doc))
+    base = json.loads(json.dumps(autoscale_doc))
+    cur["fixed"]["final_size"] = base["fixed"]["final_size"] = 2
+    violations = compare_autoscale(cur, base)
+    # Pinned fields agree, so the only violation is the drain check.
+    assert violations == ["fixed: pool did not scale to zero "
+                          "(final_size=2)"]
+
+
+def test_cli_autoscale_update_then_compare_and_perturb(tmp_path):
+    e4 = tmp_path / "e4.json"
+    asb = tmp_path / "autoscale.json"
+    assert main(["--requests", "1", "--update", "--baseline", str(e4),
+                 "--autoscale-baseline", str(asb)]) == 0
+    doc = json.loads(asb.read_text())
+    assert doc["controlled"]["cold_starts"] < doc["fixed"]["cold_starts"]
+    assert main(["--requests", "1", "--baseline", str(e4),
+                 "--autoscale-baseline", str(asb)]) == 0
+
+    # Perturb a pinned arm field: the gate must fail.
+    doc["controlled"]["cold_starts"] += 5
+    asb.write_text(json.dumps(doc))
+    assert main(["--requests", "1", "--baseline", str(e4),
+                 "--autoscale-baseline", str(asb)]) == 1
+
+
+def test_cli_missing_autoscale_baseline_is_usage_error(tmp_path):
+    e4 = tmp_path / "e4.json"
+    assert main(["--requests", "1", "--update", "--skip-autoscale",
+                 "--baseline", str(e4)]) == 0
+    assert main(["--requests", "1", "--baseline", str(e4),
+                 "--autoscale-baseline",
+                 str(tmp_path / "nope.json")]) == 2

@@ -1,0 +1,128 @@
+"""ImplOptimizer estimate/rank/choose under controller-mutated pools.
+
+The autoscale controller now changes pool state out from under the
+optimizer — prewarming executors, shrinking idle ones, holding floors.
+The optimizer's warmth model must track those mutations: a prewarmed
+pool estimates warm (no startup charge), a shrunk-to-zero pool
+estimates cold again, and ``choose`` migrates accordingly.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster, cpu_task
+from repro.core.functions import FunctionDef, FunctionImpl
+from repro.core.optimizer import ImplOptimizer
+from repro.faas import CONTAINER, WASM, WarmPool
+from repro.sim import Simulator
+
+
+def first_fit_placer(topo):
+    def place(resources, platform, preferred_node=None):
+        for node in topo.live_nodes():
+            if node.has_device(platform.device_kind) \
+                    and node.can_fit(resources):
+                return node
+        return None
+    return place
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0)
+    resources = cpu_task(cpus=1, memory_gb=1)
+    container = FunctionImpl("container", CONTAINER, resources,
+                             work_ops=5e9)
+    wasm = FunctionImpl("wasm", WASM, resources, work_ops=5e9)
+    fn_def = FunctionDef(name="fn", impls=[container, wasm])
+    pools = {impl.name: WarmPool(sim, f"fn/{impl.name}", impl.platform,
+                                 resources,
+                                 placer=first_fit_placer(topo),
+                                 keep_alive=100.0)
+             for impl in fn_def.impls}
+    return sim, fn_def, pools
+
+
+def prewarm(sim, pool):
+    executor = sim.run_until_event(sim.spawn(pool.prewarm()))
+    assert executor is not None
+    return executor
+
+
+def test_prewarmed_pool_estimates_warm(rig):
+    sim, fn_def, pools = rig
+    opt = ImplOptimizer(goal="latency")
+    container = fn_def.impl_named("container")
+
+    cold = opt.estimate(container, pools["container"])
+    assert not cold.warm
+    assert cold.est_latency >= CONTAINER.cold_start
+
+    prewarm(sim, pools["container"])
+    warm = opt.estimate(container, pools["container"])
+    assert warm.warm
+    # The whole cold-start charge disappeared from the estimate.
+    assert cold.est_latency - warm.est_latency \
+        == pytest.approx(CONTAINER.cold_start)
+
+
+def test_choose_migrates_to_prewarmed_impl(rig):
+    """Cold everywhere, the fast-booting wasm impl wins; once the
+    controller prewarms the container pool, choose() migrates —
+    warmth beats boot speed."""
+    sim, fn_def, pools = rig
+    opt = ImplOptimizer(goal="latency")
+    assert opt.choose(fn_def, pools).name == "wasm"
+
+    prewarm(sim, pools["container"])
+    assert opt.choose(fn_def, pools).name == "container"
+
+
+def test_shrink_reverts_the_estimate_to_cold(rig):
+    sim, fn_def, pools = rig
+    opt = ImplOptimizer(goal="latency")
+    pool = pools["container"]
+    prewarm(sim, pool)
+    assert opt.estimate(fn_def.impl_named("container"), pool).warm
+    assert pool.shrink(1) == 1
+    assert not opt.estimate(fn_def.impl_named("container"), pool).warm
+
+
+def test_busy_pool_is_not_warm_for_the_optimizer(rig):
+    """Warmth means an *idle* executor is available now; a pool whose
+    only executor is claimed estimates cold-start latency again."""
+    sim, fn_def, pools = rig
+    opt = ImplOptimizer(goal="latency")
+    pool = pools["container"]
+    executor = prewarm(sim, pool)
+    executor.mark_busy()
+    assert not opt.estimate(fn_def.impl_named("container"), pool).warm
+    executor.mark_idle()
+    assert opt.estimate(fn_def.impl_named("container"), pool).warm
+
+
+def test_rank_orders_by_goal_under_mixed_warmth(rig):
+    sim, fn_def, pools = rig
+    prewarm(sim, pools["container"])
+    ranked = ImplOptimizer(goal="latency").rank(fn_def, pools)
+    assert [e.impl.name for e in ranked] == ["container", "wasm"]
+    assert ranked[0].warm and not ranked[1].warm
+    # Cost goal is indifferent to warmth (pay-per-use bills runtime),
+    # so the cheaper wasm impl still ranks first.
+    by_cost = ImplOptimizer(goal="cost").rank(fn_def, pools)
+    assert by_cost[0].est_cost <= by_cost[1].est_cost
+
+
+def test_target_floor_keeps_estimate_warm_across_reap_window(rig):
+    """A controller floor (target_warm) vetoes the keep-alive reaper,
+    so the optimizer keeps seeing a warm pool for as long as the
+    controller holds the floor."""
+    sim, fn_def, pools = rig
+    pool = pools["container"]
+    pool.set_keep_alive(0.1)
+    pool.target_warm = 1
+    prewarm(sim, pool)
+    sim.run()  # reap window passes; the floor vetoes the reap
+    opt = ImplOptimizer(goal="latency")
+    assert opt.estimate(fn_def.impl_named("container"), pool).warm

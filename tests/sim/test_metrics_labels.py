@@ -161,3 +161,62 @@ def test_line_protocol_output(reg):
     assert "net.bytes value=10.0 1000000000" in lines
     assert "net.bytes,purpose=rpc value=10.0 1000000000" in lines
     assert any(line.startswith("inflight level=1") for line in lines)
+
+
+# -- windowed reads (the autoscale controller's view) --------------------
+
+def test_series_window_returns_the_tail(reg):
+    c = reg.counter("reqs", pool="p")
+    for t in (1.0, 2.0, 3.0, 4.0):
+        c.add(1)
+        reg.sample(t)
+    assert reg.series_window("reqs", 3.0, pool="p") \
+        == [(3.0, 3.0), (4.0, 4.0)]
+    assert reg.series_window("reqs", 0.0, pool="p") \
+        == reg.series("reqs", pool="p")
+    assert reg.series_window("reqs", 9.0, pool="p") == []
+    assert reg.series_window("missing", 0.0) == []
+
+
+def test_window_delta_sums_children_by_subset_filter(reg):
+    """pool=... matches every child carrying that pair, whatever other
+    labels (platform=...) ride along — the delta is the family growth
+    over the window, not one child's."""
+    a = reg.counter("colds", pool="p", platform="microvm")
+    b = reg.counter("colds", pool="p", platform="wasm")
+    other = reg.counter("colds", pool="q", platform="microvm")
+    a.add(2)
+    b.add(1)
+    other.add(10)
+    reg.sample(1.0)
+    a.add(3)
+    other.add(10)
+    reg.sample(2.0)
+    assert reg.window_delta("colds", 1.0, pool="p") == 3.0
+    assert reg.window_delta("colds", 1.0, pool="q") == 10.0
+    assert reg.window_delta("colds", 0.0, pool="p") == 6.0
+    # No labels: the bare aggregate (sum of everything).
+    assert reg.window_delta("colds", 1.0) == 13.0
+    # Non-counter families and unknown names read as zero growth.
+    reg.gauge("lvl").set(5, now=0.0)
+    assert reg.window_delta("lvl", 0.0) == 0.0
+    assert reg.window_delta("missing", 0.0) == 0.0
+
+
+def test_window_delta_counts_instruments_born_inside_window(reg):
+    reg.counter("colds", pool="old").add(1)
+    reg.sample(1.0)
+    reg.counter("colds", pool="new").add(4)  # born after t=1
+    reg.sample(2.0)
+    assert reg.window_delta("colds", 1.0, pool="new") == 4.0
+
+
+def test_window_level_sums_gauges_by_subset_filter(reg):
+    reg.gauge("size", pool="p", platform="m").set(2, now=0.0)
+    reg.gauge("size", pool="p", platform="w").set(3, now=0.0)
+    reg.gauge("size", pool="q").set(7, now=0.0)
+    assert reg.window_level("size", pool="p") == 5.0
+    assert reg.window_level("size", pool="q") == 7.0
+    assert reg.window_level("size") == 12.0  # the aggregate
+    assert reg.window_level("size", pool="nope") == 0.0
+    assert reg.window_level("missing") == 0.0
