@@ -1,0 +1,24 @@
+"""E21 — failure semantics under seeded chaos: hardened vs naive."""
+
+from repro.bench.experiments import run_chaos
+
+
+def test_e21_chaos(run_experiment):
+    result = run_experiment(run_chaos)
+    claims = result.claims
+    # The hardened arm strictly out-delivers the naive one under the
+    # identical fault schedule.
+    assert claims["hardened_goodput"] > claims["naive_goodput"]
+    # No hardened client is ever blocked past its deadline: every
+    # request reaches an outcome within budget (plus float slack).
+    assert claims["hardened_max_outcome_s"] <= (
+        claims["deadline_s"] + claims["deadline_eps_s"])
+    # Hedged invokes cut the gray-failure tail...
+    assert claims["hedged_p99_s"] < claims["unhedged_p99_s"]
+    # ...at a bounded duplicate-work overhead (at most one speculative
+    # duplicate per request, by construction).
+    assert claims["hedge_duplicate_fraction"] <= 1.0
+    # The chaos schedule actually fired, and the whole run replays
+    # bit-identically from its seed.
+    assert claims["faults_injected"] > 0
+    assert claims["replay_identical"] is True

@@ -26,6 +26,7 @@ from .e17_keepalive import run_keepalive
 from .e18_platform_shootout import run_platform_shootout
 from .e19_nonrest_api import run_nonrest_api
 from .e20_churn import run_churn
+from .e21_chaos import run_chaos
 
 ALL_EXPERIMENTS = {
     "E1": run_table1,
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "E18": run_platform_shootout,
     "E19": run_nonrest_api,
     "E20": run_churn,
+    "E21": run_chaos,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in

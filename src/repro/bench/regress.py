@@ -1,4 +1,4 @@
-"""Performance-regression gates: E4 critical path + autoscale wins.
+"""Performance-regression gates: E4 critical path, autoscale, chaos.
 
 **E4 gate** — runs the pinned-seed E4 model-serving pipeline (PCSI
 co-located, seed 41, traced), extracts the per-invocation critical
@@ -20,6 +20,16 @@ autoscale_burst.json``):
   end — so a change that quietly weakens the control loop fails CI
   the same way a slow hot path does.
 
+**Chaos gate** — runs the pinned short E21 chaos comparison
+(``e21_chaos.SHORT``): the naive and hardened arms under the identical
+seeded fault schedule plus the gray-failure hedging mini-run. Pins
+exact integer outcome counts per arm
+(``benchmarks/baselines/chaos_goodput.json``) and enforces the win
+conditions — hardened goodput strictly above naive, no hardened client
+blocked past its deadline, hedging cutting the gray p99, and the whole
+run replaying outcome-identically from its seed. CI runs this as the
+``chaos-gate`` job.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -27,10 +37,11 @@ as the ``perf-gate`` job and fails the build on violations.
 
 Usage::
 
-    python -m repro.bench.regress                 # both gates, exit 0/1
+    python -m repro.bench.regress                 # all gates, exit 0/1
     python -m repro.bench.regress --update        # rewrite baselines
     python -m repro.bench.regress --out cp.json --metrics-out m.json
-    python -m repro.bench.regress --skip-autoscale   # E4 gate only
+    python -m repro.bench.regress --skip-autoscale --skip-chaos
+    python -m repro.bench.regress --only-chaos    # chaos gate alone
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -39,6 +50,7 @@ commit the JSON, and explain the perf delta in the commit message.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from pathlib import Path
@@ -80,6 +92,7 @@ LAYERS: Dict[str, str] = {
     "execute": "compute",
     "invoke": "control",
     "dispatch": "control",
+    "hedge": "control",
     "placement": "control",
     "attempt": "control",
     "warmpool.acquire": "control",
@@ -273,6 +286,99 @@ def compare_autoscale(current: Dict[str, Any],
     return violations
 
 
+# ---------------------------------------------------------------------------
+# Chaos gate
+# ---------------------------------------------------------------------------
+
+#: Chaos-arm fields compared exactly — the fault schedule, retries,
+#: hedges, and every request outcome replay deterministically, so any
+#: drift in these counts is a semantic change to failure handling.
+PINNED_CHAOS_FIELDS = ("offered", "ok", "deadline_exceeded", "errors",
+                       "retries", "hedges", "hedge_wins", "failovers",
+                       "faults_injected", "outcome_fingerprint")
+
+
+def chaos_baseline_path() -> Path:
+    """``benchmarks/baselines/chaos_goodput.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "chaos_goodput.json"
+
+
+def _outcome_fingerprint(outcomes: List[Any]) -> str:
+    """A short stable digest of the per-request outcome sequence.
+
+    Pinning the digest (rather than the raw ``(kind, latency)`` list)
+    keeps the baseline JSON small while still failing the gate if any
+    single request's outcome or timing shifts.
+    """
+    payload = json.dumps([list(o) for o in outcomes],
+                         separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _chaos_arm_doc(arm: Dict[str, Any]) -> Dict[str, Any]:
+    """One chaos arm with the bulky outcome list folded to a digest."""
+    doc = {k: v for k, v in arm.items() if k != "outcomes"}
+    doc["outcome_fingerprint"] = _outcome_fingerprint(arm["outcomes"])
+    return doc
+
+
+def run_chaos_gate() -> Dict[str, Any]:
+    """Replay the pinned short chaos comparison (naive vs hardened)."""
+    from .experiments.e21_chaos import DEADLINE_EPS, SHORT, run_chaos_arms
+    res = run_chaos_arms(SHORT)
+    return {
+        "experiment": "E21 pinned short chaos (naive vs hardened)",
+        "config": res["config"],
+        "deadline_eps_s": DEADLINE_EPS,
+        "naive": _chaos_arm_doc(res["naive"]),
+        "hardened": _chaos_arm_doc(res["hardened"]),
+        "unhedged": {k: res["unhedged"][k]
+                     for k in ("requests", "p50_s", "p99_s")},
+        "hedged": {k: res["hedged"][k]
+                   for k in ("requests", "p50_s", "p99_s", "hedges",
+                             "hedge_wins", "duplicate_fraction")},
+        "replay_identical": res["replay_identical"],
+    }
+
+
+def compare_chaos(current: Dict[str, Any],
+                  baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the chaos gate against its baseline doc."""
+    violations: List[str] = []
+    for arm in ("naive", "hardened"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_CHAOS_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(f"chaos {arm}.{fld}: {cur} vs "
+                                  f"pinned {base}")
+    naive, hardened = current.get("naive", {}), current.get("hardened", {})
+    if hardened.get("goodput", 0.0) <= naive.get("goodput", 1.0):
+        violations.append(
+            f"chaos: hardened goodput {hardened.get('goodput', 0.0):.1%} "
+            f"does not beat naive {naive.get('goodput', 1.0):.1%}")
+    deadline = current.get("config", {}).get("deadline_s", 0.0)
+    eps = current.get("deadline_eps_s", 0.0)
+    worst = hardened.get("max_time_to_outcome_s", 0.0)
+    if worst > deadline + eps:
+        violations.append(
+            f"chaos: a hardened client was blocked {worst:.6f} s, past "
+            f"its {deadline} s deadline")
+    if current.get("hedged", {}).get("p99_s", 0.0) \
+            >= current.get("unhedged", {}).get("p99_s", 0.0):
+        violations.append(
+            f"chaos: hedging no longer cuts the gray p99 "
+            f"({current.get('hedged', {}).get('p99_s', 0.0):.6f} s vs "
+            f"{current.get('unhedged', {}).get('p99_s', 0.0):.6f} s "
+            "unhedged)")
+    if not current.get("replay_identical", False):
+        violations.append("chaos: run is no longer outcome-identical "
+                          "when replayed from its seed")
+    return violations
+
+
 def baseline_doc(by_layer: Dict[str, float],
                  by_name: Dict[str, float],
                  requests: int) -> Dict[str, Any]:
@@ -316,36 +422,60 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=autoscale_baseline_path(),
                         help="autoscale-gate baseline JSON")
     parser.add_argument("--skip-autoscale", action="store_true",
-                        help="run only the E4 critical-path gate")
+                        help="skip the autoscale controller gate")
+    parser.add_argument("--chaos-baseline", type=Path,
+                        default=chaos_baseline_path(),
+                        help="chaos-gate baseline JSON")
+    parser.add_argument("--skip-chaos", action="store_true",
+                        help="skip the chaos failure-semantics gate")
+    parser.add_argument("--only-chaos", action="store_true",
+                        help="run only the chaos gate (CI chaos-gate job)")
+    parser.add_argument("--chaos-out", type=Path, default=None,
+                        help="write the current chaos-gate JSON here")
     args = parser.parse_args(argv)
+    if args.only_chaos and args.skip_chaos:
+        parser.error("--only-chaos and --skip-chaos are exclusive")
     if args.requests < 1:
         parser.error("--requests must be >= 1")
     if args.sample_rate is not None \
             and not 0.0 <= args.sample_rate <= 1.0:
         parser.error("--sample-rate must be in [0, 1]")
 
-    cloud, by_name, by_layer = run_pinned_e4(
-        requests=args.requests, sample_rate=args.sample_rate)
-    doc = baseline_doc(by_layer, by_name, args.requests)
+    doc = None
+    by_layer: Dict[str, float] = {}
+    if not args.only_chaos:
+        cloud, by_name, by_layer = run_pinned_e4(
+            requests=args.requests, sample_rate=args.sample_rate)
+        doc = baseline_doc(by_layer, by_name, args.requests)
 
-    if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
-                            + "\n", encoding="utf-8")
-        print(f"critical-path totals written to {args.out}")
-    if args.metrics_out is not None:
-        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
-        cloud.metrics.write_json(str(args.metrics_out), now=cloud.sim.now)
-        print(f"labeled metrics written to {args.metrics_out}")
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                                + "\n", encoding="utf-8")
+            print(f"critical-path totals written to {args.out}")
+        if args.metrics_out is not None:
+            args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            cloud.metrics.write_json(str(args.metrics_out),
+                                     now=cloud.sim.now)
+            print(f"labeled metrics written to {args.metrics_out}")
 
-    autoscale_doc = None if args.skip_autoscale else run_autoscale_gate()
+    autoscale_doc = None if (args.skip_autoscale or args.only_chaos) \
+        else run_autoscale_gate()
+    chaos_doc = None if args.skip_chaos else run_chaos_gate()
+    if args.chaos_out is not None and chaos_doc is not None:
+        args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
+        args.chaos_out.write_text(
+            json.dumps(chaos_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"chaos-gate results written to {args.chaos_out}")
 
     if args.update:
-        args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(
-            json.dumps(doc, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8")
-        print(f"baseline updated: {args.baseline}")
+        if doc is not None:
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            print(f"baseline updated: {args.baseline}")
         if autoscale_doc is not None:
             args.autoscale_baseline.parent.mkdir(parents=True,
                                                  exist_ok=True)
@@ -353,22 +483,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(autoscale_doc, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8")
             print(f"baseline updated: {args.autoscale_baseline}")
+        if chaos_doc is not None:
+            args.chaos_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.chaos_baseline.write_text(
+                json.dumps(chaos_doc, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+            print(f"baseline updated: {args.chaos_baseline}")
         return 0
 
-    if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run with --update first",
-              file=sys.stderr)
-        return 2
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    if args.requests != baseline.get("requests", REQUESTS):
-        print("warning: request count differs from the baseline run; "
-              "totals are not comparable", file=sys.stderr)
+    violations: List[str] = []
+    if doc is not None:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; run with --update "
+                  "first", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        if args.requests != baseline.get("requests", REQUESTS):
+            print("warning: request count differs from the baseline run; "
+                  "totals are not comparable", file=sys.stderr)
 
-    for layer, secs in sorted(by_layer.items(), key=lambda kv: -kv[1]):
-        base = baseline["by_layer"].get(layer, 0.0)
-        print(f"  {layer:<10} {secs * 1e3:9.3f} ms "
-              f"(baseline {base * 1e3:9.3f} ms)")
-    violations = compare(by_layer, baseline)
+        for layer, secs in sorted(by_layer.items(),
+                                  key=lambda kv: -kv[1]):
+            base = baseline["by_layer"].get(layer, 0.0)
+            print(f"  {layer:<10} {secs * 1e3:9.3f} ms "
+                  f"(baseline {base * 1e3:9.3f} ms)")
+        violations += compare(by_layer, baseline)
 
     if autoscale_doc is not None:
         if not args.autoscale_baseline.exists():
@@ -382,6 +521,21 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"(queue-depth), "
               f"-{autoscale_doc['cold_start_reduction']:.1%}")
         violations += compare_autoscale(autoscale_doc, autoscale_baseline)
+
+    if chaos_doc is not None:
+        if not args.chaos_baseline.exists():
+            print(f"no baseline at {args.chaos_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        chaos_baseline = json.loads(
+            args.chaos_baseline.read_text(encoding="utf-8"))
+        print(f"  chaos      goodput "
+              f"{chaos_doc['naive']['goodput']:.1%} (naive) -> "
+              f"{chaos_doc['hardened']['goodput']:.1%} (hardened), "
+              f"{chaos_doc['naive']['faults_injected']} faults, "
+              f"gray p99 {chaos_doc['unhedged']['p99_s'] * 1e3:.1f} ms -> "
+              f"{chaos_doc['hedged']['p99_s'] * 1e3:.1f} ms hedged")
+        violations += compare_chaos(chaos_doc, chaos_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

@@ -1,6 +1,6 @@
 """Warehouse-scale cluster substrate: nodes, topology, network, failures."""
 
-from .failures import FailureInjector
+from .failures import ChaosEvent, ChaosInjector, ChaosPlan, FailureInjector
 from .latency import (
     DC_2005,
     DC_2021,
@@ -33,5 +33,5 @@ __all__ = [
     "ResourceVector", "cpu_task", "gpu_task", "server_node",
     "GB", "MB", "KB",
     "Topology", "build_cluster",
-    "FailureInjector",
+    "FailureInjector", "ChaosEvent", "ChaosInjector", "ChaosPlan",
 ]

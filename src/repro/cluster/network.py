@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Set, Tuple
 
+from ..sim.deadline import DeadlineExceededError, check_deadline, \
+    current_deadline
 from ..sim.engine import Event, Simulator
 from ..sim.metrics import MetricsRegistry
 from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..sim.resources import Resource, Store
+from ..sim.rng import RandomStream
 from ..sim.trace import NULL_TRACER, Tracer
 from .latency import LatencyProfile
 from .topology import Topology
@@ -78,6 +81,33 @@ class Network:
         #: machine queue instead of enjoying free parallel bandwidth.
         self.model_contention = model_contention
         self._egress: dict = {}
+        # Lossy-link chaos model: disabled by default (zero draws, zero
+        # extra events — the default path stays bit-identical).
+        self._loss_prob = 0.0
+        self._loss_rng: Optional[RandomStream] = None
+        self._loss_rto = 0.05
+
+    # -- chaos knobs ------------------------------------------------------
+    def set_loss(self, prob: float, rng: Optional[RandomStream] = None,
+                 rto: float = 0.05) -> None:
+        """Make links lossy: each one-way message is lost with ``prob``.
+
+        Reliable transfers (:meth:`transfer`/:meth:`round_trip`) pay a
+        transport retransmission of ``rto`` seconds per loss;
+        fire-and-forget :meth:`send` messages are dropped outright
+        (datagram semantics). All draws come from the supplied seeded
+        stream, so chaos runs replay bit-identically. ``prob=0``
+        disables the model again.
+        """
+        if not 0.0 <= prob < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1): {prob}")
+        if rto <= 0:
+            raise ValueError("rto must be positive")
+        if prob > 0 and rng is None:
+            raise ValueError("lossy links need a seeded RandomStream")
+        self._loss_prob = prob
+        self._loss_rng = rng
+        self._loss_rto = rto
 
     # -- reachability ---------------------------------------------------
     def is_reachable(self, src: str, dst: str) -> bool:
@@ -157,7 +187,24 @@ class Network:
 
     def _transfer(self, src: str, dst: str, nbytes: int, fail_fast: bool,
                   purpose: str) -> Generator:
+        deadline = check_deadline(self.sim, f"transfer {src}->{dst}")
         waited = yield from self._await_reachable(src, dst, fail_fast)
+        if self._loss_prob and src != dst and purpose != "message":
+            # Reliable transport over a lossy link: each loss costs one
+            # retransmission timeout before the payload gets through.
+            # (Fire-and-forget "message" sends are dropped at the
+            # datagram layer in send() instead.)
+            while self._loss_rng.bernoulli(self._loss_prob):
+                if self._labeled:
+                    self.metrics.counter("network.retransmits",
+                                         purpose=purpose).add(1)
+                else:
+                    self.metrics.counter("network.retransmits").add(1)
+                if deadline is not None and deadline.expired(self.sim.now):
+                    raise DeadlineExceededError(
+                        f"transfer {src}->{dst}: deadline expired during "
+                        f"retransmission", deadline)
+                yield self.sim.timeout(self._loss_rto)
         start = self.sim.now
         inflight = self.metrics.gauge("network.inflight") \
             if self._labeled else None
@@ -170,7 +217,15 @@ class Network:
                 # senders), then pay the propagation/processing parts
                 # without the link.
                 link = self._egress_link(src)
-                yield link.acquire()
+                grant = link.acquire()
+                try:
+                    yield grant
+                except BaseException:
+                    # Interrupted (hedge loss, deadline) while queued:
+                    # withdraw the request so the NIC slot is not
+                    # stranded on a dead waiter.
+                    link.cancel(grant)
+                    raise
                 try:
                     yield self.sim.timeout(self.profile.wire_time(nbytes))
                 finally:
@@ -223,12 +278,24 @@ class Network:
         callers needing acknowledgement use :meth:`round_trip`).
         """
         def deliver():
+            if self._loss_prob and src != dst \
+                    and self._loss_rng.bernoulli(self._loss_prob):
+                # Datagram semantics: a lost fire-and-forget message is
+                # simply gone — no transport retry, and the sender
+                # cannot observe the loss.
+                self._record_drop(src, dst, "loss")
+                return
             try:
                 yield from self.transfer(src, dst, nbytes,
                                          fail_fast=fail_fast,
                                          purpose="message")
             except NetworkUnreachableError:
-                self.metrics.counter("network.dropped").add(1)
+                self._record_drop(src, dst, "unreachable")
+                return
+            if not self.topology.node(dst).alive:
+                # The destination died while the message was in flight:
+                # it never lands in the inbox.
+                self._record_drop(src, dst, "dst-dead")
                 return
             inbox.put(message)
 
@@ -238,6 +305,23 @@ class Network:
                        inherit_context=False)
 
     # -- internals ---------------------------------------------------------
+    def _record_drop(self, src: str, dst: str, cause: str) -> None:
+        """Account one dropped fire-and-forget message.
+
+        Labeled by endpoints and cause (so dropped hand-offs are
+        attributable), rolled up into the legacy bare
+        ``network.dropped`` aggregate, and mirrored as a flat trace
+        record for span-level debugging.
+        """
+        if self._labeled:
+            self.metrics.counter("network.dropped", src=src, dst=dst,
+                                 cause=cause).add(1)
+        else:
+            self.metrics.counter("network.dropped").add(1)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "net.drop", src=src, dst=dst,
+                               cause=cause)
+
     def _egress_link(self, node_id: str) -> Resource:
         link = self._egress.get(node_id)
         if link is None:
@@ -247,18 +331,45 @@ class Network:
 
     def _await_reachable(self, src: str, dst: str,
                          fail_fast: bool) -> Generator:
-        """Yield until src can reach dst; returns the time spent blocked."""
+        """Yield until src can reach dst; returns the time spent blocked.
+
+        Deadline-aware: a fail-fast detection window is cut short when
+        the caller's remaining budget is smaller than the window, and a
+        location-transparent wait is raced against the budget — both
+        raise :class:`~repro.sim.deadline.DeadlineExceededError` at
+        expiry, so even the §2.2 "hang forever" semantics cannot block
+        a caller that set a deadline.
+        """
         start = self.sim.now
+        deadline = current_deadline(self.sim)
         while not self.is_reachable(src, dst):
             if fail_fast:
                 # Model a connect timeout: the sender learns of the
                 # failure only after a few RTTs of silence.
                 detect = max(self.rtt(src, dst), self.profile.network_rtt)
-                yield self.sim.timeout(detect * self.FAIL_FAST_RTT_MULTIPLIER)
+                detect *= self.FAIL_FAST_RTT_MULTIPLIER
+                if deadline is not None \
+                        and deadline.remaining(self.sim.now) < detect:
+                    remaining = deadline.remaining(self.sim.now)
+                    if remaining > 0:
+                        yield self.sim.timeout(remaining)
+                    raise DeadlineExceededError(
+                        f"{src}->{dst}: deadline expired during failure "
+                        f"detection", deadline)
+                yield self.sim.timeout(detect)
                 self.metrics.counter("network.unreachable").add(1)
                 raise NetworkUnreachableError(f"{src} cannot reach {dst}")
             blocker = self._current_blocker(src, dst)
-            yield blocker
+            if deadline is None:
+                yield blocker
+            else:
+                remaining = max(deadline.remaining(self.sim.now), 0.0)
+                yield self.sim.any_of([blocker,
+                                       self.sim.timeout(remaining)])
+                if deadline.expired(self.sim.now):
+                    raise DeadlineExceededError(
+                        f"{src}->{dst}: deadline expired while "
+                        f"unreachable", deadline)
         return self.sim.now - start
 
     def _current_blocker(self, src: str, dst: str) -> Event:

@@ -76,6 +76,10 @@ class Node:
         self.capacity = capacity
         self.allocated = ResourceVector()
         self.alive = True
+        #: Gray-failure multiplier on compute time (1.0 = healthy).
+        #: The node stays alive and reachable — it is just slow, the
+        #: failure mode health checks miss and hedging defends against.
+        self.slowdown = 1.0
         self.device_specs = dict(device_specs or DEVICE_SPECS)
         self.interference_alpha = interference_alpha
         self._cpu_util = TimeWeightedGauge(f"{node_id}.cpu",
@@ -136,8 +140,21 @@ class Node:
         Linear in the machine's current CPU allocation fraction:
         an empty machine runs at full speed, a fully packed one takes
         ``1 + interference_alpha`` times as long per unit of work.
+        A gray failure multiplies the whole factor by :attr:`slowdown`
+        (exactly 1.0 on healthy nodes, so the product is a no-op).
         """
-        return 1.0 + self.interference_alpha * self._cpu_fraction()
+        return (1.0 + self.interference_alpha * self._cpu_fraction()) \
+            * self.slowdown
+
+    def degrade(self, slowdown: float) -> None:
+        """Enter a gray failure: compute runs ``slowdown``x slower."""
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        self.slowdown = slowdown
+
+    def restore_speed(self) -> None:
+        """Clear a gray failure."""
+        self.slowdown = 1.0
 
     # -- devices ---------------------------------------------------------
     def has_device(self, kind: str) -> bool:

@@ -7,6 +7,12 @@ because a remote mount vanished" failure mode in the interface itself.
 
 from __future__ import annotations
 
+# Deadline expiry is raised by layers below the PCSI surface (network
+# waits, storage failover) as well as by the scheduler, so the class
+# lives in the sim substrate; re-exported here because callers of
+# ``invoke(deadline=...)`` catch it as part of the interface contract.
+from ..sim.deadline import DeadlineExceededError  # noqa: F401
+
 
 class PCSIError(Exception):
     """Base class for all PCSI interface errors."""

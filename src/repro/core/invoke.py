@@ -17,6 +17,7 @@ from typing import Any, Dict, Generator, Optional
 from ..faas.platforms import Executor
 from ..net.marshal import SizedPayload, estimate_size
 from ..security.capabilities import Right
+from ..sim.deadline import Deadline, check_deadline, current_deadline
 from .errors import InvocationError
 from .functions import MAX_INLINE_REQUEST_BYTES, FunctionDef, FunctionImpl
 from .references import Reference
@@ -103,10 +104,35 @@ class FunctionContext:
         """Current virtual time."""
         return self._kernel.sim.now
 
+    @property
+    def deadline(self) -> Optional[Deadline]:
+        """The invocation's propagated deadline (None when unbounded).
+
+        Set by ``invoke(deadline=...)`` upstream; nested invokes and
+        storage operations issued through this context shrink the same
+        budget.
+        """
+        return current_deadline(self._kernel.sim)
+
+    def remaining_budget(self) -> Optional[float]:
+        """Seconds left on the propagated deadline (None = unbounded)."""
+        deadline = self.deadline
+        if deadline is None:
+            return None
+        return deadline.remaining(self._kernel.sim.now)
+
     # -- the syscall surface -------------------------------------------------
     def _boundary(self) -> Generator:
-        """Cross the isolation boundary once (Table 1 pricing)."""
+        """Cross the isolation boundary once (Table 1 pricing).
+
+        Every syscall is a deadline checkpoint: a body whose budget has
+        expired learns it here, at its next interaction with the
+        system, rather than running to completion for a caller that
+        already gave up.
+        """
         self.state_calls += 1
+        check_deadline(self._kernel.sim,
+                       f"{self.invocation.fn_name} state op")
         yield self._kernel.sim.timeout(self.executor.isolation_cost(1))
 
     def read(self, ref: Reference) -> Generator:

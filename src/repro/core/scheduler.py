@@ -19,6 +19,11 @@ from ..faas.autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
 from ..faas.platforms import ExecutorLostError
 from ..net.marshal import estimate_size
 from ..security.capabilities import Right
+from ..sim.deadline import (
+    DeadlineExceededError,
+    DeadlineScope,
+    current_deadline,
+)
 from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..storage.replication import QuorumUnavailableError
 from .errors import InvocationError, ObjectTypeError
@@ -28,6 +33,7 @@ from .objects import ObjectKind
 from .optimizer import ImplOptimizer
 from .placement import PlacementPolicy
 from .references import Reference
+from .retry import DEFAULT_BASE_RTT_MULTIPLE, RetryPolicy, race_first_success
 
 #: Wire size of a dispatch request/ack to the control plane.
 DISPATCH_MSG_BYTES = 256
@@ -86,15 +92,30 @@ class FunctionScheduler:
                args: Dict[str, Reference], request: Dict[str, Any],
                preferred_node: Optional[str] = None,
                impl_name: Optional[str] = None,
-               max_attempts: int = 1) -> Generator:
+               max_attempts: int = 1,
+               retry: Optional[RetryPolicy] = None,
+               deadline: Optional[float] = None) -> Generator:
         """Run one invocation end to end; returns the body's result.
 
         ``max_attempts > 1`` retries transient infrastructure failures
         (unreachable replicas, lost quorums, placement races) with a
-        short backoff; application exceptions always propagate.
+        short backoff; application exceptions always propagate. A
+        ``retry`` policy supersedes ``max_attempts`` and adds jittered
+        backoff, a shared retry budget, and hedging (see
+        :class:`~repro.core.retry.RetryPolicy`).
+
+        ``deadline`` is a *relative* time budget in seconds. It
+        propagates through the function context into nested invokes,
+        storage operations, and network waits (each shrinks the same
+        budget), and the call is guaranteed to produce an outcome — a
+        result or an exception — within the budget:
+        :class:`DeadlineExceededError` is raised at expiry and the
+        in-flight work is cancelled, never left to block the caller.
         """
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        policy = retry if retry is not None \
+            else RetryPolicy(max_attempts=max_attempts)
         kernel = self.kernel
         sim = kernel.sim
         tracer = kernel.tracer
@@ -111,37 +132,203 @@ class FunctionScheduler:
         # transfers) nests under it via context propagation.
         with tracer.span("invoke", fn=fn_def.name,
                          client=client_node) as root:
-            with tracer.span("dispatch", control=self.control_node):
-                # Tell the control plane, which queues the invocation.
-                yield from kernel.network.round_trip(
-                    client_node, self.control_node, DISPATCH_MSG_BYTES,
-                    DISPATCH_MSG_BYTES, purpose="dispatch")
+            if deadline is None:
+                with tracer.span("dispatch", control=self.control_node):
+                    # Tell the control plane, which queues the invocation.
+                    yield from kernel.network.round_trip(
+                        client_node, self.control_node, DISPATCH_MSG_BYTES,
+                        DISPATCH_MSG_BYTES, purpose="dispatch")
+                result = yield from self._run_attempts(
+                    client_node, fn_ref, fn_def, args, request,
+                    preferred_node, impl_name, root, policy)
+                return result
 
-            attempt = 0
-            backoff = kernel.profile.network_rtt * 4
-            while True:
-                attempt += 1
-                try:
-                    with tracer.span("attempt", n=attempt):
-                        result = yield from self._attempt(
-                            client_node, fn_ref, fn_def, args, request,
-                            preferred_node, impl_name, root)
+            root.set(deadline_s=deadline)
+            with DeadlineScope(sim, deadline) as bound:
+                # Hard client-side guarantee: the whole request path —
+                # dispatch included — runs as its own process
+                # (inheriting the deadline + trace context) raced
+                # against the expiry clock, so the caller unblocks at
+                # the deadline even if some wait below failed to
+                # observe the budget cooperatively.
+                def request_path():
+                    with tracer.span("dispatch",
+                                     control=self.control_node):
+                        yield from kernel.network.round_trip(
+                            client_node, self.control_node,
+                            DISPATCH_MSG_BYTES, DISPATCH_MSG_BYTES,
+                            purpose="dispatch")
+                    result = yield from self._run_attempts(
+                        client_node, fn_ref, fn_def, args, request,
+                        preferred_node, impl_name, root, policy)
                     return result
-                except self.RETRIABLE as exc:
-                    if attempt >= max_attempts:
-                        raise
+
+                work = sim.spawn(request_path(),
+                                 name=f"invoke:{fn_def.name}")
+                expiry = sim.timeout(max(bound.remaining(sim.now), 0.0))
+                yield sim.any_of([work, expiry])
+                if work.triggered:
+                    if work.ok:
+                        return work.value
+                    raise work.value
+                work.interrupt("deadline")
+                if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                    kernel.metrics.counter("invoke.deadline_exceeded",
+                                           fn=fn_def.name).add(1)
+                else:
+                    kernel.metrics.counter("invoke.deadline_exceeded").add(1)
+                raise DeadlineExceededError(
+                    f"{fn_def.name}: no outcome within the {deadline}s "
+                    f"deadline", bound)
+
+    def _run_attempts(self, client_node: str, fn_ref: Reference,
+                      fn_def: FunctionDef, args: Dict[str, Reference],
+                      request: Dict[str, Any],
+                      preferred_node: Optional[str],
+                      impl_name: Optional[str], root,
+                      policy: RetryPolicy) -> Generator:
+        """Dispatch to the hedged or plain retry chain."""
+        if policy.hedge_delay is not None:
+            result = yield from self._run_hedged(
+                client_node, fn_ref, fn_def, args, request,
+                preferred_node, impl_name, root, policy)
+            return result
+        result = yield from self._retry_loop(
+            client_node, fn_ref, fn_def, args, request,
+            preferred_node, impl_name, root, policy)
+        return result
+
+    def _retry_loop(self, client_node: str, fn_ref: Reference,
+                    fn_def: FunctionDef, args: Dict[str, Reference],
+                    request: Dict[str, Any],
+                    preferred_node: Optional[str],
+                    impl_name: Optional[str], root,
+                    policy: RetryPolicy) -> Generator:
+        """Attempt until success, exhaustion, veto, or deadline.
+
+        A legacy policy (no jitter, no budget, no deadline) reproduces
+        the original inline loop event for event: the n-th backoff is
+        the uncapped base for n=1 and ``min(base * 2**(n-1), 1.0)``
+        after, with the base defaulting to four profile RTTs.
+        """
+        kernel = self.kernel
+        sim = kernel.sim
+        tracer = kernel.tracer
+        policy.note_request()
+        attempt = 0
+        base = policy.base_backoff if policy.base_backoff is not None \
+            else kernel.profile.network_rtt * DEFAULT_BASE_RTT_MULTIPLE
+        while True:
+            attempt += 1
+            try:
+                with tracer.span("attempt", n=attempt):
+                    result = yield from self._attempt(
+                        client_node, fn_ref, fn_def, args, request,
+                        preferred_node, impl_name, root)
+                return result
+            except self.RETRIABLE as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                deadline = current_deadline(sim)
+                if deadline is not None and deadline.expired(sim.now):
+                    raise DeadlineExceededError(
+                        f"{fn_def.name}: deadline expired after a "
+                        f"retriable {type(exc).__name__}",
+                        deadline) from exc
+                if not policy.allow_retry():
+                    # Budget dry: surface the failure rather than add
+                    # to the storm.
                     if isinstance(kernel.metrics, LabeledMetricsRegistry):
-                        # Labeled child rolls up into the bare
-                        # "invoke.retries" aggregate.
                         kernel.metrics.counter(
-                            "invoke.retries", fn=fn_def.name,
+                            "invoke.retry_vetoed", fn=fn_def.name,
                             cause=type(exc).__name__).add(1)
                     else:
-                        kernel.metrics.counter("invoke.retries").add(1)
-                    with tracer.span("retry.backoff", attempt=attempt,
-                                     cause=type(exc).__name__):
-                        yield sim.timeout(backoff)
-                    backoff = min(backoff * 2, 1.0)  # exponential, capped
+                        kernel.metrics.counter("invoke.retry_vetoed").add(1)
+                    raise
+                delay = policy.next_delay(attempt, base)
+                if deadline is not None \
+                        and deadline.remaining(sim.now) <= delay:
+                    # Sleeping out the backoff would blow the budget;
+                    # fail promptly instead of blocking past it.
+                    raise DeadlineExceededError(
+                        f"{fn_def.name}: backoff of {delay:.3f}s exceeds "
+                        f"the remaining deadline budget",
+                        deadline) from exc
+                if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                    # Labeled child rolls up into the bare
+                    # "invoke.retries" aggregate.
+                    kernel.metrics.counter(
+                        "invoke.retries", fn=fn_def.name,
+                        cause=type(exc).__name__).add(1)
+                else:
+                    kernel.metrics.counter("invoke.retries").add(1)
+                with tracer.span("retry.backoff", attempt=attempt,
+                                 cause=type(exc).__name__):
+                    yield sim.timeout(delay)
+
+    def _hedge_count(self, fn_name: str, event: str) -> None:
+        """One ``invoke.hedge.*`` event, labeled by function."""
+        kernel = self.kernel
+        if isinstance(kernel.metrics, LabeledMetricsRegistry):
+            kernel.metrics.counter(f"invoke.hedge.{event}",
+                                   fn=fn_name).add(1)
+        else:
+            kernel.metrics.counter(f"invoke.hedge.{event}").add(1)
+
+    def _run_hedged(self, client_node: str, fn_ref: Reference,
+                    fn_def: FunctionDef, args: Dict[str, Reference],
+                    request: Dict[str, Any],
+                    preferred_node: Optional[str],
+                    impl_name: Optional[str], root,
+                    policy: RetryPolicy) -> Generator:
+        """Primary attempt chain plus a delayed speculative duplicate.
+
+        The primary runs as its own process. If it produces no outcome
+        within ``policy.hedge_delay``, a secondary chain is dispatched
+        (without the co-location hint, so placement anti-affinity can
+        route it around a slow machine) and the first chain to
+        *succeed* wins; the loser is interrupted and its sandbox
+        reclaimed through the normal release path. Both chains failing
+        propagates the earliest failure.
+        """
+        kernel = self.kernel
+        sim = kernel.sim
+        tracer = kernel.tracer
+
+        def arm(arm_preferred: Optional[str]) -> Generator:
+            result = yield from self._retry_loop(
+                client_node, fn_ref, fn_def, args, request,
+                arm_preferred, impl_name, root, policy)
+            return result
+
+        with tracer.span("hedge", fn=fn_def.name,
+                         delay=policy.hedge_delay) as hspan:
+            primary = sim.spawn(arm(preferred_node),
+                                name=f"hedge:primary:{fn_def.name}")
+            trigger = sim.timeout(policy.hedge_delay)
+            # A failing primary fails the any_of, which re-raises here —
+            # exactly the unhedged semantics.
+            yield sim.any_of([primary, trigger])
+            if primary.triggered:
+                if primary.ok:
+                    hspan.set(hedged=False)
+                    return primary.value
+                raise primary.value
+            self._hedge_count(fn_def.name, "launched")
+            secondary = sim.spawn(arm(None),
+                                  name=f"hedge:secondary:{fn_def.name}")
+            winner = yield from race_first_success(sim,
+                                                   [primary, secondary])
+            loser = secondary if winner is primary else primary
+            if loser.is_alive:
+                loser.interrupt("hedge-lost")
+                self._hedge_count(fn_def.name, "cancelled")
+            if winner is secondary:
+                self._hedge_count(fn_def.name, "won")
+            hspan.set(hedged=True,
+                      winner="secondary" if winner is secondary
+                      else "primary")
+            return winner.value
 
     def _attempt(self, client_node: str, fn_ref: Reference,
                  fn_def: FunctionDef, args: Dict[str, Reference],

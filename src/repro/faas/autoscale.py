@@ -224,8 +224,16 @@ class WarmPool:
             self.queue_waits += 1
             self._count("queue_waits")
             self._track_queue_depth()
-            with tracer.span("queue.wait", pool=self.name):
-                executor = yield waiter
+            try:
+                with tracer.span("queue.wait", pool=self.name):
+                    executor = yield waiter
+            except BaseException:
+                # Caller gave up mid-queue (interrupt, deadline): pull
+                # the waiter out so a release never hands an executor
+                # to a corpse — or, if one was already handed over, put
+                # it back into circulation.
+                self._abandon_wait(waiter)
+                raise
             if executor is not None and executor.live \
                     and not executor.busy and executor.node.alive:
                 executor.mark_busy()
@@ -244,6 +252,11 @@ class WarmPool:
         otherwise the idle-reaper is armed.
         """
         executor.mark_idle()
+        self._offer(executor)
+
+    def _offer(self, executor: Executor) -> None:
+        """Route an idle executor to the oldest live waiter, else arm
+        the idle-reaper."""
         while self._waiters:
             waiter = self._waiters.pop(0)
             self._track_queue_depth()
@@ -252,6 +265,24 @@ class WarmPool:
                 return
         self.sim.spawn(self._reap_after_idle(executor),
                        name=f"reap:{self.name}", inherit_context=False)
+
+    def _abandon_wait(self, waiter) -> None:
+        """Clean up after a starved acquire that died waiting.
+
+        A still-queued waiter is removed. One that already received an
+        executor (the release raced the interrupt) re-offers it so the
+        sandbox is not stranded forever-idle with its reaper unarmed.
+        """
+        try:
+            self._waiters.remove(waiter)
+            self._track_queue_depth()
+            return
+        except ValueError:
+            pass
+        if waiter.triggered and waiter.ok:
+            handed = waiter.value
+            if handed is not None and handed.live and not handed.busy:
+                self._offer(handed)
 
     def _reap_after_idle(self, executor: Executor) -> Generator:
         """Shut the executor down if it stays idle for the window.

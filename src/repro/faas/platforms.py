@@ -117,10 +117,16 @@ class Executor:
         if self.live:
             raise ExecutorStateError("executor already provisioned")
         self.node.allocate(self.resources)
-        with self.tracer.span("sandbox.provision", node=self.node.node_id,
-                              platform=self.platform.name,
-                              cold_start_s=self.platform.cold_start):
-            yield self.sim.timeout(self.platform.cold_start)
+        try:
+            with self.tracer.span("sandbox.provision", node=self.node.node_id,
+                                  platform=self.platform.name,
+                                  cold_start_s=self.platform.cold_start):
+                yield self.sim.timeout(self.platform.cold_start)
+        except BaseException:
+            # Cold start aborted (interrupt, deadline): give the node
+            # its capacity back, or the half-built sandbox leaks it.
+            self.node.release(self.resources)
+            raise
         self.live = True
         self.idle_since = self.sim.now
         return self

@@ -211,6 +211,12 @@ class Process(Event):
         self.sim._schedule(kick, priority=0)
 
     def _resume(self, trigger: Event) -> None:
+        if self._state != PENDING:
+            # Stale kick: the process was interrupted (and finished
+            # unwinding) between this trigger being scheduled and
+            # processed. Resuming a finished generator would corrupt
+            # the event state; the kick is simply obsolete.
+            return
         self._waiting_on = None
         prev_active = self.sim.active_process
         self.sim.active_process = self

@@ -69,6 +69,24 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, ev: Event) -> None:
+        """Withdraw an acquire whose requester gave up (interrupt,
+        deadline) before holding the slot.
+
+        A still-queued request is simply removed; one that was already
+        granted releases its slot (handing it to the next waiter), so
+        an abandoned acquire can never strand capacity. Call this
+        instead of :meth:`release` when the ``yield ev`` was aborted by
+        an exception.
+        """
+        try:
+            self._waiters.remove(ev)
+            return
+        except ValueError:
+            pass
+        if ev.triggered:
+            self.release()
+
 
 class Container:
     """A continuous quantity with blocking ``take`` and immediate ``put``."""

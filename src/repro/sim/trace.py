@@ -317,6 +317,11 @@ class _SpanContext:
         if exc_type is None:
             self._tracer.end_span(self._span)
         else:
+            # The exception type is a queryable attribute ("cause"), so
+            # error-tail analysis can group spans by failure mode
+            # without parsing the human-readable error string.
+            if self._span is not None and self._span is not NULL_SPAN:
+                self._span.attributes.setdefault("cause", exc_type.__name__)
             self._tracer.end_span(self._span, status=STATUS_ERROR,
                                   error=f"{exc_type.__name__}: {exc}")
         return False

@@ -18,7 +18,7 @@ critical path.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from ..cluster.network import Network, NetworkUnreachableError
 from ..sim.engine import Event, Simulator
@@ -103,6 +103,9 @@ class ReplicatedStore:
         self._seq = itertools.count(1)
         self.metrics = network.metrics
         self._labeled = isinstance(self.metrics, LabeledMetricsRegistry)
+        #: Hinted handoff: dst -> {key: (src, newest missed Record)}.
+        self._hints: Dict[str, Dict[str, Tuple[str, Record]]] = {}
+        self._hint_watchers: Set[str] = set()
 
     @property
     def majority(self) -> int:
@@ -132,6 +135,14 @@ class ReplicatedStore:
         if self._labeled:
             self.metrics.counter("quorum.fanout", store=self.name,
                                  op=op).add(n)
+
+    def _note_failover(self, op: str, skipped: str) -> None:
+        """One replica abandoned mid-operation (went unreachable)."""
+        if self._labeled:
+            self.metrics.counter("store.failover", store=self.name,
+                                 op=op, replica=skipped).add(1)
+        else:
+            self.metrics.counter(f"{self.name}.failover").add(1)
 
     # -- replica-side primitives (one network hop each) -------------------
     def _replica_get(self, client_node: str, replica_node: str,
@@ -252,6 +263,29 @@ class ReplicatedStore:
                 return nid
         return live[0]
 
+    def replica_rank(self, client_node: str, replica_node: str) -> int:
+        """Distance class: 0 = co-located, 1 = same rack, 2 = elsewhere."""
+        if replica_node == client_node:
+            return 0
+        if self.network.topology.same_rack(client_node, replica_node):
+            return 1
+        return 2
+
+    def preference_list(self, client_node: str) -> List[str]:
+        """Live *and reachable* replicas, closest first.
+
+        The sort is stable within a distance class, so the head of the
+        list is exactly what :meth:`closest_replica` picks whenever that
+        replica is reachable — the failover path only diverges when the
+        closest choice actually is unusable.
+        """
+        topo = self.network.topology
+        usable = [nid for nid in self.replica_nodes
+                  if topo.node(nid).alive
+                  and self.network.is_reachable(client_node, nid)]
+        usable.sort(key=lambda nid: self.replica_rank(client_node, nid))
+        return usable
+
     def write_eventual(self, client_node: str, key: str, nbytes: int,
                        meta: Any = None) -> Generator:
         """Ack after one replica write; propagate in the background.
@@ -262,27 +296,42 @@ class ReplicatedStore:
         contract).
         """
         start = self.sim.now
-        target = self.closest_replica(client_node)
-        counter = self.replicas[target].version_of(key)[0] + 1
-        writer = f"{client_node}#{next(self._seq)}"
-        record = Record(version=(counter, writer), nbytes=nbytes, meta=meta,
-                        timestamp=self.sim.now)
-        with self.network.tracer.span(
-                "eventual.write", store=self.name, key=key, nbytes=nbytes,
-                consistency="eventual", replica=target,
-                replicas=len(self.replica_nodes)):
-            yield from self._replica_put(client_node, target, key, record)
-        for nid in self.replica_nodes:
-            if nid != target:
-                # Background anti-entropy: runs (and finishes) long
-                # after the write acks, so it must not inherit the
-                # writer's span context.
-                self.sim.spawn(self._propagate(target, nid, key, record),
-                               name=f"propagate:{key}",
-                               inherit_context=False)
-        self._count("eventual_writes")
-        self._observe_op("write", "eventual", start)
-        return record.version
+        candidates = self.preference_list(client_node) \
+            or [self.closest_replica(client_node)]
+        last_exc: Optional[BaseException] = None
+        for hop, target in enumerate(candidates):
+            counter = self.replicas[target].version_of(key)[0] + 1
+            writer = f"{client_node}#{next(self._seq)}"
+            record = Record(version=(counter, writer), nbytes=nbytes,
+                            meta=meta, timestamp=self.sim.now)
+            try:
+                with self.network.tracer.span(
+                        "eventual.write", store=self.name, key=key,
+                        nbytes=nbytes, consistency="eventual",
+                        replica=target,
+                        replicas=len(self.replica_nodes)) as sp:
+                    if hop:
+                        sp.set(failover_hops=hop)
+                    yield from self._replica_put(client_node, target, key,
+                                                 record)
+            except NetworkUnreachableError as exc:
+                # Reachability changed under us: fail over to the next
+                # closest live replica instead of surfacing the error.
+                last_exc = exc
+                self._note_failover("write", target)
+                continue
+            for nid in self.replica_nodes:
+                if nid != target:
+                    # Background anti-entropy: runs (and finishes) long
+                    # after the write acks, so it must not inherit the
+                    # writer's span context.
+                    self.sim.spawn(self._propagate(target, nid, key, record),
+                                   name=f"propagate:{key}",
+                                   inherit_context=False)
+            self._count("eventual_writes")
+            self._observe_op("write", "eventual", start)
+            return record.version
+        raise last_exc
 
     def _propagate(self, src: str, dst: str, key: str,
                    record: Record) -> Generator:
@@ -291,32 +340,104 @@ class ReplicatedStore:
         try:
             yield from self._replica_put(src, dst, key, record)
         except NetworkUnreachableError:
-            # Anti-entropy will reconcile once the replica is back.
+            # Stash the missed write as a hint: recovery (or the next
+            # anti-entropy tick) replays it promptly instead of waiting
+            # for a full random-pair reconcile to pick the key up.
             self._count("propagation_failures")
+            self._stash_hint(src, dst, key, record)
+
+    # -- hinted handoff ----------------------------------------------------
+    def _stash_hint(self, src: str, dst: str, key: str,
+                    record: Record) -> None:
+        """Remember the newest write ``dst`` missed for later replay."""
+        hints = self._hints.setdefault(dst, {})
+        held = hints.get(key)
+        if held is not None and held[1].version >= record.version:
+            return
+        hints[key] = (src, record)
+        self._count("hinted_handoffs")
+        node = self.network.topology.node(dst)
+        recovery = getattr(node, "recovery_event", None)
+        if not node.alive and recovery is not None \
+                and dst not in self._hint_watchers:
+            self._hint_watchers.add(dst)
+            self.sim.spawn(self._replay_on_recovery(dst, recovery),
+                           name=f"hints:{dst}", inherit_context=False)
+
+    def _replay_on_recovery(self, dst: str, recovery) -> Generator:
+        """Wait for ``dst`` to come back, then replay its missed writes."""
+        yield recovery
+        self._hint_watchers.discard(dst)
+        yield from self._replay_hints(dst)
+
+    def _replay_hints(self, dst: str) -> Generator:
+        """Push every hinted record to ``dst``; drop hints as they land.
+
+        A hint whose original holder is gone is replayed from any live
+        reachable replica — the record itself travels with the hint.
+        """
+        hints = self._hints.get(dst)
+        while hints:
+            key, (src, record) = next(iter(hints.items()))
+            topo = self.network.topology
+            if not topo.node(src).alive \
+                    or not self.network.is_reachable(src, dst):
+                alternates = [nid for nid in self.replica_nodes
+                              if nid != dst and topo.node(nid).alive
+                              and self.network.is_reachable(nid, dst)]
+                if not alternates:
+                    return  # nobody can reach dst right now; keep hints
+                src = alternates[0]
+            try:
+                if record.version > self.replicas[dst].version_of(key):
+                    yield from self._replica_put(src, dst, key, record)
+            except NetworkUnreachableError:
+                return  # dst vanished again; keep the remaining hints
+            hints.pop(key, None)
+            self._count("hint_replays")
+        self._hints.pop(dst, None)
 
     def read_eventual(self, client_node: str, key: str) -> Generator:
-        """Read the closest replica; may return a stale record."""
+        """Read the closest live, reachable replica; may be stale.
+
+        Crashed or partitioned replicas are skipped up front, and a
+        replica that goes unreachable *mid-read* triggers failover to
+        the next closest one. :class:`KeyNotFoundError` propagates
+        without failover — a miss is an answer, not a failure.
+        """
         start = self.sim.now
-        target = self.closest_replica(client_node)
-        with self.network.tracer.span(
-                "eventual.read", store=self.name, key=key,
-                consistency="eventual", replica=target,
-                replicas=len(self.replica_nodes)) as sp:
-            yield from self.network.transfer(client_node, target,
-                                             CONTROL_MSG_BYTES,
-                                             purpose="eventual:get-req")
+        candidates = self.preference_list(client_node) \
+            or [self.closest_replica(client_node)]
+        last_exc: Optional[BaseException] = None
+        for hop, target in enumerate(candidates):
             try:
-                record = yield from self.replicas[target].read(key)
-            except KeyNotFoundError:
-                self._count("read_misses")
-                raise
-            yield from self.network.transfer(
-                target, client_node, CONTROL_MSG_BYTES + record.nbytes,
-                purpose="eventual:get-resp")
-            sp.set(nbytes=record.nbytes)
-        self._count("eventual_reads")
-        self._observe_op("read", "eventual", start)
-        return record
+                with self.network.tracer.span(
+                        "eventual.read", store=self.name, key=key,
+                        consistency="eventual", replica=target,
+                        replicas=len(self.replica_nodes)) as sp:
+                    if hop:
+                        sp.set(failover_hops=hop)
+                    yield from self.network.transfer(
+                        client_node, target, CONTROL_MSG_BYTES,
+                        purpose="eventual:get-req")
+                    try:
+                        record = yield from self.replicas[target].read(key)
+                    except KeyNotFoundError:
+                        self._count("read_misses")
+                        raise
+                    yield from self.network.transfer(
+                        target, client_node,
+                        CONTROL_MSG_BYTES + record.nbytes,
+                        purpose="eventual:get-resp")
+                    sp.set(nbytes=record.nbytes)
+            except NetworkUnreachableError as exc:
+                last_exc = exc
+                self._note_failover("read", target)
+                continue
+            self._count("eventual_reads")
+            self._observe_op("read", "eventual", start)
+            return record
+        raise last_exc
 
     # -- anti-entropy ---------------------------------------------------------
     def start_anti_entropy(self, interval: float) -> None:
@@ -330,6 +451,11 @@ class ReplicatedStore:
     def _anti_entropy_loop(self, interval: float) -> Generator:
         while True:
             yield self.sim.timeout(interval)
+            # Replay pending hints for any replica that is back — a
+            # targeted catch-up, cheaper than a full reconcile pass.
+            for dst in list(self._hints):
+                if self.network.topology.node(dst).alive:
+                    yield from self._replay_hints(dst)
             live = [nid for nid in self.replica_nodes
                     if self.network.topology.node(nid).alive]
             if len(live) < 2:

@@ -1,0 +1,92 @@
+"""The chaos sub-gate: pinned replay, win conditions, CLI round trip."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import compare_chaos, main, run_chaos_gate
+
+
+@pytest.fixture(scope="module")
+def chaos_doc():
+    return run_chaos_gate()
+
+
+def test_chaos_gate_meets_its_own_bar(chaos_doc):
+    """A fresh gate run satisfies its own baseline: exact pins hold,
+    the hardened arm wins, nobody blocks past a deadline, hedging cuts
+    the gray tail, and the run replays outcome-identically."""
+    assert compare_chaos(chaos_doc, chaos_doc) == []
+    assert chaos_doc["hardened"]["goodput"] > chaos_doc["naive"]["goodput"]
+    assert chaos_doc["hardened"]["max_time_to_outcome_s"] \
+        <= chaos_doc["config"]["deadline_s"] + chaos_doc["deadline_eps_s"]
+    assert chaos_doc["hedged"]["p99_s"] < chaos_doc["unhedged"]["p99_s"]
+    assert chaos_doc["replay_identical"] is True
+    assert chaos_doc["naive"]["faults_injected"] > 0
+
+
+def test_compare_chaos_flags_pinned_count_drift(chaos_doc):
+    base = json.loads(json.dumps(chaos_doc))
+    base["hardened"]["ok"] += 1
+    violations = compare_chaos(chaos_doc, base)
+    assert any("hardened.ok" in v for v in violations)
+
+
+def test_compare_chaos_flags_outcome_fingerprint_drift(chaos_doc):
+    base = json.loads(json.dumps(chaos_doc))
+    base["naive"]["outcome_fingerprint"] = "0" * 16
+    violations = compare_chaos(chaos_doc, base)
+    assert any("outcome_fingerprint" in v for v in violations)
+
+
+def test_compare_chaos_flags_lost_goodput_win(chaos_doc):
+    cur = json.loads(json.dumps(chaos_doc))
+    cur["hardened"]["goodput"] = cur["naive"]["goodput"]
+    assert any("does not beat" in v
+               for v in compare_chaos(cur, cur))
+
+
+def test_compare_chaos_flags_deadline_breach(chaos_doc):
+    cur = json.loads(json.dumps(chaos_doc))
+    cur["hardened"]["max_time_to_outcome_s"] = \
+        cur["config"]["deadline_s"] + 1.0
+    assert any("blocked" in v for v in compare_chaos(cur, cur))
+
+
+def test_compare_chaos_flags_lost_hedge_win(chaos_doc):
+    cur = json.loads(json.dumps(chaos_doc))
+    cur["hedged"]["p99_s"] = cur["unhedged"]["p99_s"]
+    assert any("no longer cuts" in v for v in compare_chaos(cur, cur))
+
+
+def test_compare_chaos_flags_broken_replay(chaos_doc):
+    cur = json.loads(json.dumps(chaos_doc))
+    cur["replay_identical"] = False
+    assert any("replay" in v for v in compare_chaos(cur, cur))
+
+
+def test_cli_only_chaos_update_then_compare_and_perturb(tmp_path):
+    cb = tmp_path / "chaos.json"
+    out = tmp_path / "chaos_out.json"
+    assert main(["--only-chaos", "--update",
+                 "--chaos-baseline", str(cb)]) == 0
+    doc = json.loads(cb.read_text())
+    assert doc["hardened"]["goodput"] > doc["naive"]["goodput"]
+    assert main(["--only-chaos", "--chaos-baseline", str(cb),
+                 "--chaos-out", str(out)]) == 0
+    assert json.loads(out.read_text())["replay_identical"] is True
+
+    # Perturb a pinned count: the gate must fail.
+    doc["hardened"]["offered"] += 1
+    cb.write_text(json.dumps(doc))
+    assert main(["--only-chaos", "--chaos-baseline", str(cb)]) == 1
+
+
+def test_cli_missing_chaos_baseline_is_usage_error(tmp_path):
+    assert main(["--only-chaos",
+                 "--chaos-baseline", str(tmp_path / "nope.json")]) == 2
+
+
+def test_cli_rejects_contradictory_flags():
+    with pytest.raises(SystemExit):
+        main(["--only-chaos", "--skip-chaos"])

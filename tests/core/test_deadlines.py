@@ -1,0 +1,199 @@
+"""Tests for deadline propagation: scopes, shrink-only merges, invoke."""
+
+import pytest
+
+from repro.cluster import cpu_task
+from repro.core import FunctionImpl, PCSICloud
+from repro.core.errors import DeadlineExceededError
+from repro.faas import WASM
+from repro.sim import Simulator
+from repro.sim.deadline import (
+    Deadline,
+    DeadlineScope,
+    check_deadline,
+    current_deadline,
+)
+
+
+def slow_impl(work=5e10):
+    """~1.4 s of wasm compute."""
+    return FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=0.5),
+                        work_ops=work)
+
+
+def make_cloud(seed=61):
+    return PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                     seed=seed, keep_alive=600.0)
+
+
+# ----------------------------------------------------------------- scopes
+def test_scope_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DeadlineScope(sim, 0.0)
+    with pytest.raises(ValueError):
+        DeadlineScope(sim, -1.0)
+
+
+def test_scope_none_budget_is_a_noop():
+    sim = Simulator()
+
+    def flow():
+        with DeadlineScope(sim, None) as deadline:
+            assert deadline is None
+            assert current_deadline(sim) is None
+        yield sim.timeout(0)
+
+    sim.run_until_event(sim.spawn(flow()))
+
+
+def test_scopes_only_shrink():
+    """An inner scope with a *looser* budget keeps the inherited
+    deadline; a tighter one installs its own and restores on exit."""
+    sim = Simulator()
+
+    def flow():
+        with DeadlineScope(sim, 5.0) as outer:
+            with DeadlineScope(sim, 10.0) as inner:
+                assert inner is outer          # looser: inherited rules
+            with DeadlineScope(sim, 2.0) as tight:
+                assert tight.expires_at == pytest.approx(2.0)
+                assert current_deadline(sim) is tight
+            assert current_deadline(sim) is outer
+        assert current_deadline(sim) is None
+        yield sim.timeout(0)
+
+    sim.run_until_event(sim.spawn(flow()))
+
+
+def test_check_deadline_raises_once_spent():
+    sim = Simulator()
+
+    def flow():
+        with DeadlineScope(sim, 0.1):
+            yield sim.timeout(0.2)
+            check_deadline(sim, "late op")
+
+    with pytest.raises(DeadlineExceededError):
+        sim.run_until_event(sim.spawn(flow()))
+
+
+def test_deadline_remaining_and_expired():
+    deadline = Deadline(5.0)
+    assert deadline.remaining(2.0) == pytest.approx(3.0)
+    assert not deadline.expired(4.9)
+    assert deadline.expired(5.0)
+
+
+# ----------------------------------------------------------------- invoke
+def test_invoke_deadline_raises_exactly_at_expiry():
+    """A client with a 50 ms budget on a ~1.4 s function gets its error
+    at exactly t = deadline — never blocked past it."""
+    cloud = make_cloud()
+    fn = cloud.define_function("f", [slow_impl()])
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn, deadline=0.05)
+
+    with pytest.raises(DeadlineExceededError):
+        cloud.run_process(flow())
+    assert cloud.sim.now == pytest.approx(0.05, abs=1e-9)
+    assert cloud.metrics.counter("invoke.deadline_exceeded").value == 1
+
+
+def test_invoke_deadline_validation():
+    cloud = make_cloud()
+    fn = cloud.define_function("f", [slow_impl(work=0)])
+    client = cloud.client_node()
+    with pytest.raises(ValueError):
+        cloud.run_process(cloud.invoke(client, fn, deadline=-1.0))
+
+
+def test_slack_deadline_changes_nothing():
+    """A deadline that never fires must not perturb the simulation:
+    same result, same virtual completion time as no deadline at all."""
+    times = []
+    for deadline in (None, 60.0):
+        cloud = make_cloud()
+        fn = cloud.define_function("f", [slow_impl(work=1e9)])
+        client = cloud.client_node()
+
+        def flow():
+            yield from cloud.invoke(client, fn, deadline=deadline)
+
+        cloud.run_process(flow())
+        times.append(cloud.sim.now)
+    assert times[0] == times[1]
+
+
+def test_deadline_visible_and_shrunk_in_the_body():
+    """The body sees the propagated deadline; by the time it runs,
+    dispatch and cold start have already consumed part of the budget."""
+    seen = {}
+
+    cloud = make_cloud()
+
+    def body(ctx):
+        seen["deadline"] = ctx.deadline
+        seen["remaining"] = ctx.remaining_budget()
+        yield ctx._kernel.sim.timeout(0)
+
+    fn = cloud.define_function("probe", [slow_impl(work=0)], body=body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn, deadline=1.0)
+
+    cloud.run_process(flow())
+    assert seen["deadline"] is not None
+    assert seen["deadline"].expires_at == pytest.approx(1.0)
+    assert 0.0 < seen["remaining"] < 1.0
+
+
+def test_unbounded_invoke_sees_no_deadline():
+    cloud = make_cloud()
+    seen = {}
+
+    def body(ctx):
+        seen["deadline"] = ctx.deadline
+        seen["remaining"] = ctx.remaining_budget()
+        yield ctx._kernel.sim.timeout(0)
+
+    fn = cloud.define_function("probe", [slow_impl(work=0)], body=body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(flow())
+    assert seen["deadline"] is None
+    assert seen["remaining"] is None
+
+
+def test_nested_invoke_inherits_the_parent_budget():
+    """A nested invoke cannot out-wait its caller: the inner body sees
+    the outer deadline, not an unbounded one."""
+    cloud = make_cloud()
+    seen = {}
+
+    def inner_body(ctx):
+        seen["inner"] = ctx.deadline
+        yield ctx._kernel.sim.timeout(0)
+
+    inner = cloud.define_function("inner", [slow_impl(work=0)],
+                                  body=inner_body)
+
+    def outer_body(ctx):
+        yield from ctx.invoke(inner)
+
+    outer = cloud.define_function("outer", [slow_impl(work=0)],
+                                  body=outer_body)
+    client = cloud.client_node()
+
+    def flow():
+        yield from cloud.invoke(client, outer, deadline=2.0)
+
+    cloud.run_process(flow())
+    assert seen["inner"] is not None
+    assert seen["inner"].expires_at <= 2.0 + 1e-9

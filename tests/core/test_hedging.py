@@ -1,0 +1,115 @@
+"""Tests for hedged invokes: tail-cutting, accounting, and cleanup."""
+
+import pytest
+
+from repro.cluster import build_cluster, cpu_task, server_node
+from repro.cluster.failures import FailureInjector
+from repro.core import FunctionImpl, PCSICloud
+from repro.core.retry import RetryPolicy
+from repro.faas import WASM
+from repro.sim import Simulator
+
+WORK = 1e10  # ~286 ms on wasm
+SLOWDOWN = 10.0
+HEDGE_DELAY = 0.4
+REQUESTS = 6
+
+
+def make_gray_cloud(seed=71):
+    """A cluster of capacity-one nodes with one warm, gray-slow node.
+
+    Capacity-one nodes force the speculative duplicate onto a
+    *different* machine, so the hedge win is placement-independent.
+    Returns (cloud, client, fn) with the warm node already degraded.
+    """
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=3,
+                         gpu_nodes_per_rack=0,
+                         node_capacity=server_node(cpus=1, memory_gb=4))
+    cloud = PCSICloud(sim, seed=seed, keep_alive=600.0, topology=topo,
+                      data_replicas=1)
+    client = cloud.client_node()
+    cloud.scheduler.control_node = client
+    fn = cloud.define_function(
+        "gray", [FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=1),
+                              work_ops=WORK)])
+
+    def warm():
+        yield from cloud.invoke(client, fn)
+
+    cloud.run_process(warm())
+    warm_node = cloud.scheduler.last_invocation("gray").executor_node
+    FailureInjector(cloud.sim, cloud.topology, cloud.network).gray_node(
+        warm_node, at=cloud.sim.now, slowdown=SLOWDOWN)
+    return cloud, client, fn
+
+
+def run_requests(cloud, client, fn, policy):
+    """Run REQUESTS sequential invokes; returns their latencies."""
+    latencies = []
+
+    def flow():
+        for _ in range(REQUESTS):
+            start = cloud.sim.now
+            yield from cloud.invoke(client, fn, retry=policy)
+            latencies.append(cloud.sim.now - start)
+
+    cloud.run_process(flow())
+    return latencies
+
+
+def test_hedging_cuts_the_gray_tail():
+    """Every request on the gray node pays ~10x compute unhedged; the
+    hedge escapes to a healthy machine after HEDGE_DELAY."""
+    cloud, client, fn = make_gray_cloud()
+    slow = run_requests(cloud, client, fn, RetryPolicy(max_attempts=1))
+
+    cloud, client, fn = make_gray_cloud()
+    fast = run_requests(cloud, client, fn,
+                        RetryPolicy(max_attempts=1,
+                                    hedge_delay=HEDGE_DELAY))
+    assert max(fast) < max(slow)
+    assert max(fast) < 1.0      # hedge delay + cold start + compute
+    assert min(slow) > 2.0      # 10x of ~286 ms
+
+
+def test_hedge_counters_account_every_duplicate():
+    cloud, client, fn = make_gray_cloud()
+    run_requests(cloud, client, fn,
+                 RetryPolicy(max_attempts=1, hedge_delay=HEDGE_DELAY))
+    counters = cloud.metrics.counters()
+    launched = counters.get("invoke.hedge.launched", 0.0)
+    won = counters.get("invoke.hedge.won", 0.0)
+    cancelled = counters.get("invoke.hedge.cancelled", 0.0)
+    assert launched == REQUESTS         # every request hedged
+    assert won == REQUESTS              # the healthy copy always wins
+    assert cancelled == launched        # every loser cancelled, none leak
+
+
+def test_hedge_losers_release_their_executors():
+    """The cancelled arm's executor must go back to the pool: with
+    capacity-one nodes, leaked-busy executors would strand capacity and
+    block later invokes."""
+    cloud, client, fn = make_gray_cloud()
+    run_requests(cloud, client, fn,
+                 RetryPolicy(max_attempts=1, hedge_delay=HEDGE_DELAY))
+    pool = cloud.scheduler._pools[("gray", "wasm")]
+    assert all(not ex.busy for ex in pool._executors if ex.live)
+
+
+def test_hedging_is_deterministic():
+    runs = []
+    for _ in range(2):
+        cloud, client, fn = make_gray_cloud()
+        runs.append(run_requests(
+            cloud, client, fn,
+            RetryPolicy(max_attempts=1, hedge_delay=HEDGE_DELAY)))
+    assert runs[0] == runs[1]
+
+
+def test_no_hedge_without_a_delay():
+    cloud, client, fn = make_gray_cloud()
+    run_requests(cloud, client, fn, RetryPolicy(max_attempts=1))
+    assert cloud.metrics.counters().get("invoke.hedge.launched", 0.0) == 0
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=-0.1)

@@ -1,0 +1,167 @@
+"""Tests for the RetryPolicy subsystem: backoff, jitter, budgets, races."""
+
+import pytest
+
+from repro.core.retry import (
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_BACKOFF_MULTIPLIER,
+    RetryBudget,
+    RetryPolicy,
+    race_first_success,
+)
+from repro.sim import Simulator
+from repro.sim.rng import RandomStream
+
+
+# ------------------------------------------------------------- validation
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_backoff=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_cap=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5, rng=RandomStream(1, "r"))
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=0.5)  # jitter without a seeded stream
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=0.0)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(deposit_per_request=-0.1)
+    with pytest.raises(ValueError):
+        RetryBudget(cap=0.0)
+    with pytest.raises(ValueError):
+        RetryBudget(initial=11.0)  # above the cap
+
+
+# ---------------------------------------------------------------- backoff
+def test_backoff_matches_legacy_closed_form():
+    """Defaults reproduce the old inline loop: base, 2x, capped at 1 s."""
+    policy = RetryPolicy(max_attempts=10)
+    base = 0.2
+    assert policy.backoff(1, base) == pytest.approx(0.2)
+    assert policy.backoff(2, base) == pytest.approx(0.4)
+    assert policy.backoff(3, base) == pytest.approx(0.8)
+    assert policy.backoff(4, base) == DEFAULT_BACKOFF_CAP
+    assert policy.backoff(9, base) == DEFAULT_BACKOFF_CAP
+    assert policy.multiplier == DEFAULT_BACKOFF_MULTIPLIER
+
+
+def test_first_backoff_is_uncapped_like_the_old_loop():
+    policy = RetryPolicy(max_attempts=5, base_backoff=2.0)
+    assert policy.backoff(1, 2.0) == 2.0       # first: uncapped base
+    assert policy.backoff(2, 2.0) == DEFAULT_BACKOFF_CAP
+
+
+def test_backoff_attempt_is_one_based():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff(0, 0.1)
+
+
+# ----------------------------------------------------------------- jitter
+def test_zero_jitter_draws_nothing():
+    """A jitter-free policy must not consume from any stream, so legacy
+    call sites stay bit-identical."""
+    rng = RandomStream(7, "jitter")
+    policy = RetryPolicy(max_attempts=3, rng=rng)
+    before = [policy.next_delay(n, 0.1) for n in (1, 2)]
+    assert before == [pytest.approx(0.1), pytest.approx(0.2)]
+    assert rng.uniform() == RandomStream(7, "jitter").uniform()
+
+
+def test_jitter_shaves_within_bounds_and_is_seeded():
+    policy_a = RetryPolicy(max_attempts=5, jitter=0.5,
+                           rng=RandomStream(3, "retry"))
+    policy_b = RetryPolicy(max_attempts=5, jitter=0.5,
+                           rng=RandomStream(3, "retry"))
+    delays_a = [policy_a.next_delay(n, 0.2) for n in range(1, 5)]
+    delays_b = [policy_b.next_delay(n, 0.2) for n in range(1, 5)]
+    assert delays_a == delays_b  # same seed, same shave
+    for n, delay in enumerate(delays_a, start=1):
+        full = policy_a.backoff(n, 0.2)
+        assert full * 0.5 <= delay <= full
+
+
+# ----------------------------------------------------------------- budget
+def test_budget_deposit_and_withdraw():
+    budget = RetryBudget(deposit_per_request=0.2, cap=10.0, initial=0.0)
+    assert not budget.withdraw()        # dry: vetoed
+    assert budget.vetoed == 1
+    for _ in range(5):
+        budget.deposit()                # 5 requests earn one token
+    assert budget.tokens == pytest.approx(1.0)
+    assert budget.withdraw()
+    assert budget.granted == 1
+    assert budget.tokens == pytest.approx(0.0)
+
+
+def test_budget_caps_amplification():
+    """Sustained 100% failure retries at most deposit_per_request of
+    offered load once the initial bucket drains."""
+    budget = RetryBudget(deposit_per_request=0.2, cap=10.0, initial=0.0)
+    retries = 0
+    for _ in range(100):
+        budget.deposit()
+        if budget.withdraw():
+            retries += 1
+    assert retries == 20
+
+
+def test_policy_budget_plumbing():
+    budget = RetryBudget(initial=1.0)
+    policy = RetryPolicy(max_attempts=3, budget=budget)
+    policy.note_request()
+    assert policy.allow_retry()         # spends the one token
+    assert not policy.allow_retry()     # dry now
+    assert RetryPolicy(max_attempts=3).allow_retry()  # no budget: free
+
+
+# ------------------------------------------------------ race_first_success
+def test_race_first_success_tolerates_early_failure():
+    """The primary dying must not kill a healthy secondary — unlike
+    any_of, the race only fails once everyone has."""
+    sim = Simulator()
+
+    def fails_fast():
+        yield sim.timeout(0.1)
+        raise RuntimeError("primary died")
+
+    def succeeds_late():
+        yield sim.timeout(0.5)
+        return "secondary"
+
+    def flow():
+        procs = [sim.spawn(fails_fast(), name="p"),
+                 sim.spawn(succeeds_late(), name="s")]
+        winner = yield from race_first_success(sim, procs)
+        return winner.value
+
+    assert sim.run_until_event(sim.spawn(flow())) == "secondary"
+
+
+def test_race_first_success_fails_with_first_failure():
+    sim = Simulator()
+
+    def boom(delay, msg):
+        yield sim.timeout(delay)
+        raise RuntimeError(msg)
+
+    def flow():
+        procs = [sim.spawn(boom(0.2, "second"), name="a"),
+                 sim.spawn(boom(0.1, "first"), name="b")]
+        yield from race_first_success(sim, procs)
+
+    with pytest.raises(RuntimeError, match="first"):
+        sim.run_until_event(sim.spawn(flow()))
+
+
+def test_race_first_success_needs_contenders():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        list(race_first_success(sim, []))

@@ -1,0 +1,60 @@
+"""Tests for the cause= attribute on spans that ended in an exception."""
+
+import pytest
+
+from repro.sim import Tracer
+from repro.sim.trace import STATUS_ERROR
+
+
+class FakeClock:
+    """Manually-advanced clock for driving an unbound tracer."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True, clock=FakeClock())
+
+
+def test_escaping_exception_sets_cause(tracer):
+    with pytest.raises(TimeoutError):
+        with tracer.span("doomed"):
+            raise TimeoutError("too slow")
+    span, = tracer.spans(name="doomed")
+    assert span.status == STATUS_ERROR
+    assert span.attributes["cause"] == "TimeoutError"
+
+
+def test_cause_propagates_through_enclosing_spans(tracer):
+    """Every span an exception escapes through names its cause — the
+    trace shows the failure's whole path, not just the leaf."""
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("bad")
+    inner, = tracer.spans(name="inner")
+    outer, = tracer.spans(name="outer")
+    assert inner.attributes["cause"] == "ValueError"
+    assert outer.attributes["cause"] == "ValueError"
+
+
+def test_explicit_cause_attribute_wins(tracer):
+    """A span that already set cause= keeps its (more specific) value."""
+    with pytest.raises(RuntimeError):
+        with tracer.span("careful") as span:
+            span.set(cause="upstream-partition")
+            raise RuntimeError("secondary symptom")
+    span, = tracer.spans(name="careful")
+    assert span.attributes["cause"] == "upstream-partition"
+
+
+def test_clean_spans_carry_no_cause(tracer):
+    with tracer.span("fine"):
+        pass
+    span, = tracer.spans(name="fine")
+    assert "cause" not in span.attributes

@@ -1,0 +1,190 @@
+"""Tests for eventual-consistency replica failover and hinted handoff."""
+
+import pytest
+
+from repro.cluster import DC_2021, FailureInjector, Network, build_cluster
+from repro.sim import Simulator
+from repro.storage import KeyNotFoundError, ReplicatedStore
+
+
+def make_store(replicas=3, propagation=0.010):
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0)
+    net = Network(sim, topo, DC_2021)
+    replica_nodes = [n.node_id for n in topo.nodes[:replicas]]
+    store = ReplicatedStore(sim, net, replica_nodes,
+                            propagation_delay_mean=propagation)
+    return sim, topo, net, store
+
+
+def run(sim, gen):
+    return sim.run_until_event(sim.spawn(gen))
+
+
+# ---------------------------------------------------------- preference list
+def test_preference_list_head_matches_closest_when_healthy():
+    sim, topo, net, store = make_store()
+    for client in (store.replica_nodes[0], "rack1-n0"):
+        prefs = store.preference_list(client)
+        assert prefs[0] == store.closest_replica(client)
+        assert set(prefs) == set(store.replica_nodes)
+        ranks = [store.replica_rank(client, nid) for nid in prefs]
+        assert ranks == sorted(ranks)
+
+
+def test_preference_list_skips_dead_and_partitioned():
+    sim, topo, net, store = make_store()
+    dead, cut, alive = store.replica_nodes
+    topo.node(dead).crash()
+    net.partition({cut}, {"rack1-n0"})
+    prefs = store.preference_list("rack1-n0")
+    assert prefs == [alive]
+
+
+# ----------------------------------------------------------------- failover
+def test_eventual_write_skips_crashed_closest_replica():
+    """With the closest replica dead, the write lands on the next one
+    up front — no error surfaces and no failover is charged."""
+    sim, topo, net, store = make_store()
+    client = store.replica_nodes[0]
+    topo.node(client).crash()
+
+    def flow():
+        version = yield from store.write_eventual("rack1-n0", "k", 128)
+        return version
+
+    assert run(sim, flow()) is not None
+    assert net.metrics.counters().get("store.failover", 0.0) == 0
+    live = [nid for nid in store.replica_nodes if topo.node(nid).alive]
+    assert any(store.replicas[nid].version_of("k")[0] > 0 for nid in live)
+
+
+def test_mid_operation_unreachability_fails_over_and_counts():
+    """A replica that goes unreachable *mid-write* triggers failover to
+    the next-closest live one, charged to store.failover."""
+    sim, topo, net, store = make_store()
+    dead = store.replica_nodes[0]
+    topo.node(dead).crash()
+    # Force the stale preference order a client could have computed just
+    # before the crash: the dead replica still heads the list.
+    store.preference_list = lambda client: [dead] + [
+        nid for nid in store.replica_nodes if nid != dead]
+
+    def flow():
+        version = yield from store.write_eventual("rack1-n0", "k", 128)
+        return version
+
+    assert run(sim, flow()) is not None
+    counters = net.metrics.counters()
+    assert counters.get("store.failover", 0.0) == 1
+    assert any("store.failover{" in name and "op=write" in name
+               for name in counters)
+
+
+def test_eventual_read_fails_over_too():
+    sim, topo, net, store = make_store()
+
+    def write():
+        yield from store.write_eventual("rack1-n0", "k", 256)
+        yield sim.timeout(1.0)  # let propagation land everywhere
+
+    run(sim, write())
+    dead = store.replica_nodes[0]
+    topo.node(dead).crash()
+    store.preference_list = lambda client: [dead] + [
+        nid for nid in store.replica_nodes if nid != dead]
+
+    def read():
+        record = yield from store.read_eventual("rack1-n0", "k")
+        return record
+
+    assert run(sim, read()).nbytes == 256
+    assert net.metrics.counters().get("store.failover", 0.0) == 1
+
+
+def test_key_miss_is_an_answer_not_a_failure():
+    sim, topo, net, store = make_store()
+
+    def read():
+        yield from store.read_eventual("rack1-n0", "nope")
+
+    with pytest.raises(KeyNotFoundError):
+        run(sim, read())
+    assert net.metrics.counters().get("store.failover", 0.0) == 0
+
+
+def test_all_replicas_down_surfaces_the_error():
+    sim, topo, net, store = make_store()
+    others = {n.node_id for n in topo.nodes
+              if n.node_id not in store.replica_nodes}
+    net.partition(set(store.replica_nodes), others)
+
+    def flow():
+        yield from store.write_eventual("rack1-n0", "k", 64)
+
+    with pytest.raises(Exception):
+        run(sim, flow())
+
+
+# ------------------------------------------------------------ hinted handoff
+def test_hinted_handoff_replays_on_recovery():
+    """A replica that missed propagation while crashed receives the
+    write promptly when its recovery event fires."""
+    sim, topo, net, store = make_store()
+    down = store.replica_nodes[2]
+    inj = FailureInjector(sim, topo, net)
+    inj.crash_node(down, at=0.0, recover_at=2.0)
+
+    def flow():
+        yield sim.timeout(0.001)  # after the crash lands
+        yield from store.write_eventual(store.replica_nodes[0], "k", 128)
+
+    sim.spawn(flow())
+    sim.run(until=5.0)
+    counters = net.metrics.counters()
+    assert counters.get("store.hinted_handoffs", 0.0) >= 1
+    assert counters.get("store.hint_replays", 0.0) >= 1
+    assert store.replicas[down].version_of("k")[0] > 0
+    assert not store._hints.get(down)
+
+
+def test_hint_kept_until_someone_can_deliver_it():
+    """Without a recovery event the hint waits for anti-entropy: once
+    the node is back and the gossip loop ticks, the write lands."""
+    sim, topo, net, store = make_store()
+    down = store.replica_nodes[2]
+    topo.node(down).crash()  # no recovery_event published
+
+    def flow():
+        yield sim.timeout(0.001)
+        yield from store.write_eventual(store.replica_nodes[0], "k", 128)
+
+    sim.spawn(flow())
+    sim.run(until=1.0)
+    assert store._hints.get(down)  # stashed, still undeliverable
+    assert store.replicas[down].version_of("k")[0] == 0
+
+    topo.node(down).recover()
+    store.start_anti_entropy(interval=0.5)
+    sim.run(until=3.0)
+    assert store.replicas[down].version_of("k")[0] > 0
+    assert net.metrics.counters().get("store.hint_replays", 0.0) >= 1
+
+
+def test_hint_keeps_only_the_newest_version():
+    sim, topo, net, store = make_store()
+    down = store.replica_nodes[2]
+    inj = FailureInjector(sim, topo, net)
+    inj.crash_node(down, at=0.0, recover_at=3.0)
+
+    def flow():
+        yield sim.timeout(0.001)
+        yield from store.write_eventual(store.replica_nodes[0], "k", 128)
+        yield sim.timeout(0.5)
+        yield from store.write_eventual(store.replica_nodes[0], "k", 512)
+
+    sim.spawn(flow())
+    sim.run(until=6.0)
+    record = store.replicas[down].peek("k")
+    assert record is not None and record.nbytes == 512
