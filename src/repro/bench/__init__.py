@@ -1,5 +1,11 @@
 """Benchmark harness: experiment runners and table rendering."""
 
+from .attribution import (
+    COMPONENTS,
+    AttributionStats,
+    LatencyAttributor,
+    component_of,
+)
 from .critical_path import (
     CriticalPathReport,
     PathSegment,
@@ -24,4 +30,5 @@ __all__ = [
     "render_timeline", "span_summary",
     "critical_path", "invocation_critical_paths", "merged_by_name",
     "CriticalPathReport", "PathSegment",
+    "LatencyAttributor", "AttributionStats", "COMPONENTS", "component_of",
 ]

@@ -27,6 +27,7 @@ from .e18_platform_shootout import run_platform_shootout
 from .e19_nonrest_api import run_nonrest_api
 from .e20_churn import run_churn
 from .e21_chaos import run_chaos
+from .e22_attribution import run_attribution_drift
 
 ALL_EXPERIMENTS = {
     "E1": run_table1,
@@ -50,6 +51,7 @@ ALL_EXPERIMENTS = {
     "E19": run_nonrest_api,
     "E20": run_churn,
     "E21": run_chaos,
+    "E22": run_attribution_drift,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in

@@ -30,6 +30,16 @@ blocked past its deadline, hedging cutting the gray p99, and the whole
 run replaying outcome-identically from its seed. CI runs this as the
 ``chaos-gate`` job.
 
+**Attribution gate** — replays the pinned E22 drift comparison
+(``e22_attribution``): static vs observation-fed impl choice plus the
+two forced-impl oracle arms under an NPU gray failure. Pins every
+arm's exact decision and latency sequences as digests
+(``benchmarks/baselines/attribution_drift.json``) and enforces the win
+conditions — the observed arm closes at least ``min_gap_closed`` of
+the static-to-oracle post-drift gap, the static arm stays stuck on the
+drifted NPU, and both adaptive arms pick the NPU while it is healthy.
+CI runs this as the ``attribution-gate`` job.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -42,6 +52,7 @@ Usage::
     python -m repro.bench.regress --out cp.json --metrics-out m.json
     python -m repro.bench.regress --skip-autoscale --skip-chaos
     python -m repro.bench.regress --only-chaos    # chaos gate alone
+    python -m repro.bench.regress --only-attribution  # E22 gate alone
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -379,6 +390,109 @@ def compare_chaos(current: Dict[str, Any],
     return violations
 
 
+# ---------------------------------------------------------------------------
+# Attribution gate
+# ---------------------------------------------------------------------------
+
+def attribution_baseline_path() -> Path:
+    """``benchmarks/baselines/attribution_drift.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "attribution_drift.json"
+
+
+def _seq_fingerprint(seq: List[Any]) -> str:
+    """A short stable digest of any JSON-serializable sequence."""
+    payload = json.dumps(list(seq), separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _attribution_arm_doc(arm: Dict[str, Any],
+                         phase1_requests: int) -> Dict[str, Any]:
+    """One drift arm with its bulky sequences folded to digests.
+
+    The decision digest pins *which impl served every request* and the
+    latency digest pins every request's exact duration — so a changed
+    placement, estimate, or span cost fails the gate even when the
+    means barely move.
+    """
+    decisions = arm["decisions"]
+    return {
+        "mode": arm["mode"],
+        "phase1_mean_s": arm["phase1_mean_s"],
+        "phase2_mean_s": arm["phase2_mean_s"],
+        "decision_fingerprint": _seq_fingerprint(decisions),
+        "latency_fingerprint": _seq_fingerprint(
+            arm["phase1_latencies"] + arm["phase2_latencies"]),
+        "phase2_all_npu": all(d == "npu"
+                              for d in decisions[phase1_requests:]),
+        "phase1_all_npu": all(d == "npu"
+                              for d in decisions[:phase1_requests]),
+    }
+
+
+#: Attribution-arm fields compared exactly against the baseline.
+PINNED_ATTRIBUTION_FIELDS = ("mode", "decision_fingerprint",
+                             "latency_fingerprint")
+
+ATTRIBUTION_ARMS = ("static", "ema", "forced_gpu", "forced_npu")
+
+
+def run_attribution_gate() -> Dict[str, Any]:
+    """Replay the pinned E22 drift comparison (all four arms)."""
+    from .experiments.e22_attribution import (
+        MIN_GAP_CLOSED,
+        PHASE1_REQUESTS,
+        run_attribution_arms,
+    )
+    res = run_attribution_arms()
+    doc: Dict[str, Any] = {
+        "experiment": "E22 pinned drift (static vs observation-fed)",
+        "config": res["config"],
+        "oracle_phase2_mean_s": res["oracle_phase2_mean_s"],
+        "gap_closed": res["gap_closed"],
+        "min_gap_closed": MIN_GAP_CLOSED,
+        "ema_flip_index": res["ema_flip_index"],
+    }
+    for arm in ATTRIBUTION_ARMS:
+        doc[arm] = _attribution_arm_doc(res[arm], PHASE1_REQUESTS)
+    return doc
+
+
+def compare_attribution(current: Dict[str, Any],
+                        baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the attribution gate against its baseline doc."""
+    violations: List[str] = []
+    for arm in ATTRIBUTION_ARMS:
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_ATTRIBUTION_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"attribution {arm}.{fld}: {cur} vs pinned {base}")
+    min_gap = baseline.get("min_gap_closed", 0.0)
+    gap_closed = current.get("gap_closed", 0.0)
+    if gap_closed < min_gap:
+        violations.append(
+            f"attribution: observed arm closes {gap_closed:.1%} of the "
+            f"static-to-oracle gap, below the required {min_gap:.0%}")
+    if current.get("ema_flip_index") != baseline.get("ema_flip_index"):
+        violations.append(
+            f"attribution: ema arm migrated after "
+            f"{current.get('ema_flip_index')} post-drift requests vs "
+            f"pinned {baseline.get('ema_flip_index')}")
+    if not current.get("static", {}).get("phase2_all_npu", False):
+        violations.append(
+            "attribution: the static arm no longer reproduces the "
+            "open-loop failure (it left the drifted NPU)")
+    for arm in ("static", "ema"):
+        if not current.get(arm, {}).get("phase1_all_npu", False):
+            violations.append(
+                f"attribution: {arm} arm did not serve the healthy "
+                f"phase entirely from the NPU")
+    return violations
+
+
 def baseline_doc(by_layer: Dict[str, float],
                  by_name: Dict[str, float],
                  requests: int) -> Dict[str, Any]:
@@ -432,9 +546,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run only the chaos gate (CI chaos-gate job)")
     parser.add_argument("--chaos-out", type=Path, default=None,
                         help="write the current chaos-gate JSON here")
+    parser.add_argument("--attribution-baseline", type=Path,
+                        default=attribution_baseline_path(),
+                        help="attribution-gate baseline JSON")
+    parser.add_argument("--skip-attribution", action="store_true",
+                        help="skip the E22 attribution feedback gate")
+    parser.add_argument("--only-attribution", action="store_true",
+                        help="run only the attribution gate "
+                             "(CI attribution-gate job)")
+    parser.add_argument("--attribution-out", type=Path, default=None,
+                        help="write the current attribution-gate JSON here")
     args = parser.parse_args(argv)
     if args.only_chaos and args.skip_chaos:
         parser.error("--only-chaos and --skip-chaos are exclusive")
+    if args.only_attribution and args.skip_attribution:
+        parser.error("--only-attribution and --skip-attribution are "
+                     "exclusive")
+    if args.only_attribution and args.only_chaos:
+        parser.error("--only-attribution and --only-chaos are exclusive")
     if args.requests < 1:
         parser.error("--requests must be >= 1")
     if args.sample_rate is not None \
@@ -443,7 +572,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     doc = None
     by_layer: Dict[str, float] = {}
-    if not args.only_chaos:
+    if not (args.only_chaos or args.only_attribution):
         cloud, by_name, by_layer = run_pinned_e4(
             requests=args.requests, sample_rate=args.sample_rate)
         doc = baseline_doc(by_layer, by_name, args.requests)
@@ -459,15 +588,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      now=cloud.sim.now)
             print(f"labeled metrics written to {args.metrics_out}")
 
-    autoscale_doc = None if (args.skip_autoscale or args.only_chaos) \
-        else run_autoscale_gate()
-    chaos_doc = None if args.skip_chaos else run_chaos_gate()
+    autoscale_doc = None \
+        if (args.skip_autoscale or args.only_chaos
+            or args.only_attribution) else run_autoscale_gate()
+    chaos_doc = None if (args.skip_chaos or args.only_attribution) \
+        else run_chaos_gate()
     if args.chaos_out is not None and chaos_doc is not None:
         args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
         args.chaos_out.write_text(
             json.dumps(chaos_doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         print(f"chaos-gate results written to {args.chaos_out}")
+    attribution_doc = None \
+        if (args.skip_attribution or args.only_chaos) \
+        else run_attribution_gate()
+    if args.attribution_out is not None and attribution_doc is not None:
+        args.attribution_out.parent.mkdir(parents=True, exist_ok=True)
+        args.attribution_out.write_text(
+            json.dumps(attribution_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"attribution-gate results written to "
+              f"{args.attribution_out}")
 
     if args.update:
         if doc is not None:
@@ -489,6 +630,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(chaos_doc, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8")
             print(f"baseline updated: {args.chaos_baseline}")
+        if attribution_doc is not None:
+            args.attribution_baseline.parent.mkdir(parents=True,
+                                                   exist_ok=True)
+            args.attribution_baseline.write_text(
+                json.dumps(attribution_doc, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+            print(f"baseline updated: {args.attribution_baseline}")
         return 0
 
     violations: List[str] = []
@@ -536,6 +684,23 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"gray p99 {chaos_doc['unhedged']['p99_s'] * 1e3:.1f} ms -> "
               f"{chaos_doc['hedged']['p99_s'] * 1e3:.1f} ms hedged")
         violations += compare_chaos(chaos_doc, chaos_baseline)
+
+    if attribution_doc is not None:
+        if not args.attribution_baseline.exists():
+            print(f"no baseline at {args.attribution_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        attribution_baseline = json.loads(
+            args.attribution_baseline.read_text(encoding="utf-8"))
+        print(f"  attribution  post-drift "
+              f"{attribution_doc['static']['phase2_mean_s'] * 1e3:.1f} ms "
+              f"(static) -> "
+              f"{attribution_doc['ema']['phase2_mean_s'] * 1e3:.1f} ms "
+              f"(observed), oracle "
+              f"{attribution_doc['oracle_phase2_mean_s'] * 1e3:.1f} ms, "
+              f"gap closed {attribution_doc['gap_closed']:.1%}")
+        violations += compare_attribution(attribution_doc,
+                                          attribution_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

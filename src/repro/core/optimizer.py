@@ -8,6 +8,18 @@ the same models the simulator charges (device rates, cold-start state
 of the warm pools, isolation costs, the price book) and picks the
 argmin. Experiment E8 swaps a GPU impl for an NPU impl and watches the
 optimizer migrate traffic with zero application change.
+
+The static model is an *open-loop* prior: it cannot see interference,
+gray failures, or drifting data sizes. ``observation_mode="ema"``
+closes the loop — when a :class:`~repro.bench.attribution.
+LatencyAttributor` has folded enough sampled traces for an impl, its
+observed warm-path latency (and observed cold overhead, amortized the
+same way as the modeled one) replaces the model in
+:meth:`ImplOptimizer.estimate`. Keys below ``min_samples`` keep the
+static estimate, so exploration of a never-tried impl still works, and
+``observation_mode="static"`` (the default) is byte-identical to the
+pre-observation optimizer. Experiment E22 measures how much of the
+oracle gap this feedback closes under drift.
 """
 
 from __future__ import annotations
@@ -22,6 +34,11 @@ from .errors import InvocationError
 from .functions import FunctionDef, FunctionImpl
 
 GOALS = ("latency", "cost")
+
+#: How observed latency feeds estimates: "static" ignores observations
+#: entirely; "ema" substitutes the attributor's moving averages once a
+#: key has ``min_samples`` observations.
+OBSERVATION_MODES = ("static", "ema")
 
 
 @dataclass(frozen=True)
@@ -40,14 +57,34 @@ class ImplOptimizer:
     def __init__(self, goal: str = "latency",
                  prices: Optional[PriceBook] = None,
                  cold_start_amortization: int = 1,
-                 slo: Optional[float] = None):
+                 slo: Optional[float] = None,
+                 observation_mode: str = "static",
+                 attributor=None,
+                 min_samples: Optional[int] = None):
         if goal not in GOALS:
             raise ValueError(f"goal must be one of {GOALS}, got {goal!r}")
         if cold_start_amortization < 1:
             raise ValueError("amortization must be >= 1")
         if slo is not None and slo <= 0:
             raise ValueError("slo must be positive")
+        if observation_mode not in OBSERVATION_MODES:
+            raise ValueError(
+                f"observation_mode must be one of {OBSERVATION_MODES}, "
+                f"got {observation_mode!r}")
+        if observation_mode != "static" and attributor is None:
+            raise ValueError(
+                f"observation_mode={observation_mode!r} needs an attributor")
         self.goal = goal
+        #: "static" (model only) or "ema" (observed latencies once a
+        #: key has ``min_samples`` samples).
+        self.observation_mode = observation_mode
+        #: The :class:`~repro.bench.attribution.LatencyAttributor`
+        #: supplying observed decompositions (None in static mode).
+        self.attributor = attributor
+        #: Observations needed before the EMA replaces the model.
+        #: Defaults to the attributor's own guard.
+        self.min_samples = min_samples if min_samples is not None else (
+            attributor.min_samples if attributor is not None else 1)
         self.prices = prices if prices is not None else DEFAULT_PRICES
         #: How many future invocations a cold start is expected to serve.
         #: 1 = fully pessimistic (per-invocation view); larger values
@@ -62,8 +99,17 @@ class ImplOptimizer:
         self.slo = slo
 
     def estimate(self, impl: FunctionImpl,
-                 pool: Optional[WarmPool]) -> ImplEstimate:
-        """Model one invocation on ``impl`` given its pool's warmth."""
+                 pool: Optional[WarmPool],
+                 fn_name: Optional[str] = None) -> ImplEstimate:
+        """Model one invocation on ``impl`` given its pool's warmth.
+
+        In ``"ema"`` observation mode, once the attributor holds at
+        least ``min_samples`` observations of ``(fn_name, impl)``, the
+        modeled latency is replaced by the observed warm-path EMA plus
+        the observed cold overhead (amortized exactly like the modeled
+        cold start). Cost stays model-based: the meter charges by the
+        price book either way.
+        """
         device = DEVICE_SPECS.get(impl.platform.device_kind)
         if device is None:
             raise InvocationError(
@@ -75,6 +121,7 @@ class ImplOptimizer:
         startup = 0.0 if warm else (impl.platform.cold_start
                                     / self.cold_start_amortization)
         latency = startup + compute + isolation
+        latency = self._observed_latency(impl, fn_name, warm, latency)
 
         memory_gb = impl.resources.memory / 1024 ** 3
         duration = compute + isolation
@@ -86,10 +133,36 @@ class ImplOptimizer:
         return ImplEstimate(impl=impl, est_latency=latency, est_cost=cost,
                             warm=warm)
 
+    def _observed_latency(self, impl: FunctionImpl,
+                          fn_name: Optional[str], warm: bool,
+                          model_latency: float) -> float:
+        """The observed estimate when the feedback loop is armed.
+
+        Falls back to ``model_latency`` in static mode, without a
+        function name, or while a key is below the min-samples guard —
+        so never-tried impls keep their optimistic prior and still get
+        explored.
+        """
+        if (self.observation_mode != "ema" or self.attributor is None
+                or fn_name is None):
+            return model_latency
+        if self.attributor.samples(fn_name, impl.name) < self.min_samples:
+            return model_latency
+        warm_est = self.attributor.warm_latency(fn_name, impl.name)
+        if warm_est is None:
+            return model_latency
+        if warm:
+            return warm_est
+        cold_est = self.attributor.cold_overhead(fn_name, impl.name)
+        if cold_est is None:
+            cold_est = impl.platform.cold_start
+        return warm_est + cold_est / self.cold_start_amortization
+
     def rank(self, fn_def: FunctionDef,
              pools: Dict[str, WarmPool]) -> List[ImplEstimate]:
         """All impls scored, best first, under the current goal/SLO."""
-        estimates = [self.estimate(impl, pools.get(impl.name))
+        estimates = [self.estimate(impl, pools.get(impl.name),
+                                   fn_name=fn_def.name)
                      for impl in fn_def.impls]
         if self.slo is not None:
             meeting = [e for e in estimates if e.est_latency <= self.slo]

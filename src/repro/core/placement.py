@@ -10,6 +10,12 @@ interface; the experiments ablate them.
 
 Each policy provides the ``placer(resources, platform, preferred_node)``
 callable that :class:`~repro.faas.autoscale.WarmPool` consumes.
+
+Policies optionally carry a :class:`~repro.bench.attribution.
+LatencyAttributor`: :class:`ObservedPlacement` steers sandboxes toward
+the node class with the best *observed* warm latency (falling back to
+co-location until enough traces have been folded), closing the
+trace → attribution → placement loop.
 """
 
 from __future__ import annotations
@@ -28,8 +34,12 @@ class PlacementPolicy:
 
     name = "base"
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, attributor=None):
         self.topology = topology
+        #: Optional :class:`~repro.bench.attribution.LatencyAttributor`
+        #: observation feed. The base policies ignore it; observation-
+        #: aware subclasses consult it in :meth:`choose`.
+        self.attributor = attributor
 
     def candidates(self, resources: ResourceVector,
                    platform: PlatformSpec) -> List[Node]:
@@ -63,8 +73,9 @@ class NaivePlacement(PlacementPolicy):
 
     name = "naive"
 
-    def __init__(self, topology: Topology, rng: Optional[RandomStream] = None):
-        super().__init__(topology)
+    def __init__(self, topology: Topology, rng: Optional[RandomStream] = None,
+                 attributor=None):
+        super().__init__(topology, attributor=attributor)
         self.rng = rng if rng is not None else RandomStream(0, "naive-place")
 
     def choose(self, nodes, resources, platform, preferred_node):
@@ -130,17 +141,65 @@ class SpreadPlacement(PlacementPolicy):
                                   n.node_id))
 
 
+class ObservedPlacement(ColocatePlacement):
+    """Observation-fed placement: follow the measured best node class.
+
+    When the attached attributor has folded at least its
+    ``min_samples`` traces for a node class, candidate nodes are first
+    narrowed to the class with the lowest observed warm latency; the
+    co-location heuristics then break ties *inside* that class. With no
+    attributor, or before any class clears the guard, or when every
+    candidate sits in one class, this is exactly
+    :class:`ColocatePlacement` — so the policy can be enabled from t=0
+    and only starts steering once evidence exists.
+    """
+
+    name = "observed"
+
+    def choose(self, nodes, resources, platform, preferred_node):
+        narrowed = self._narrow_to_best_class(nodes)
+        return super().choose(narrowed, resources, platform,
+                              preferred_node)
+
+    def _narrow_to_best_class(self, nodes: List[Node]) -> List[Node]:
+        """Candidates in the best observed class, or all of them."""
+        att = self.attributor
+        if att is None:
+            return nodes
+        by_class: dict = {}
+        for node in nodes:
+            by_class.setdefault(att.node_class_fn(node.node_id),
+                                []).append(node)
+        if len(by_class) < 2:
+            return nodes
+        best_class = None
+        best_latency = None
+        for node_class in sorted(by_class):
+            if att.samples(node_class=node_class) < att.min_samples:
+                continue
+            latency = att.node_class_latency(node_class)
+            if latency is None:
+                continue
+            if best_latency is None or latency < best_latency:
+                best_class, best_latency = node_class, latency
+        if best_class is None:
+            return nodes
+        return by_class[best_class]
+
+
 POLICIES = {cls.name: cls for cls in (NaivePlacement, ColocatePlacement,
-                                      ScavengePlacement, SpreadPlacement)}
+                                      ScavengePlacement, SpreadPlacement,
+                                      ObservedPlacement)}
 
 
 def make_policy(name: str, topology: Topology,
-                rng: Optional[RandomStream] = None) -> PlacementPolicy:
+                rng: Optional[RandomStream] = None,
+                attributor=None) -> PlacementPolicy:
     """Instantiate a policy by name."""
     if name not in POLICIES:
         raise KeyError(f"unknown placement policy {name!r}; "
                        f"choose from {sorted(POLICIES)}")
     cls = POLICIES[name]
     if cls is NaivePlacement:
-        return cls(topology, rng)
-    return cls(topology)
+        return cls(topology, rng, attributor=attributor)
+    return cls(topology, attributor=attributor)

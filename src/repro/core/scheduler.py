@@ -403,9 +403,14 @@ class FunctionScheduler:
         kernel.meter.invocation(inv.service_time, memory_gb, gpus=gpus)
         kernel.metrics.histogram(f"invoke.{fn_def.name}").observe(inv.latency)
         if isinstance(kernel.metrics, LabeledMetricsRegistry):
+            # Exemplar: the id of the sampled root span tree this
+            # latency came from (None when untraced/undecided), so a
+            # p99 bucket can be opened back into a concrete trace.
             kernel.metrics.histogram(
                 "invoke.latency", fn=fn_def.name, impl=impl.name,
-                cold=inv.cold_start).observe(inv.latency)
+                cold=inv.cold_start).observe(
+                    inv.latency,
+                    exemplar=tracer.exemplar_root_id(root_span))
         if inv.cold_start:
             kernel.metrics.counter(f"invoke.{fn_def.name}.cold").add(1)
 

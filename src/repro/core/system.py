@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from ..bench.attribution import LatencyAttributor
 from ..cluster.latency import DC_2021, LatencyProfile
 from ..cluster.network import Network
 from ..cluster.topology import Topology, build_cluster
@@ -103,7 +104,9 @@ class PCSICloud:
                  prices: Optional[PriceBook] = None,
                  trace: bool = False,
                  sampler: Optional[SamplingPolicy] = None,
-                 topology: Optional[Topology] = None):
+                 topology: Optional[Topology] = None,
+                 attribution: bool = False,
+                 observation_mode: str = "static"):
         self.sim = sim if sim is not None else Simulator()
         self.rng = RandomStream(seed, "pcsi")
         self.tracer = Tracer(enabled=trace, sampler=sampler).bind(self.sim)
@@ -116,6 +119,25 @@ class PCSICloud:
         self.profile = profile
         self.meter = CostMeter(prices)
 
+        # ``attribution=True`` attaches a LatencyAttributor to the
+        # tracer: finished sampled span trees fold into per-(fn, impl,
+        # node-class) latency decompositions. ``observation_mode="ema"``
+        # additionally feeds those observations back into impl
+        # selection (and the "observed" placement policy), closing the
+        # trace → attribution → placement loop; it implies attribution.
+        # Both need ``trace=True`` — without span trees there is
+        # nothing to attribute.
+        if observation_mode != "static":
+            attribution = True
+        self.attributor: Optional[LatencyAttributor] = None
+        if attribution:
+            if not trace:
+                raise ValueError(
+                    "attribution/observation_mode need trace=True: "
+                    "attribution folds sampled span trees")
+            self.attributor = LatencyAttributor(
+                self.tracer, node_class_fn=self._node_class)
+
         self.table = ObjectTable()
         self.refs = ReferenceManager(self.table)
         self.ns = NamespaceManager(self.table, self.refs)
@@ -125,8 +147,11 @@ class PCSICloud:
                               rng=self.rng.fork("data"))
 
         self.policy: PlacementPolicy = make_policy(
-            placement, self.topology, self.rng.fork("placement"))
-        self.optimizer = ImplOptimizer(goal=goal, prices=prices, slo=slo)
+            placement, self.topology, self.rng.fork("placement"),
+            attributor=self.attributor)
+        self.optimizer = ImplOptimizer(goal=goal, prices=prices, slo=slo,
+                                       observation_mode=observation_mode,
+                                       attributor=self.attributor)
         # ``autoscale`` closes the metrics → controller → pool loop:
         # a policy spec (name / class / prototype / factory) builds one
         # AutoscaleController that every warm pool registers with. The
@@ -150,6 +175,19 @@ class PCSICloud:
         # System services reachable through DEVICE objects (§3.2:
         # "device interfaces to system services").
         self._device_services: Dict[str, Any] = {}
+
+    def _node_class(self, node_id: str) -> str:
+        """Coarse hardware class of a node, for latency attribution.
+
+        Named after the scarcest device on board ("npu" > "gpu" >
+        "cpu"): attribution cares about which *kind* of machine served
+        an invocation, not which individual box.
+        """
+        node = self.topology.node(node_id)
+        for kind in ("npu", "gpu"):
+            if node.has_device(kind):
+                return kind
+        return "cpu"
 
     def _pick_data_replicas(self, count: int) -> List[str]:
         """Spread data-layer replicas across racks, avoiding GPU nodes."""

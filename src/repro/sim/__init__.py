@@ -22,7 +22,8 @@ from .engine import (
     Simulator,
     Timeout,
 )
-from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+from .metrics import (Counter, EmptyHistogramError, Histogram,
+                      MetricsRegistry, TimeWeightedGauge)
 from .metrics_registry import LabeledMetricsRegistry
 from .resources import Channel, Container, Resource, Store
 from .rng import RandomStream
@@ -49,6 +50,7 @@ __all__ = [
     "Interrupt", "SimulationError",
     "Resource", "Container", "Store", "Channel",
     "Counter", "Histogram", "MetricsRegistry", "TimeWeightedGauge",
+    "EmptyHistogramError",
     "LabeledMetricsRegistry",
     "RandomStream", "Tracer", "TraceRecord", "Span",
     "NULL_SPAN", "NULL_TRACER",

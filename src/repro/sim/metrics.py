@@ -3,12 +3,35 @@
 Experiments report simulated latency/cost/utilization numbers that must
 be deterministic, so these classes do exact bookkeeping (sorted samples
 for percentiles) rather than approximate sketches.
+
+**Exemplars** bridge aggregate metrics back to traces: a histogram
+keeps, per value bucket, a bounded reservoir of ``(value, trace_id)``
+pairs, so a p99 bucket of ``invoke.latency`` can point at a concrete
+sampled span tree to inspect instead of being a bare number. The
+reservoir keeps the *most recent* entries (deterministic, no RNG), the
+standard choice for exemplar storage: the freshest trace is the one an
+operator wants to open.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Default upper bounds (``le``) of the exemplar buckets: log-spaced
+#: latency buckets from 100 us to 10 s, plus a +Inf catch-all. The
+#: bounds only shape exemplar *grouping*; percentiles stay exact.
+DEFAULT_EXEMPLAR_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0, math.inf)
+
+#: Default reservoir bound: exemplars retained per bucket.
+DEFAULT_EXEMPLAR_RESERVOIR = 4
+
+
+class EmptyHistogramError(ValueError):
+    """A percentile was requested from a histogram with no samples."""
 
 
 class Counter:
@@ -26,20 +49,44 @@ class Counter:
 
 
 class Histogram:
-    """Collects samples; reports mean/percentiles exactly."""
+    """Collects samples; reports mean/percentiles exactly.
 
-    def __init__(self, name: str = ""):
+    Passing ``exemplar=<trace root id>`` to :meth:`observe` files the
+    sample's trace reference into a bounded per-bucket reservoir (see
+    :data:`DEFAULT_EXEMPLAR_BUCKETS`); :meth:`exemplars` and
+    :meth:`exemplars_near_percentile` read it back.
+    """
+
+    def __init__(self, name: str = "",
+                 exemplar_buckets: Optional[Iterable[float]] = None,
+                 exemplar_reservoir: int = DEFAULT_EXEMPLAR_RESERVOIR):
+        if exemplar_reservoir < 1:
+            raise ValueError("exemplar reservoir must hold >= 1 entry")
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
         self._sum = 0.0
+        self._bounds: List[float] = sorted(
+            exemplar_buckets if exemplar_buckets is not None
+            else DEFAULT_EXEMPLAR_BUCKETS)
+        if not self._bounds or self._bounds[-1] != math.inf:
+            self._bounds.append(math.inf)
+        self._reservoir = exemplar_reservoir
+        #: bucket index -> most recent (value, trace_id) pairs.
+        self._exemplars: Dict[int, List[Tuple[float, Any]]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one sample."""
+    def observe(self, value: float, exemplar: Optional[Any] = None) -> None:
+        """Record one sample, optionally carrying a trace reference."""
         if self._samples and value < self._samples[-1]:
             self._sorted = False
         self._samples.append(value)
         self._sum += value
+        if exemplar is not None:
+            idx = bisect.bisect_left(self._bounds, value)
+            bucket = self._exemplars.setdefault(idx, [])
+            bucket.append((value, exemplar))
+            if len(bucket) > self._reservoir:
+                del bucket[0]
 
     def extend(self, values: Iterable[float]) -> None:
         """Record many samples."""
@@ -69,11 +116,18 @@ class Histogram:
         return max(self._samples) if self._samples else math.nan
 
     def percentile(self, p: float) -> float:
-        """Exact percentile via linear interpolation (p in [0, 100])."""
+        """Exact percentile via linear interpolation (p in [0, 100]).
+
+        Raises :class:`EmptyHistogramError` when no samples have been
+        recorded — an empty histogram has no percentiles, and silently
+        returning NaN let the mistake propagate into reports.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
         if not self._samples:
-            return math.nan
+            raise EmptyHistogramError(
+                f"histogram {self.name!r} is empty: no samples to take "
+                f"a percentile of")
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
@@ -104,7 +158,15 @@ class Histogram:
                    if v <= threshold) / len(self._samples)
 
     def summary(self) -> Dict[str, float]:
-        """Dict of the usual summary statistics."""
+        """Dict of the usual summary statistics.
+
+        Safe on an empty histogram (count 0, NaN statistics) so that
+        exporters can serialize every instrument unconditionally; only
+        the *direct* percentile accessors raise when empty.
+        """
+        if not self._samples:
+            return {"count": 0.0, "mean": math.nan, "min": math.nan,
+                    "p50": math.nan, "p99": math.nan, "max": math.nan}
         return {
             "count": float(self.count),
             "mean": self.mean,
@@ -113,6 +175,41 @@ class Histogram:
             "p99": self.p99,
             "max": self.max,
         }
+
+    # -- exemplars ---------------------------------------------------------
+    @property
+    def exemplar_bounds(self) -> List[float]:
+        """Upper bounds (``le``) of the exemplar buckets."""
+        return list(self._bounds)
+
+    def bucket_index(self, value: float) -> int:
+        """The exemplar bucket a value files under."""
+        return bisect.bisect_left(self._bounds, value)
+
+    def exemplars(self) -> Dict[float, List[Tuple[float, Any]]]:
+        """Retained exemplars keyed by bucket upper bound (``le``)."""
+        return {self._bounds[idx]: list(pairs)
+                for idx, pairs in sorted(self._exemplars.items())}
+
+    def exemplars_in_bucket(self, value: float) -> List[Tuple[float, Any]]:
+        """The exemplars sharing a bucket with ``value``."""
+        return list(self._exemplars.get(self.bucket_index(value), ()))
+
+    def exemplars_near_percentile(self, p: float
+                                  ) -> List[Tuple[float, Any]]:
+        """Exemplars for the bucket holding the ``p``-th percentile.
+
+        When that exact bucket retained none (the percentile sample ran
+        untraced), the nearest non-empty bucket is used — below first,
+        then above — so a traced neighbor can still be opened. Empty
+        list only when the histogram holds no exemplars at all.
+        """
+        target = self.bucket_index(self.percentile(p))
+        if not self._exemplars:
+            return []
+        best = min(self._exemplars,
+                   key=lambda idx: (abs(idx - target), idx > target))
+        return list(self._exemplars[best])
 
 
 class TimeWeightedGauge:

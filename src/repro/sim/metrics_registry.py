@@ -75,17 +75,23 @@ class LabeledCounter(Counter):
 
 
 class LabeledHistogram(Histogram):
-    """A histogram child that forwards every sample to its aggregate."""
+    """A histogram child that forwards every sample to its aggregate.
+
+    Exemplars ride along: a ``(value, trace_id)`` pair recorded on a
+    labeled child is also retained by the family aggregate, so the
+    unlabeled ``invoke.latency`` view can point at span trees too.
+    """
 
     def __init__(self, name: str = "",
                  aggregate: Optional[Histogram] = None):
         super().__init__(name)
         self._aggregate = aggregate
 
-    def observe(self, value: float) -> None:
-        super().observe(value)
+    def observe(self, value: float,
+                exemplar: Optional[Any] = None) -> None:
+        super().observe(value, exemplar=exemplar)
         if self._aggregate is not None:
-            self._aggregate.observe(value)
+            self._aggregate.observe(value, exemplar=exemplar)
 
 
 class LabeledGauge(TimeWeightedGauge):
@@ -228,6 +234,38 @@ class LabeledMetricsRegistry(MetricsRegistry):
                 out[format_instrument(name, key)] = inst.summary()
         return out
 
+    def exemplars(self, name: str, **labels: Any
+                  ) -> Dict[float, List[Tuple[float, Any]]]:
+        """One histogram instrument's retained exemplars, by bucket
+        upper bound (empty dict for unknown or exemplar-less
+        instruments)."""
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            return {}
+        inst = family.aggregate if not labels \
+            else family.children.get(label_key(labels))
+        if inst is None:
+            return {}
+        return inst.exemplars()
+
+    def all_exemplars(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Every histogram instrument's exemplars, JSON-shaped.
+
+        ``{instrument: [{"le": bound, "exemplars": [[value, trace_id],
+        ...]}, ...]}``; instruments that retained none are omitted.
+        """
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "histogram":
+                continue
+            for key, inst in family.instruments():
+                buckets = [{"le": le, "exemplars": [[v, t] for v, t in pairs]}
+                           for le, pairs in inst.exemplars().items()]
+                if buckets:
+                    out[format_instrument(name, key)] = buckets
+        return out
+
     def gauges(self, now: float) -> Dict[str, Dict[str, float]]:
         """All gauge levels / time-weighted means / peaks as of ``now``."""
         out: Dict[str, Dict[str, float]] = {}
@@ -364,6 +402,9 @@ class LabeledMetricsRegistry(MetricsRegistry):
                     [[t, v] for t, v in points]
         if series:
             out["series"] = series
+        exemplars = self.all_exemplars()
+        if exemplars:
+            out["exemplars"] = exemplars
         return out
 
     def write_json(self, path: str, now: float = 0.0) -> None:
@@ -394,4 +435,11 @@ class LabeledMetricsRegistry(MetricsRegistry):
                     fields = ",".join(f"{k}={v}"
                                       for k, v in summary.items())
                 lines.append(f"{name}{tags} {fields} {ts}")
+                if family.kind == "histogram":
+                    for le, pairs in inst.exemplars().items():
+                        for value, trace_id in pairs:
+                            lines.append(
+                                f"{name}{tags},le={le} "
+                                f"exemplar_value={value}"
+                                f",trace_id={trace_id} {ts}")
         return "\n".join(lines)

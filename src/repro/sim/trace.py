@@ -362,12 +362,54 @@ class Tracer:
         self.unsampled_roots = 0
         self.deferred_kept = 0
         self.deferred_dropped = 0
+        #: Callbacks fired once per *retained* finished root span (see
+        #: :meth:`add_root_listener`).
+        self._root_listeners: List[Callable[[Span], None]] = []
 
     # -- wiring ---------------------------------------------------------
     def bind(self, sim) -> "Tracer":
         """Attach a simulator: clock = sim.now, context = active process."""
         self._sim = sim
         return self
+
+    def add_root_listener(self,
+                          callback: Callable[[Span], None]) -> "Tracer":
+        """Register an online consumer of finished span trees.
+
+        The callback runs synchronously when a *root* span ends and its
+        tree is retained: immediately for normally sampled roots, and
+        at keep-time for deferred (error-tail) trees. Dropped trees —
+        head-sampled away or deferred-then-clean — never fire, so a
+        listener only ever sees trees whose spans are fully recorded.
+        Listeners must not open spans or advance the simulation; they
+        are observers, not participants.
+        """
+        self._root_listeners.append(callback)
+        return self
+
+    def _notify_root(self, root: Span) -> None:
+        for callback in self._root_listeners:
+            callback(root)
+
+    def exemplar_root_id(self, span) -> Optional[int]:
+        """The trace root id a metrics exemplar may reference, or None.
+
+        None for :data:`NULL_SPAN` / disabled tracing (nothing to point
+        at) and for roots still in :data:`DEFER` limbo — their tree may
+        yet be discarded, and an exemplar must never dangle. Kept
+        error-tail trees and normally sampled roots qualify.
+        """
+        if not self.enabled or span is None or span is NULL_SPAN:
+            return None
+        node = span
+        while node.parent_id is not None:
+            parent = self._spans_by_id.get(node.parent_id)
+            if parent is None:
+                return None  # tree already discarded
+            node = parent
+        if node.sampling == DEFER:
+            return None
+        return node.span_id
 
     def set_sampler(self, sampler: Optional[SamplingPolicy]) -> "Tracer":
         """Install (or clear) the head-based sampling policy.
@@ -475,6 +517,9 @@ class Tracer:
         root = self._deferred_root_of(span)
         if root is None:
             self._append_record(record)
+            if span.parent_id is None \
+                    and self._spans_by_id.get(span.span_id) is span:
+                self._notify_root(span)
         else:
             self._deferred_records.setdefault(root.span_id, []).append(record)
             if root is span:
@@ -508,6 +553,7 @@ class Tracer:
             self.deferred_kept += 1
             for record in records:
                 self._append_record(record)
+            self._notify_root(root)
         else:
             self.deferred_dropped += 1
             self._discard_tree(root)

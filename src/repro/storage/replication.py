@@ -124,11 +124,20 @@ class ReplicatedStore:
             self.metrics.counter(f"{self.name}.{event}").add(amount)
 
     def _observe_op(self, op: str, consistency: str, start: float) -> None:
-        """Per-consistency-level operation latency."""
+        """Per-consistency-level operation latency.
+
+        The sample carries the current sampled trace root as an
+        exemplar (when tracing is on and the tree is retained), so a
+        slow ``storage.op_latency`` bucket can be opened back into the
+        span tree of the request that produced it.
+        """
         if self._labeled:
+            tracer = self.network.tracer
+            exemplar = tracer.exemplar_root_id(tracer.current_span) \
+                if tracer.enabled else None
             self.metrics.histogram("storage.op_latency", op=op,
                                    consistency=consistency) \
-                .observe(self.sim.now - start)
+                .observe(self.sim.now - start, exemplar=exemplar)
 
     def _fanout(self, op: str, n: int) -> None:
         """Replicas contacted by one quorum phase."""

@@ -114,10 +114,10 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     baseline = tmp_path / "base.json"
     out = tmp_path / "cp.json"
     metrics = tmp_path / "metrics.json"
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--update", "--skip-autoscale",
                  "--baseline", str(baseline)]) == 0
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--skip-autoscale",
                  "--baseline", str(baseline),
                  "--out", str(out), "--metrics-out", str(metrics)]) == 0
@@ -128,13 +128,13 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     doc = json.loads(baseline.read_text())
     doc["by_layer"]["network"] *= 2.0
     baseline.write_text(json.dumps(doc))
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--skip-autoscale",
                  "--baseline", str(baseline)]) == 1
 
 
 def test_cli_missing_baseline_is_usage_error(tmp_path):
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--skip-autoscale",
                  "--baseline", str(tmp_path / "nope.json")]) == 2
 
@@ -184,29 +184,29 @@ def test_compare_autoscale_flags_pools_that_never_drain(autoscale_doc):
 def test_cli_autoscale_update_then_compare_and_perturb(tmp_path):
     e4 = tmp_path / "e4.json"
     asb = tmp_path / "autoscale.json"
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--update", "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 0
     doc = json.loads(asb.read_text())
     assert doc["controlled"]["cold_starts"] < doc["fixed"]["cold_starts"]
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 0
 
     # Perturb a pinned arm field: the gate must fail.
     doc["controlled"]["cold_starts"] += 5
     asb.write_text(json.dumps(doc))
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 1
 
 
 def test_cli_missing_autoscale_baseline_is_usage_error(tmp_path):
     e4 = tmp_path / "e4.json"
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--update", "--skip-autoscale",
                  "--baseline", str(e4)]) == 0
-    assert main(["--requests", "1", "--skip-chaos",
+    assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
                  "--baseline", str(e4),
                  "--autoscale-baseline",
                  str(tmp_path / "nope.json")]) == 2

@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+from repro.sim import (Counter, EmptyHistogramError, Histogram,
+                       MetricsRegistry, TimeWeightedGauge)
 
 
 def test_counter_accumulates():
@@ -46,10 +47,18 @@ def test_histogram_percentile_unsorted_input():
     assert h.p50 == 3.0
 
 
-def test_histogram_empty_returns_nan():
-    h = Histogram()
-    assert math.isnan(h.mean)
-    assert math.isnan(h.p50)
+def test_histogram_empty_percentile_raises():
+    h = Histogram("empty")
+    assert math.isnan(h.mean)  # mean stays NaN: safe in arithmetic
+    with pytest.raises(EmptyHistogramError):
+        h.p50
+    with pytest.raises(EmptyHistogramError):
+        h.percentile(99)
+    # EmptyHistogramError is a ValueError, so legacy handlers catch it.
+    assert issubclass(EmptyHistogramError, ValueError)
+    # summary() must stay exporter-safe on empty histograms.
+    assert h.summary()["count"] == 0.0
+    assert math.isnan(h.summary()["p99"])
 
 
 def test_histogram_percentile_range_check():
