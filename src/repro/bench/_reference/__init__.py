@@ -1,0 +1,18 @@
+"""Frozen pre-refactor copies of the simulation hot path.
+
+These are byte-for-byte snapshots (module-internal imports rewritten to
+absolute ones) of ``sim/engine.py``, ``sim/trace.py``, and
+``sim/metrics_registry.py`` as they stood *before* the fast-path
+refactor. The throughput gate (``repro.bench.throughput``) runs the
+same pinned workload on this stack and on the live stack back-to-back
+in one process, which makes the required speedup ratio robust to the
+machine the gate happens to run on: CI runners and laptops disagree
+wildly on absolute events/sec, but the current/reference ratio cancels
+the machine out. The two runs must also produce byte-identical
+fingerprints — the frozen stack doubles as a behavioral oracle proving
+the refactor changed speed, not event order.
+
+Nothing outside the benchmark may import from this package, and nothing
+here should ever be edited except to re-freeze against a new
+pre-refactor baseline.
+"""

@@ -1,0 +1,430 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module is the substrate for every experiment in the repository. It
+implements a small, simpy-like engine: *processes* are Python generators
+that ``yield`` :class:`Event` objects to suspend themselves until the
+event fires. Virtual time is a float number of seconds; helper constants
+(:data:`NS`, :data:`US`, :data:`MS`, :data:`SECOND`) make latency tables
+readable (``yield sim.timeout(200 * US)``).
+
+Determinism: events scheduled for the same instant fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a
+simulation is a pure function of its inputs and RNG seeds.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(1.5)
+...     log.append(sim.now)
+>>> _ = sim.spawn(proc(sim))
+>>> sim.run()
+>>> log
+[1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: One nanosecond, in simulation seconds.
+NS = 1e-9
+#: One microsecond, in simulation seconds.
+US = 1e-6
+#: One millisecond, in simulation seconds.
+MS = 1e-3
+#: One second, in simulation seconds.
+SECOND = 1.0
+#: One minute, in simulation seconds.
+MINUTE = 60.0
+#: One hour, in simulation seconds.
+HOUR = 3600.0
+
+#: Sentinel state values for :class:`Event`.
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` describing why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called (which schedules its callbacks), and is
+    *processed* once the simulator has run those callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._state = PENDING
+        self.name = name
+
+    # -- introspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception, if it failed)."""
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = PROCESSED
+
+    def __repr__(self) -> str:
+        label = self.name or self.__class__.__name__
+        return f"<{label} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"Timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator yields :class:`Event` instances. When a yielded event
+    succeeds, its value is sent back into the generator; when it fails,
+    the exception is thrown into the generator (and propagates out of
+    the process if uncaught).
+
+    Each process carries a ``context`` dict, inherited (shallow-copied)
+    from the process that spawned it. The tracer stores the current
+    span there, which is what lets trace context flow across ``spawn``
+    boundaries (quorum fan-out, async invokes) while interleaved
+    processes keep their contexts separate. ``inherit_context=False``
+    detaches a background process (reapers, anti-entropy) from its
+    spawner's trace context.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "context")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
+                 inherit_context: bool = True):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        creator = sim.active_process
+        self.context: dict = dict(creator.context) \
+            if inherit_context and creator is not None else {}
+        # Bootstrap: resume the process at the current instant.
+        kick = Event(sim, name=f"init:{self.name}")
+        kick.callbacks.append(self._resume)
+        kick._ok = True
+        kick._state = TRIGGERED
+        sim._schedule(kick)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim, name=f"interrupt:{self.name}")
+        kick.callbacks.append(self._resume)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick._state = TRIGGERED
+        self.sim._schedule(kick, priority=0)
+
+    def _resume(self, trigger: Event) -> None:
+        if self._state != PENDING:
+            # Stale kick: the process was interrupted (and finished
+            # unwinding) between this trigger being scheduled and
+            # processed. Resuming a finished generator would corrupt
+            # the event state; the kick is simply obsolete.
+            return
+        self._waiting_on = None
+        prev_active = self.sim.active_process
+        self.sim.active_process = self
+        try:
+            try:
+                if trigger.ok:
+                    target = self._generator.send(trigger.value)
+                else:
+                    target = self._generator.throw(trigger.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+                if self.callbacks or self.sim._strict:
+                    self.fail(exc)
+                    return
+                raise
+        finally:
+            self.sim.active_process = prev_active
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (e.g. sim.timeout(...))"
+            )
+        if target.processed:
+            # The event already fired; resume immediately (this tick).
+            kick = Event(self.sim, name=f"replay:{self.name}")
+            kick.callbacks.append(self._resume)
+            kick._ok = target._ok
+            kick._value = target._value
+            kick._state = TRIGGERED
+            self.sim._schedule(kick)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for :func:`AllOf` / :func:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending_count = 0
+        for ev in self.events:
+            if ev.processed:
+                self._observe(ev)
+            else:
+                ev.callbacks.append(self._observe)
+                self._pending_count += 1
+        self._check_untriggered()
+
+    def _check_untriggered(self) -> None:
+        raise NotImplementedError
+
+    def _observe(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when every child event has fired; value is the list of values.
+
+    If any child fails, the condition fails with that child's exception.
+    """
+
+    name = "AllOf"
+
+    def _check_untriggered(self) -> None:
+        if not self.triggered and all(e.processed for e in self.events):
+            self.succeed([e.value for e in self.events])
+
+    def _observe(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        if all(e.processed and e.ok for e in self.events):
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(Condition):
+    """Fires when the first child event fires; value is that child's value."""
+
+    name = "AnyOf"
+
+    def _check_untriggered(self) -> None:
+        for ev in self.events:
+            if ev.processed:
+                if ev.ok:
+                    self.succeed(ev.value)
+                else:
+                    self.fail(ev.value)
+                return
+
+    def _observe(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed(ev.value)
+        else:
+            self.fail(ev.value)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self, strict: bool = True):
+        self._queue: List = []
+        self._now = 0.0
+        self._seq = 0
+        self._strict = strict
+        self._active_processes = 0
+        #: The process whose generator is executing right now (None
+        #: between resumptions). Trace context is keyed off this.
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- factory helpers ---------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "",
+              inherit_context: bool = True) -> Process:
+        """Run ``generator`` as a concurrent process.
+
+        The new process inherits the spawner's context (trace spans)
+        unless ``inherit_context=False`` detaches it — use that for
+        background work (reapers, anti-entropy, fire-and-forget sends)
+        that should not be parented to whatever span happened to be
+        open at spawn time.
+        """
+        return Process(self, generator, name=name,
+                       inherit_context=inherit_context)
+
+    # Alias matching simpy vocabulary.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all ``events`` fire."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process a single event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks and self._strict:
+            exc = event.value
+            if isinstance(exc, BaseException) and not isinstance(exc, Interrupt):
+                raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or virtual time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulationError` if the schedule drains (or ``limit``
+        virtual seconds pass) without the event firing.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError(f"schedule drained before {event!r} fired")
+            if limit is not None and self.peek() > limit:
+                raise SimulationError(f"{event!r} did not fire before t={limit}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

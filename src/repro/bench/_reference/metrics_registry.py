@@ -37,7 +37,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
-from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
 
 #: Label name used for the collapsed catch-all child of a full family.
 OVERFLOW_LABEL = "__overflow__"
@@ -152,15 +152,6 @@ class LabeledMetricsRegistry(MetricsRegistry):
         #: Label sets collapsed into __overflow__ children, by family.
         self.dropped_label_sets = 0
         self._sample_times: List[float] = []
-        #: Hot-path memo: ``(kind, name, *label items as passed)`` →
-        #: instrument. Keyed on the *call-site* label order (kwargs
-        #: preserve it), so the canonical sort + stringify of
-        #: :func:`label_key` runs once per distinct call shape instead
-        #: of on every update. Only materialized (non-overflow)
-        #: instruments enter the cache — overflow lookups must keep
-        #: counting ``dropped_label_sets`` per call — and nothing ever
-        #: invalidates it because instruments are never removed.
-        self._fast: Dict[tuple, Any] = {}
 
     # -- family plumbing -------------------------------------------------
     def _family(self, name: str, kind: str, factory) -> _Family:
@@ -193,52 +184,20 @@ class LabeledMetricsRegistry(MetricsRegistry):
             family.children[key] = child
         return child
 
-    def _memoize(self, cache_key: tuple, family: _Family,
-                 labels: Dict[str, Any], child: Any) -> None:
-        """Cache ``child`` under the call shape, unless it is the
-        overflow catch-all (whose every lookup must count a drop)."""
-        if not labels or label_key(labels) in family.children:
-            try:
-                self._fast[cache_key] = child
-            except TypeError:
-                pass  # unhashable label value: stay on the slow path
-
     # -- instruments ------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
         """Get or create a counter (the family aggregate if unlabeled)."""
-        cache_key = ("counter", name, *labels.items())
-        try:
-            child = self._fast.get(cache_key)
-        except TypeError:
-            child = None
-            cache_key = None
-        if child is not None:
-            return child
         family = self._family(
             name, "counter", lambda n, agg: LabeledCounter(n, agg))
-        child = self._child(family, labels,
-                            lambda n, agg: LabeledCounter(n, agg))
-        if cache_key is not None:
-            self._memoize(cache_key, family, labels, child)
-        return child
+        return self._child(family, labels,
+                           lambda n, agg: LabeledCounter(n, agg))
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         """Get or create a histogram (the family aggregate if unlabeled)."""
-        cache_key = ("histogram", name, *labels.items())
-        try:
-            child = self._fast.get(cache_key)
-        except TypeError:
-            child = None
-            cache_key = None
-        if child is not None:
-            return child
         family = self._family(
             name, "histogram", lambda n, agg: LabeledHistogram(n, agg))
-        child = self._child(family, labels,
-                            lambda n, agg: LabeledHistogram(n, agg))
-        if cache_key is not None:
-            self._memoize(cache_key, family, labels, child)
-        return child
+        return self._child(family, labels,
+                           lambda n, agg: LabeledHistogram(n, agg))
 
     def gauge(self, name: str, **labels: Any) -> TimeWeightedGauge:
         """Get or create a time-weighted gauge.
@@ -246,21 +205,10 @@ class LabeledMetricsRegistry(MetricsRegistry):
         The aggregate of a labeled gauge family tracks the *sum* of its
         children's levels.
         """
-        cache_key = ("gauge", name, *labels.items())
-        try:
-            child = self._fast.get(cache_key)
-        except TypeError:
-            child = None
-            cache_key = None
-        if child is not None:
-            return child
         family = self._family(
             name, "gauge", lambda n, agg: LabeledGauge(n, aggregate=agg))
-        child = self._child(family, labels,
-                            lambda n, agg: LabeledGauge(n, aggregate=agg))
-        if cache_key is not None:
-            self._memoize(cache_key, family, labels, child)
-        return child
+        return self._child(family, labels,
+                           lambda n, agg: LabeledGauge(n, aggregate=agg))
 
     # -- snapshots ---------------------------------------------------------
     def counters(self) -> Dict[str, float]:

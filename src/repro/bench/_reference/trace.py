@@ -42,12 +42,10 @@ from __future__ import annotations
 
 import itertools
 import json
-from collections import deque
-from sys import getrefcount
-from sys import intern as _intern
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-from .rng import RandomStream
+from repro.sim.rng import RandomStream
 
 #: Process-context key under which the current span is stored.
 _CTX_KEY = "trace.current_span"
@@ -61,91 +59,33 @@ SAMPLE = "sample"
 DROP = "drop"
 DEFER = "defer"
 
-#: Internal per-span marks, propagated parent→child at *open* time so
-#: that ending a span is a local O(1) decision — no root-chain walk
-#: and no global "a deferred tree might be open" flag that would
-#: otherwise force every concurrent span onto the slow path. A child
-#: of a DEFER root (or of another marked child) carries
-#: ``_DEFER_CHILD``; a span that was still open when its tree was
-#: discarded — and any span it opens afterwards — carries ``_ORPHAN``
-#: and records nothing when it ends. Neither value ever reaches a
-#: sampling policy.
-_DEFER_CHILD = "defer_child"
-_ORPHAN = "orphan"
 
-#: Bound on the discarded-span freelist (beyond this, dropped spans are
-#: left to the garbage collector).
-_SPAN_POOL_LIMIT = 4096
-
-
+@dataclass(frozen=True)
 class TraceRecord:
-    """One flat trace entry (the legacy record shape).
+    """One flat trace entry (the legacy record shape)."""
 
-    A slotted plain class: one record is appended per finished span,
-    so construction cost is hot-loop cost (the frozen dataclass this
-    replaced spent ~1us per instance in ``object.__setattr__``).
-    Records are value-like — equality compares fields — and must be
-    treated as immutable even though slots are technically writable.
-    """
-
-    __slots__ = ("time", "category", "payload")
-
-    def __init__(self, time: float, category: str,
-                 payload: Optional[Dict[str, Any]] = None):
-        self.time = time
-        self.category = category
-        self.payload = payload if payload is not None else {}
-
-    def __eq__(self, other: Any) -> bool:
-        if not isinstance(other, TraceRecord):
-            return NotImplemented
-        return (self.time == other.time
-                and self.category == other.category
-                and self.payload == other.payload)
-
-    __hash__ = None  # type: ignore[assignment]  # dict payload: unhashable
-
-    def __repr__(self) -> str:
-        return (f"TraceRecord(time={self.time!r}, "
-                f"category={self.category!r}, payload={self.payload!r})")
+    time: float
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
 class Span:
-    """One node of the span tree.
+    """One node of the span tree."""
 
-    A plain slotted class (not a dataclass): spans are the dominant
-    allocation of a traced run, and finished-and-dropped spans are
-    recycled through the tracer's freelist (see
-    :meth:`Tracer._open_span`), so construction and field reset must be
-    cheap. ``_kids`` is the deferred child list — ``None`` until the
-    first child arrives, replacing the old per-tracer
-    ``{parent_id: [children]}`` dict and its per-span ``setdefault``.
-    """
-
-    __slots__ = ("span_id", "parent_id", "name", "category", "start",
-                 "attributes", "end", "status", "error", "sampling",
-                 "_kids")
-
-    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
-                 category: str, start: float,
-                 attributes: Optional[Dict[str, Any]] = None,
-                 end: Optional[float] = None, status: str = STATUS_OK,
-                 error: Optional[str] = None,
-                 sampling: Optional[str] = None):
-        self.span_id = span_id
-        self.parent_id = parent_id
-        self.name = name
-        self.category = category
-        self.start = start
-        self.attributes = attributes if attributes is not None else {}
-        self.end = end
-        self.status = status
-        self.error = error
-        #: Sampling disposition of a root: None (normal), DEFER
-        #: (recorded provisionally, fate decided at root end), or
-        #: "error_tail" (a deferred tree kept because it erred).
-        self.sampling = sampling
-        self._kids: Optional[List["Span"]] = None
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    status: str = STATUS_OK
+    error: Optional[str] = None
+    #: Sampling disposition of a root: None (normal), DEFER (recorded
+    #: provisionally, fate decided at root end), or "error_tail" (a
+    #: deferred tree that was kept because it contained an error).
+    sampling: Optional[str] = field(default=None, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -162,12 +102,6 @@ class Span:
         """Attach or update attributes; returns self for chaining."""
         self.attributes.update(attributes)
         return self
-
-    def __repr__(self) -> str:
-        return (f"Span(span_id={self.span_id}, parent_id={self.parent_id}, "
-                f"name={self.name!r}, category={self.category!r}, "
-                f"start={self.start}, end={self.end}, "
-                f"status={self.status!r})")
 
 
 class _NullSpan:
@@ -340,28 +274,15 @@ class _SpanContext:
 
     Entry and exit run in the same simulation process (the generator
     that wrote the ``with``), so saving/restoring the process-local
-    current span is race-free under interleaving — and the context
-    dict resolved once by :meth:`Tracer.span` (``_ctx``) stays valid
-    for both.
-
-    ``__enter__`` and ``__exit__`` inline the open/close paths of
-    :meth:`Tracer._open_span` and :meth:`Tracer.end_span` rather than
-    call them: one span pair is the unit of work of every traced hot
-    loop, and the call overhead of the layered path measurably
-    dominates it. Any semantic change to those methods must be
-    mirrored here (the differential tests in
-    tests/sim/test_trace_pooling.py and test_trace_sampling.py pin
-    the equivalence). Exit falls back to :meth:`Tracer.end_span`
-    whenever deferred trees or orphans may be involved.
+    current span is race-free under interleaving.
     """
 
     __slots__ = ("_tracer", "_name", "_category", "_parent", "_attributes",
-                 "_span", "_saved", "_sampling", "_ctx")
+                 "_span", "_saved", "_sampling")
 
     def __init__(self, tracer: "Tracer", name: str, category: str,
                  parent: Optional[Span], attributes: Dict[str, Any],
-                 sampling: Optional[str] = None,
-                 ctx: Optional[Dict[str, Any]] = None):
+                 sampling: Optional[str] = None):
         self._tracer = tracer
         self._name = name
         self._category = category
@@ -370,125 +291,39 @@ class _SpanContext:
         self._span: Optional[Span] = None
         self._saved: Optional[Span] = None
         self._sampling = sampling
-        self._ctx = ctx
 
     def __enter__(self) -> Span:
-        # Inlined Tracer._open_span — keep the two in sync.
         tracer = self._tracer
-        ctx = self._ctx
-        if ctx is None:
-            ctx = tracer._context()
-            self._ctx = ctx
-        current = ctx.get(_CTX_KEY)
-        parent = self._parent
-        if parent is None and current is not _UNSAMPLED:
-            parent = current
-        if parent is not None and parent.span_id < 0:
+        ctx = tracer._context()
+        parent = self._parent if self._parent is not None \
+            else ctx.get(_CTX_KEY)
+        if parent is _UNSAMPLED:
             parent = None
-        sim = tracer._sim
-        if sim is not None:
-            start = sim._now
-        elif tracer._clock is not None:
-            start = tracer._clock()
-        else:
-            start = 0.0
-        span_id = next(tracer._ids)
-        name = _intern(self._name)
-        category = _intern(self._category)
-        parent_id = parent.span_id if parent is not None else None
-        # The attribute dict was freshly built by span()'s **kwargs, so
-        # the span takes ownership without the defensive copy of the
-        # public start_span signature.
-        attributes = self._attributes
-        span = None
-        pool = tracer._span_pool
-        while pool:
-            candidate = pool.popleft()
-            # See _open_span: 2 = local + getrefcount argument.
-            if getrefcount(candidate) == 2:
-                span = candidate
-                span.span_id = span_id
-                span.parent_id = parent_id
-                span.name = name
-                span.category = category
-                span.start = start
-                span.attributes = attributes
-                span.end = None
-                span.status = STATUS_OK
-                span.error = None
-                span.sampling = None
-                span._kids = None
-                break
-        if span is None:
-            span = Span(span_id=span_id, parent_id=parent_id, name=name,
-                        category=category, start=start,
-                        attributes=attributes)
-        tracer._spans_by_id[span_id] = span
-        if parent is not None:
-            kids = parent._kids
-            if kids is None:
-                parent._kids = [span]
-            else:
-                kids.append(span)
-            ps = parent.sampling
-            if ps is not None:
-                if ps == DEFER or ps == _DEFER_CHILD:
-                    span.sampling = _DEFER_CHILD
-                elif ps == _ORPHAN:
-                    span.sampling = _ORPHAN
+        self._span = tracer.start_span(
+            self._name, parent=parent, category=self._category,
+            **self._attributes)
         if self._sampling is not None:
-            span.sampling = self._sampling
-        self._span = span
-        self._saved = current
-        ctx[_CTX_KEY] = span
-        return span
+            self._span.sampling = self._sampling
+        self._saved = ctx.get(_CTX_KEY)
+        ctx[_CTX_KEY] = self._span
+        return self._span
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
-        tracer = self._tracer
-        span = self._span
-        ctx = self._ctx
+        ctx = self._tracer._context()
         if self._saved is None:
             ctx.pop(_CTX_KEY, None)
         else:
             ctx[_CTX_KEY] = self._saved
-        if exc_type is not None:
+        if exc_type is None:
+            self._tracer.end_span(self._span)
+        else:
             # The exception type is a queryable attribute ("cause"), so
             # error-tail analysis can group spans by failure mode
             # without parsing the human-readable error string.
-            if span is not None and span is not NULL_SPAN:
-                span.attributes.setdefault("cause", exc_type.__name__)
-            tracer.end_span(span, status=STATUS_ERROR,
-                            error=f"{exc_type.__name__}: {exc}")
-            return False
-        # Inlined Tracer.end_span fast path — keep the two in sync.
-        # Any sampling mark (DEFER root, deferred child, orphan) takes
-        # the full method, which knows how to buffer or drop.
-        if span is None or span.sampling is not None:
-            tracer.end_span(span)
-            return False
-        if span.end is not None:
-            raise ValueError(f"span {span.name!r} already ended")
-        sim = tracer._sim
-        if sim is not None:
-            end = sim._now
-        elif tracer._clock is not None:
-            end = tracer._clock()
-        else:
-            end = 0.0
-        span.end = end
-        span.status = STATUS_OK
-        span.error = None
-        rec = TraceRecord(end, span.category, dict(span.attributes))
-        tracer._records.append(rec)
-        by_category = tracer._by_category
-        bucket = by_category.get(span.category)
-        if bucket is None:
-            by_category[span.category] = [rec]
-        else:
-            bucket.append(rec)
-        if span.parent_id is None and tracer._root_listeners \
-                and tracer._spans_by_id.get(span.span_id) is span:
-            tracer._notify_root(span)
+            if self._span is not None and self._span is not NULL_SPAN:
+                self._span.attributes.setdefault("cause", exc_type.__name__)
+            self._tracer.end_span(self._span, status=STATUS_ERROR,
+                                  error=f"{exc_type.__name__}: {exc}")
         return False
 
 
@@ -512,24 +347,16 @@ class Tracer:
         self._sim = None
         self._records: List[TraceRecord] = []
         self._by_category: Dict[str, List[TraceRecord]] = {}
-        #: The span store: insertion-ordered (= start-ordered) dict.
-        #: There is deliberately no parallel list — discarding a
-        #: sampled-out tree must be O(tree), not O(all spans).
+        self._spans: List[Span] = []
         self._spans_by_id: Dict[int, Span] = {}
+        self._children: Dict[int, List[Span]] = {}
         self._ids = itertools.count(1)
         #: Fallback context when no simulator process is active.
         self._local_ctx: Dict[str, Any] = {}
         self._sampler = sampler
         self._unsampled_cm = _UnsampledRootContext(self)
-        #: Finished spans of still-undecided deferred trees, by root
-        #: id; their flat records materialize only if the tree is kept.
-        self._deferred_records: Dict[int, List[Span]] = {}
-        #: Freelist of discarded spans (only ever *finished* spans from
-        #: dropped deferred trees). Entries may still be referenced by
-        #: live frames when they enter; the refcount check happens at
-        #: *checkout* (see :meth:`_open_span`), by which point the
-        #: discarding frames have usually unwound.
-        self._span_pool: "deque[Span]" = deque()
+        #: Compat records of still-undecided deferred trees, by root id.
+        self._deferred_records: Dict[int, List[TraceRecord]] = {}
         #: Head-sampling accounting (roots only).
         self.sampled_roots = 0
         self.unsampled_roots = 0
@@ -636,18 +463,9 @@ class Tracer:
         cat = category if category is not None else name
         if self._categories is not None and cat not in self._categories:
             return NULL_SPAN
-        # Resolve the process context dict once (inlined _context);
-        # the returned context manager reuses it for both entry and
-        # exit, which run in the same process as this call.
-        sim = self._sim
-        if sim is not None:
-            proc = sim.active_process
-            ctx = proc.context if proc is not None else self._local_ctx
-        else:
-            ctx = self._local_ctx
         sampling = None
         if self._sampler is not None and parent is None:
-            current = ctx.get(_CTX_KEY)
+            current = self._context().get(_CTX_KEY)
             if current is _UNSAMPLED:
                 return NULL_SPAN
             if current is None:
@@ -660,75 +478,24 @@ class Tracer:
                 else:
                     self.sampled_roots += 1
         return _SpanContext(self, name, cat, parent, attributes,
-                            sampling=sampling, ctx=ctx)
+                            sampling=sampling)
 
     def start_span(self, name: str, parent: Optional[Span] = None,
                    category: Optional[str] = None,
                    time: Optional[float] = None,
                    **attributes: Any) -> Span:
         """Explicitly open a span (the context manager is preferred)."""
-        return self._open_span(
-            name, category if category is not None else name,
-            parent if parent is not None and parent.span_id >= 0 else None,
-            attributes, self._now() if time is None else time)
-
-    def _open_span(self, name: str, category: str,
-                   parent: Optional[Span],
-                   attributes: Dict[str, Any], start: float) -> Span:
-        """Hot-path span checkout; takes ownership of ``attributes``.
-
-        Recycles a pooled span when one is available: every field is
-        reassigned here, so a recycled span is indistinguishable from a
-        fresh one (pinned by tests/sim/test_trace_pooling.py). Names
-        and categories are interned — traced runs repeat a small
-        vocabulary millions of times.
-        """
-        span_id = next(self._ids)
-        name = _intern(name)
-        category = _intern(category)
-        parent_id = parent.span_id if parent is not None else None
-        span = None
-        pool = self._span_pool
-        while pool:
-            candidate = pool.popleft()
-            # 2 = our local + getrefcount's argument: nothing outside
-            # this frame holds the discarded span anymore, so reusing
-            # it can never be observed. A still-referenced candidate
-            # is dropped to the garbage collector, not retried.
-            if getrefcount(candidate) == 2:
-                span = candidate
-                span.span_id = span_id
-                span.parent_id = parent_id
-                span.name = name
-                span.category = category
-                span.start = start
-                span.attributes = attributes
-                span.end = None
-                span.status = STATUS_OK
-                span.error = None
-                span.sampling = None
-                span._kids = None
-                break
-        if span is None:
-            span = Span(span_id=span_id, parent_id=parent_id, name=name,
-                        category=category, start=start,
-                        attributes=attributes)
-        self._spans_by_id[span_id] = span
-        if parent is not None:
-            kids = parent._kids
-            if kids is None:
-                parent._kids = [span]
-            else:
-                kids.append(span)
-            ps = parent.sampling
-            if ps is not None:
-                # Inherit the tree's disposition (see _DEFER_CHILD /
-                # _ORPHAN above); children of kept ("error_tail")
-                # roots record normally and inherit nothing.
-                if ps == DEFER or ps == _DEFER_CHILD:
-                    span.sampling = _DEFER_CHILD
-                elif ps == _ORPHAN:
-                    span.sampling = _ORPHAN
+        span = Span(span_id=next(self._ids),
+                    parent_id=parent.span_id if parent is not None
+                    and parent.span_id >= 0 else None,
+                    name=name,
+                    category=category if category is not None else name,
+                    start=self._now() if time is None else time,
+                    attributes=dict(attributes))
+        self._spans.append(span)
+        self._spans_by_id[span.span_id] = span
+        if span.parent_id is not None:
+            self._children.setdefault(span.parent_id, []).append(span)
         return span
 
     def end_span(self, span: Span, time: Optional[float] = None,
@@ -746,117 +513,81 @@ class Tracer:
         span.end = self._now() if time is None else time
         span.status = status
         span.error = error
-        mark = span.sampling
-        if mark is not None:
-            if mark == DEFER:
-                # An undecided root: buffer it after its finished
-                # children (record order of a kept tree matches the
-                # non-deferred order) and decide the tree's fate.
-                self._deferred_records.setdefault(
-                    span.span_id, []).append(span)
-                self._resolve_deferred(span)
-                return span
-            if mark == _ORPHAN:
-                # Straggler of an already-dropped tree.
-                self._spans_by_id.pop(span.span_id, None)
-                return span
-            if mark == _DEFER_CHILD:
-                node = span
-                while node.parent_id is not None:
-                    parent = self._spans_by_id.get(node.parent_id)
-                    if parent is None:
-                        # Tree discarded between open and end.
-                        self._spans_by_id.pop(span.span_id, None)
-                        return span
-                    node = parent
-                if node.sampling == DEFER:
-                    # Buffer the span itself; its flat record
-                    # materializes only if the tree is kept (dropped
-                    # trees then cost no record or payload-copy
-                    # allocations at all).
-                    self._deferred_records.setdefault(
-                        node.span_id, []).append(span)
-                    return span
-                # Root already resolved as kept ("error_tail"): this
-                # late child records normally below.
-        self._append_record(
-            TraceRecord(span.end, span.category, dict(span.attributes)))
-        if span.parent_id is None and self._root_listeners \
-                and self._spans_by_id.get(span.span_id) is span:
-            self._notify_root(span)
+        record = TraceRecord(span.end, span.category, dict(span.attributes))
+        root = self._deferred_root_of(span)
+        if root is None:
+            self._append_record(record)
+            if span.parent_id is None \
+                    and self._spans_by_id.get(span.span_id) is span:
+                self._notify_root(span)
+        else:
+            self._deferred_records.setdefault(root.span_id, []).append(record)
+            if root is span:
+                self._resolve_deferred(root)
         return span
+
+    def _deferred_root_of(self, span: Span) -> Optional[Span]:
+        """The span's root, if that root is still DEFER-undecided.
+
+        Returns None for normal trees; spans orphaned by a discarded
+        deferred tree (a straggler process ending a span whose root was
+        already dropped) also resolve to None and record nothing.
+        """
+        node = span
+        while node.parent_id is not None:
+            parent = self._spans_by_id.get(node.parent_id)
+            if parent is None:
+                # Tree already discarded: drop this straggler too.
+                self._spans_by_id.pop(span.span_id, None)
+                self._children.pop(span.span_id, None)
+                self._spans = [s for s in self._spans if s is not span]
+                return None
+            node = parent
+        return node if node.sampling == DEFER else None
 
     def _resolve_deferred(self, root: Span) -> None:
         """Decide a deferred tree at root end: keep on error, else drop."""
-        finished = self._deferred_records.pop(root.span_id, [])
+        records = self._deferred_records.pop(root.span_id, [])
         if any(s.status == STATUS_ERROR for s in self.walk(root)):
             root.sampling = "error_tail"
             self.deferred_kept += 1
-            for span in finished:
-                self._append_record(TraceRecord(span.end, span.category,
-                                                dict(span.attributes)))
+            for record in records:
+                self._append_record(record)
             self._notify_root(root)
         else:
             self.deferred_dropped += 1
-            # Release the buffered-span list before discarding so the
-            # pool's refcount check sees only the tree's own links.
-            del finished
             self._discard_tree(root)
 
     def _discard_tree(self, root: Span) -> None:
-        """Remove a root and all its descendants from the tracer.
-
-        Removal is O(tree size): spans are stored only in the id dict,
-        so no global list needs rebuilding. Discarded spans with no
-        surviving outside reference are recycled through the span pool;
-        anything user code still holds (a ``with ... as sp`` binding, a
-        still-open child's context entry) stays out of the pool, so a
-        held span can never be observed mutating into a new one.
-        """
-        doomed = list(self.walk(root))
-        spans_by_id = self._spans_by_id
-        pool = self._span_pool
-        for node in doomed:
-            spans_by_id.pop(node.span_id, None)
-            # Unlink the tree: matches the old ``_children`` index being
-            # dropped (children() of a discarded span reports none), and
-            # lets each span's liveness be judged independently at
-            # checkout. Attribute payloads stay — a caller still holding
-            # a discarded span sees its data unchanged.
-            node._kids = None
-            if node.end is None:
-                # A straggler process still has this span open: mark it
-                # (and, transitively, anything it opens later) so its
-                # eventual end records nothing. Live spans never enter
-                # the pool.
-                node.sampling = _ORPHAN
-            elif len(pool) < _SPAN_POOL_LIMIT:
-                pool.append(node)
+        """Remove a root and all its descendants from the tracer."""
+        doomed = {node.span_id for node in self.walk(root)}
+        for span_id in doomed:
+            self._spans_by_id.pop(span_id, None)
+            self._children.pop(span_id, None)
+        self._spans = [s for s in self._spans if s.span_id not in doomed]
 
     # -- span queries ----------------------------------------------------
     @property
     def span_count(self) -> int:
-        return len(self._spans_by_id)
+        return len(self._spans)
 
     def spans(self, name: Optional[str] = None,
               category: Optional[str] = None) -> List[Span]:
-        """All spans (in start order), optionally filtered."""
-        out: Iterable[Span] = self._spans_by_id.values()
+        """All spans, optionally filtered by name and/or category."""
+        out = self._spans
         if name is not None:
-            out = (s for s in out if s.name == name)
+            out = [s for s in out if s.name == name]
         if category is not None:
-            out = (s for s in out if s.category == category)
-        return list(out)
+            out = [s for s in out if s.category == category]
+        return list(out) if out is self._spans else out
 
     def roots(self) -> List[Span]:
         """Spans with no parent (request/graph roots)."""
-        return [s for s in self._spans_by_id.values()
-                if s.parent_id is None]
+        return [s for s in self._spans if s.parent_id is None]
 
     def children(self, span: Span) -> List[Span]:
         """Direct children of ``span``, in start order."""
-        kids = span._kids
-        return list(kids) if kids is not None else []
+        return list(self._children.get(span.span_id, ()))
 
     def get_span(self, span_id: int) -> Optional[Span]:
         return self._spans_by_id.get(span_id)
@@ -873,12 +604,11 @@ class Tracer:
         while stack:
             node = stack.pop()
             yield node
-            if node._kids is not None:
-                stack.extend(reversed(node._kids))
+            stack.extend(reversed(self._children.get(node.span_id, ())))
 
     def depth_of(self, span: Span) -> int:
         """Tree depth below ``span`` (a leaf has depth 0)."""
-        kids = span._kids
+        kids = self._children.get(span.span_id)
         if not kids:
             return 0
         return 1 + max(self.depth_of(k) for k in kids)
@@ -921,15 +651,12 @@ class Tracer:
                    for r in self._by_category.get(category, ()))
 
     def clear(self) -> None:
-        """Drop all records and spans.
-
-        Cleared spans are *not* pooled: callers may hold references to
-        them (clearing between experiment phases while keeping a few
-        roots for inspection is normal usage).
-        """
+        """Drop all records and spans."""
         self._records.clear()
         self._by_category.clear()
+        self._spans.clear()
         self._spans_by_id.clear()
+        self._children.clear()
         self._deferred_records.clear()
 
     # -- export -----------------------------------------------------------
@@ -944,7 +671,7 @@ class Tracer:
         https://ui.perfetto.dev.
         """
         events: List[Dict[str, Any]] = []
-        for span in self._spans_by_id.values():
+        for span in self._spans:
             if span.end is None:
                 continue
             args = dict(span.attributes)

@@ -40,6 +40,22 @@ the static-to-oracle post-drift gap, the static arm stays stuck on the
 drifted NPU, and both adaptive arms pick the NPU while it is healthy.
 CI runs this as the ``attribution-gate`` job.
 
+**Throughput gate** — times the pinned hot-loop workload
+(``repro.bench.throughput``) on the live simulator/tracer/metrics
+stack and on the frozen pre-refactor snapshot
+(``repro.bench._reference``) back to back in one process, and requires
+(``benchmarks/baselines/throughput.json``):
+
+* a machine-relative speedup of at least ``min_speedup`` (5x) in
+  events/sec over the pre-refactor stack — absolute numbers never
+  enter the comparison, so the bar holds on any runner;
+* byte-identical hot-loop fingerprints from both stacks (the frozen
+  snapshot is a behavioral oracle: the fast path may only change
+  speed, never event order, span tallies, or counter values); and
+* ``invoke_many`` outcomes byte-identical to a serial ``invoke`` loop.
+
+CI runs this as the ``throughput`` arm of the gate matrix.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -53,6 +69,7 @@ Usage::
     python -m repro.bench.regress --skip-autoscale --skip-chaos
     python -m repro.bench.regress --only-chaos    # chaos gate alone
     python -m repro.bench.regress --only-attribution  # E22 gate alone
+    python -m repro.bench.regress --only-throughput   # hot-loop gate
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -493,6 +510,81 @@ def compare_attribution(current: Dict[str, Any],
     return violations
 
 
+# ---------------------------------------------------------------------------
+# Throughput gate
+# ---------------------------------------------------------------------------
+
+#: The hot-loop refactor must keep at least this events/sec multiple
+#: over the frozen pre-refactor stack (machine-relative, so the bar
+#: holds on any runner).
+MIN_SPEEDUP = 5.0
+
+
+def throughput_baseline_path() -> Path:
+    """``benchmarks/baselines/throughput.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "throughput.json"
+
+
+def run_throughput_gate(repeat: int = 2) -> Dict[str, Any]:
+    """Run the pinned hot-loop and invoke benchmarks.
+
+    Times the identical workload on the live stack and the frozen
+    pre-refactor stack (:mod:`repro.bench._reference`) back to back in
+    this process, and additionally runs the invoke bench once in
+    forced-serial mode so the batched ``invoke_many`` path is pinned
+    byte-identical to a serial ``invoke`` loop.
+    """
+    from .throughput import run_benchmarks, run_invoke_bench
+    report = run_benchmarks(repeat=repeat)
+    serial = run_invoke_bench(serial=True)
+    return {
+        "experiment": "hot-loop throughput (current vs frozen reference)",
+        "min_speedup": MIN_SPEEDUP,
+        "speedup": report["speedup"],
+        "hot_loop_fingerprint": report["engine"]["fingerprint"],
+        "invoke_fingerprint": report["invoke"]["fingerprint"],
+        "batched_matches_serial": (report["invoke"]["fingerprint"]
+                                   == serial["fingerprint"]),
+        # Informational (machine-dependent, never compared):
+        "current_events_per_sec": report["engine"]["events_per_sec"],
+        "reference_events_per_sec":
+            report["reference"]["events_per_sec"],
+        "invokes_per_sec": report["invoke"]["invokes_per_sec"],
+        "events": report["engine"]["events"],
+        "repeat": report["repeat"],
+    }
+
+
+def compare_throughput(current: Dict[str, Any],
+                       baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the throughput gate against its baseline doc.
+
+    The two fingerprints are pinned exactly (determinism: the refactor
+    may only change speed, never event order or span/metric tallies);
+    the speedup is a machine-relative floor, so absolute events/sec
+    never enters the comparison.
+    """
+    violations: List[str] = []
+    for fld in ("hot_loop_fingerprint", "invoke_fingerprint"):
+        base, cur = baseline.get(fld), current.get(fld)
+        if base != cur:
+            violations.append(
+                f"throughput {fld}: {cur} vs pinned {base}")
+    min_speedup = baseline.get("min_speedup", MIN_SPEEDUP)
+    speedup = current.get("speedup", 0.0)
+    if speedup < min_speedup:
+        violations.append(
+            f"throughput: current stack is only {speedup:.2f}x the "
+            f"frozen pre-refactor stack (required >= "
+            f"{min_speedup:.1f}x)")
+    if not current.get("batched_matches_serial", False):
+        violations.append(
+            "throughput: invoke_many outcomes diverged from the "
+            "serial invoke loop")
+    return violations
+
+
 def baseline_doc(by_layer: Dict[str, float],
                  by_name: Dict[str, float],
                  requests: int) -> Dict[str, Any]:
@@ -556,23 +648,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(CI attribution-gate job)")
     parser.add_argument("--attribution-out", type=Path, default=None,
                         help="write the current attribution-gate JSON here")
+    parser.add_argument("--throughput-baseline", type=Path,
+                        default=throughput_baseline_path(),
+                        help="throughput-gate baseline JSON")
+    parser.add_argument("--skip-throughput", action="store_true",
+                        help="skip the hot-loop throughput gate")
+    parser.add_argument("--only-throughput", action="store_true",
+                        help="run only the throughput gate "
+                             "(CI throughput-gate job)")
+    parser.add_argument("--throughput-out", type=Path, default=None,
+                        help="write the current throughput-gate JSON here")
+    parser.add_argument("--throughput-repeat", type=int, default=2,
+                        help="timing repeats per stack; fastest wins "
+                             "(default 2)")
     args = parser.parse_args(argv)
     if args.only_chaos and args.skip_chaos:
         parser.error("--only-chaos and --skip-chaos are exclusive")
     if args.only_attribution and args.skip_attribution:
         parser.error("--only-attribution and --skip-attribution are "
                      "exclusive")
-    if args.only_attribution and args.only_chaos:
-        parser.error("--only-attribution and --only-chaos are exclusive")
+    if args.only_throughput and args.skip_throughput:
+        parser.error("--only-throughput and --skip-throughput are "
+                     "exclusive")
+    only_flags = [args.only_chaos, args.only_attribution,
+                  args.only_throughput]
+    if sum(only_flags) > 1:
+        parser.error("--only-chaos, --only-attribution and "
+                     "--only-throughput are exclusive")
+    if args.throughput_repeat < 1:
+        parser.error("--throughput-repeat must be >= 1")
     if args.requests < 1:
         parser.error("--requests must be >= 1")
     if args.sample_rate is not None \
             and not 0.0 <= args.sample_rate <= 1.0:
         parser.error("--sample-rate must be in [0, 1]")
 
+    only_other = args.only_chaos or args.only_attribution \
+        or args.only_throughput
     doc = None
     by_layer: Dict[str, float] = {}
-    if not (args.only_chaos or args.only_attribution):
+    if not only_other:
         cloud, by_name, by_layer = run_pinned_e4(
             requests=args.requests, sample_rate=args.sample_rate)
         doc = baseline_doc(by_layer, by_name, args.requests)
@@ -589,9 +704,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"labeled metrics written to {args.metrics_out}")
 
     autoscale_doc = None \
-        if (args.skip_autoscale or args.only_chaos
-            or args.only_attribution) else run_autoscale_gate()
-    chaos_doc = None if (args.skip_chaos or args.only_attribution) \
+        if (args.skip_autoscale or only_other) else run_autoscale_gate()
+    chaos_doc = None if (args.skip_chaos or args.only_attribution
+                         or args.only_throughput) \
         else run_chaos_gate()
     if args.chaos_out is not None and chaos_doc is not None:
         args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
@@ -600,7 +715,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             encoding="utf-8")
         print(f"chaos-gate results written to {args.chaos_out}")
     attribution_doc = None \
-        if (args.skip_attribution or args.only_chaos) \
+        if (args.skip_attribution or args.only_chaos
+            or args.only_throughput) \
         else run_attribution_gate()
     if args.attribution_out is not None and attribution_doc is not None:
         args.attribution_out.parent.mkdir(parents=True, exist_ok=True)
@@ -609,6 +725,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             encoding="utf-8")
         print(f"attribution-gate results written to "
               f"{args.attribution_out}")
+    throughput_doc = None \
+        if (args.skip_throughput or args.only_chaos
+            or args.only_attribution) \
+        else run_throughput_gate(repeat=args.throughput_repeat)
+    if args.throughput_out is not None and throughput_doc is not None:
+        args.throughput_out.parent.mkdir(parents=True, exist_ok=True)
+        args.throughput_out.write_text(
+            json.dumps(throughput_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"throughput-gate results written to {args.throughput_out}")
 
     if args.update:
         if doc is not None:
@@ -637,6 +763,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(attribution_doc, indent=2, sort_keys=True)
                 + "\n", encoding="utf-8")
             print(f"baseline updated: {args.attribution_baseline}")
+        if throughput_doc is not None:
+            args.throughput_baseline.parent.mkdir(parents=True,
+                                                  exist_ok=True)
+            args.throughput_baseline.write_text(
+                json.dumps(throughput_doc, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+            print(f"baseline updated: {args.throughput_baseline}")
         return 0
 
     violations: List[str] = []
@@ -701,6 +834,22 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"gap closed {attribution_doc['gap_closed']:.1%}")
         violations += compare_attribution(attribution_doc,
                                           attribution_baseline)
+
+    if throughput_doc is not None:
+        if not args.throughput_baseline.exists():
+            print(f"no baseline at {args.throughput_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        throughput_baseline = json.loads(
+            args.throughput_baseline.read_text(encoding="utf-8"))
+        print(f"  throughput "
+              f"{throughput_doc['current_events_per_sec']:,.0f} ev/s "
+              f"(current) vs "
+              f"{throughput_doc['reference_events_per_sec']:,.0f} ev/s "
+              f"(pre-refactor), {throughput_doc['speedup']:.2f}x, "
+              f"{throughput_doc['invokes_per_sec']:,.0f} invokes/s")
+        violations += compare_throughput(throughput_doc,
+                                         throughput_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

@@ -1,0 +1,453 @@
+"""Pinned-seed throughput microbench: simulated events/sec, invokes/sec.
+
+The ROADMAP north star is million-invoke runs; the bottleneck is the
+simulator hot loop — engine heap scheduling and event churn
+(``sim/engine.py``), span allocation (``sim/trace.py``), and label-set
+lookups (``sim/metrics_registry.py``). This module measures that loop
+with a pinned workload that drives all three layers the way a traced,
+metered invoke storm does, and reports both a *speed* number
+(events/sec, invokes/sec) and a *behavior* fingerprint (a digest of
+every virtual-time outcome, span tally, and counter value).
+
+**Machine-relative gating.** Absolute events/sec numbers are useless as
+a CI bar — runners disagree by integer factors. Instead the same
+workload runs twice in one process: once on the live stack and once on
+the frozen pre-refactor stack (:mod:`repro.bench._reference`, a
+byte-level snapshot of the seed modules). The regress gate
+(``python -m repro.bench.regress --only-throughput``) requires
+
+* ``current.events_per_sec / reference.events_per_sec >= min_speedup``
+  (the committed bar is 5x), and
+* byte-identical fingerprints from the two stacks and the committed
+  baseline (``benchmarks/baselines/throughput.json``) — the frozen
+  stack is also a behavioral oracle, so the hot path can only get
+  faster, never different.
+
+**Hot-loop workload** (all delays precomputed from a seeded
+:class:`~repro.sim.rng.RandomStream` outside the timed region):
+
+* *sessions* — traced invokes: a root span + child span + wheel-range
+  timeout per iteration, plus a labeled counter add and histogram
+  observe. This is the shape of every request in a metered run.
+* *fanout* — PyWren-style burst-parallel joins: parents spawn a wide
+  wave of children and ``all_of`` them; child delays increase within a
+  wave, so completions arrive in list order (staged pipelines do this).
+* *error tail* — sessions under ``ErrorTailSampler``: most trees are
+  provisionally recorded and then dropped, a few erroring ones are
+  kept. Exercises deferred-tree resolution and span recycling.
+* *background* — far-horizon sleepers and a sprinkle of interrupts for
+  tier-migration and priority-0 coverage.
+
+**Invoke bench** — warm invokes through the full PCSI stack
+(`PCSICloud`), batched through ``invoke_many`` when the kernel provides
+it and falling back to serial ``invoke`` otherwise. The fingerprint
+covers per-invoke latency/placement outcomes and the metrics counters,
+so the batched entry point is pinned byte-identical to the serial loop.
+
+Usage::
+
+    python -m repro.bench.throughput            # print JSON report
+    python -m repro.bench.throughput --repeat 3 # best-of-3 timing
+    python -m repro.bench.throughput --serial   # force serial invokes
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..cluster.resources import cpu_task
+from ..core.functions import FunctionImpl
+from ..core.system import PCSICloud
+from ..faas.platforms import WASM
+from ..sim.rng import RandomStream
+
+#: Seed for the hot-loop delay/label streams.
+ENGINE_SEED = 4242
+#: Seed for the invoke-bench cloud.
+INVOKE_SEED = 77
+
+#: Hot-loop workload shape (pinned; changing any of these invalidates
+#: the committed baseline fingerprints).
+SESSIONS = 120
+SESSION_ITERS = 250
+SESSION_FNS = 8
+SESSION_NODES = 8
+FANOUT_PARENTS = 12
+FANOUT_ROUNDS = 3
+FANOUT_WIDTH = 800
+TAIL_SESSIONS = 200
+TAIL_ITERS = 10
+TAIL_ERROR_EVERY = 9          # every 9th tail session raises
+SLEEPER_PROCS = 4_000
+SLEEPER_NAPS = 2
+INTERRUPT_PAIRS = 100
+
+#: Invoke bench shape.
+INVOKE_WARMUP = 25
+INVOKE_COUNT = 1500
+INVOKE_WORK_OPS = 5e5
+
+
+def _digest(payload: Any) -> str:
+    """Deterministic 16-hex digest of a JSON-serializable payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class Stack:
+    """One (Simulator, Tracer, LabeledMetricsRegistry) implementation.
+
+    ``current`` is the live code under test; ``reference`` is the
+    frozen pre-refactor snapshot in :mod:`repro.bench._reference`.
+    """
+
+    def __init__(self, name: str, simulator: Callable[[], Any],
+                 tracer: Callable[[], Any], registry: Callable[[], Any],
+                 interrupt: Any):
+        self.name = name
+        self.simulator = simulator
+        self.tracer = tracer
+        self.registry = registry
+        self.interrupt = interrupt
+
+
+def _current_stack() -> Stack:
+    from ..sim.engine import Interrupt, Simulator
+    from ..sim.trace import Tracer
+    from ..sim.metrics_registry import LabeledMetricsRegistry
+    return Stack("current", Simulator, lambda: Tracer(enabled=True),
+                 LabeledMetricsRegistry, Interrupt)
+
+
+def _reference_stack() -> Stack:
+    from ._reference.engine import Interrupt, Simulator
+    from ._reference.trace import Tracer
+    from ._reference.metrics_registry import LabeledMetricsRegistry
+    return Stack("reference", Simulator, lambda: Tracer(enabled=True),
+                 LabeledMetricsRegistry, Interrupt)
+
+
+STACKS: Dict[str, Callable[[], Stack]] = {
+    "current": _current_stack,
+    "reference": _reference_stack,
+}
+
+
+class _TailPolicy:
+    """Head-sampling policy of the bench: record everything except
+    ``tail`` roots, which are deferred (kept only on error).
+
+    Duck-typed against both stacks' ``SamplingPolicy`` protocol — the
+    decision constants are plain strings shared by both.
+    """
+
+    @staticmethod
+    def decide(name: str, attributes: Dict[str, Any]) -> str:
+        return "defer" if name == "tail" else "sample"
+
+
+# ------------------------------------------------------------- workload
+class _HotLoopPlan:
+    """Every random draw of the workload, made ahead of the clock.
+
+    The timed region must measure the kernel, not the RNG, and the
+    fingerprint must depend only on virtual-time behavior — so delays
+    and label choices are tabulated up front from the pinned seed.
+    """
+
+    def __init__(self, seed: int = ENGINE_SEED):
+        rng = RandomStream(seed, "throughput-hot-loop")
+        self.session_delays = [
+            [rng.uniform(1e-4, 3e-2) for _ in range(SESSION_ITERS)]
+            for _ in range(SESSIONS)]
+        self.session_fn = [
+            [f"fn-{int(rng.uniform(0, SESSION_FNS))}"
+             for _ in range(SESSION_ITERS)]
+            for _ in range(SESSIONS)]
+        self.session_node = [
+            [f"node-{int(rng.uniform(0, SESSION_NODES))}"
+             for _ in range(SESSION_ITERS)]
+            for _ in range(SESSIONS)]
+        # Child delays increase within a wave: completions land in
+        # list order, as they do for a staged pipeline's workers.
+        self.fanout_delays = [
+            [[rng.uniform(1e-5, 1e-4) + i * 2e-6
+              for i in range(FANOUT_WIDTH)]
+             for _ in range(FANOUT_ROUNDS)]
+            for _ in range(FANOUT_PARENTS)]
+        # Tail traffic runs for the whole experiment (per-iteration
+        # delays comparable to a session's total), the way error-tail
+        # sampling behaves in a real run: trees are dropped while the
+        # span store is large, not just during warmup.
+        self.tail_delays = [
+            [rng.uniform(1e-3, 0.7) for _ in range(TAIL_ITERS)]
+            for _ in range(TAIL_SESSIONS)]
+        self.sleeper_delays = [
+            [rng.uniform(5.0, 120.0) for _ in range(SLEEPER_NAPS)]
+            for _ in range(SLEEPER_PROCS)]
+        self.interrupt_delays = [rng.uniform(0.1, 30.0)
+                                 for _ in range(INTERRUPT_PAIRS)]
+
+
+def _session(sim, tracer, metrics, delays, fns, nodes, tag: int,
+             done: List[str]) -> Generator:
+    """A traced, metered request loop: the per-invoke hot path."""
+    span = tracer.span
+    counter = metrics.counter
+    histogram = metrics.histogram
+    timeout = sim.timeout
+    for i in range(len(delays)):
+        d = delays[i]
+        fn = fns[i]
+        node = nodes[i]
+        with span("invoke", fn=fn, node=node):
+            with span("exec", category="exec", fn=fn):
+                yield timeout(d)
+        counter("requests_total", fn=fn, node=node).add(1)
+        histogram("request_latency", fn=fn).observe(d)
+    done.append(f"session:{tag}:{sim.now!r}")
+
+
+def _fanout_child(sim, metrics, delay: float, wave: str) -> Generator:
+    yield sim.timeout(delay)
+    metrics.counter("fanout_tasks", wave=wave).add(1)
+    return 1
+
+
+def _fanout_parent(sim, tracer, metrics, waves, tag: int,
+                   done: List[str]) -> Generator:
+    """Burst-parallel fan-out: spawn a wave, join it with ``all_of``."""
+    total = 0
+    wave_label = f"p{tag}"
+    for round_delays in waves:
+        with tracer.span("fanout", wave=wave_label):
+            children = [sim.spawn(_fanout_child(sim, metrics, d, wave_label))
+                        for d in round_delays]
+            values = yield sim.all_of(children)
+            total += sum(values)
+    done.append(f"fanout:{tag}:{total}:{sim.now!r}")
+
+
+def _tail_session(sim, tracer, delays, tag: int,
+                  done: List[str]) -> Generator:
+    """Sessions under error-tail sampling: trees are provisionally
+    recorded; clean ones (the vast majority) are dropped at root end."""
+    fail = tag % TAIL_ERROR_EVERY == 0
+    errors = 0
+    for i, d in enumerate(delays):
+        try:
+            with tracer.span("tail", session=str(tag)):
+                with tracer.span("tail.step"):
+                    yield sim.timeout(d)
+                if fail and i == len(delays) - 1:
+                    raise RuntimeError("tail failure")
+        except RuntimeError:
+            errors += 1
+    done.append(f"tail:{tag}:{errors}:{sim.now!r}")
+
+
+def _sleeper(sim, naps) -> Generator:
+    """Far-horizon naps: tier migration under the short-delay churn."""
+    for d in naps:
+        yield sim.timeout(d)
+
+
+def _victim(sim, interrupt_cls, tag: int, done: List[str]) -> Generator:
+    try:
+        yield sim.timeout(10_000.0)
+    except interrupt_cls as intr:
+        done.append(f"intr:{tag}:{intr.cause}:{sim.now!r}")
+
+
+def _interrupter(sim, delay: float, victim) -> Generator:
+    yield sim.timeout(delay)
+    victim.interrupt(cause="bench")
+
+
+def run_hot_loop_bench(stack_name: str = "current",
+                       plan: Optional[_HotLoopPlan] = None
+                       ) -> Dict[str, Any]:
+    """Time the pinned hot-loop workload on one stack."""
+    stack = STACKS[stack_name]()
+    if plan is None:
+        plan = _HotLoopPlan()
+    sim = stack.simulator()
+    tracer = stack.tracer().bind(sim)
+    tracer.set_sampler(_TailPolicy())
+    metrics = stack.registry()
+    done: List[str] = []
+
+    for i in range(SESSIONS):
+        sim.spawn(_session(sim, tracer, metrics, plan.session_delays[i],
+                           plan.session_fn[i], plan.session_node[i],
+                           i, done))
+    for i in range(FANOUT_PARENTS):
+        sim.spawn(_fanout_parent(sim, tracer, metrics,
+                                 plan.fanout_delays[i], i, done))
+    for i in range(TAIL_SESSIONS):
+        sim.spawn(_tail_session(sim, tracer, plan.tail_delays[i],
+                                i, done))
+    for i in range(SLEEPER_PROCS):
+        sim.spawn(_sleeper(sim, plan.sleeper_delays[i]))
+    for i in range(INTERRUPT_PAIRS):
+        victim = sim.spawn(_victim(sim, stack.interrupt, i, done))
+        sim.spawn(_interrupter(sim, plan.interrupt_delays[i], victim))
+
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+
+    events = sim._seq
+    fingerprint = _digest({
+        "done": done,
+        "events": events,
+        "now": repr(sim.now),
+        "spans": tracer.span_count,
+        "records": len(tracer),
+        "sampled": tracer.sampled_roots,
+        "tail_kept": tracer.deferred_kept,
+        "tail_dropped": tracer.deferred_dropped,
+        "counters": metrics.counters(),
+        "histograms": metrics.histograms(),
+    })
+    return {
+        "stack": stack_name,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "final_now": sim.now,
+        "spans": tracer.span_count,
+        "fingerprint": fingerprint,
+    }
+
+
+# ---------------------------------------------------------------- invoke
+def _bench_body(ctx) -> Generator:
+    yield from ctx.compute(INVOKE_WORK_OPS)
+    return {"ok": True}
+
+
+def _invoke_driver(cloud: PCSICloud, fn_ref, count: int,
+                   use_batch: bool) -> Generator:
+    client = cloud.client_node()
+    requests = [{"i": i} for i in range(count)]
+    invoke_many = getattr(cloud, "invoke_many", None)
+    if use_batch and invoke_many is not None:
+        results = yield from invoke_many(client, fn_ref, {}, requests)
+    else:
+        results = []
+        for request in requests:
+            result = yield from cloud.invoke(client, fn_ref, {}, request)
+            results.append(result)
+    return len(results)
+
+
+def run_invoke_bench(serial: bool = False) -> Dict[str, Any]:
+    """Time warm invokes through the full stack; pin their outcomes."""
+    cloud = PCSICloud(racks=2, nodes_per_rack=4, gpu_nodes_per_rack=0,
+                      seed=INVOKE_SEED)
+    fn_ref = cloud.define_function(
+        "bench",
+        [FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=0.5),
+                      work_ops=INVOKE_WORK_OPS)],
+        body=_bench_body)
+    # Warm the pool so the timed batch measures the steady state.
+    cloud.run_process(_invoke_driver(cloud, fn_ref, INVOKE_WARMUP,
+                                     use_batch=False))
+    history_mark = len(cloud.scheduler.history)
+    seq_mark = cloud.sim._seq
+
+    start = time.perf_counter()
+    completed = cloud.run_process(_invoke_driver(cloud, fn_ref,
+                                                 INVOKE_COUNT,
+                                                 use_batch=not serial))
+    wall = time.perf_counter() - start
+
+    events = cloud.sim._seq - seq_mark
+    outcomes = [[inv.fn_name, inv.impl_name, inv.executor_node,
+                 bool(inv.cold_start), repr(inv.submitted_at),
+                 repr(inv.latency)]
+                for inv in cloud.scheduler.history[history_mark:]]
+    fingerprint = _digest({"outcomes": outcomes,
+                           "counters": cloud.metrics.counters(),
+                           "now": repr(cloud.sim.now)})
+    return {
+        "invokes": completed,
+        "events": events,
+        "wall_s": wall,
+        "invokes_per_sec": completed / wall if wall > 0 else 0.0,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "batched": (not serial
+                    and getattr(cloud, "invoke_many", None) is not None),
+        "fingerprint": fingerprint,
+    }
+
+
+def run_benchmarks(repeat: int = 2, serial: bool = False) -> Dict[str, Any]:
+    """Run the hot loop on both stacks plus the invoke bench.
+
+    Each timing repeats ``repeat`` times and keeps the fastest run.
+    The current and reference stacks alternate (current, reference,
+    current, ...) so slow machine drift hits both equally.
+    Fingerprints must agree across repeats *and across stacks*;
+    disagreement means nondeterminism (or a behavior-changing
+    refactor) and is reported as an error.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    plan = _HotLoopPlan()
+    current_runs: List[Dict[str, Any]] = []
+    reference_runs: List[Dict[str, Any]] = []
+    for _ in range(repeat):
+        current_runs.append(run_hot_loop_bench("current", plan))
+        reference_runs.append(run_hot_loop_bench("reference", plan))
+    invoke_runs = [run_invoke_bench(serial=serial) for _ in range(repeat)]
+
+    prints = {r["fingerprint"] for r in current_runs + reference_runs}
+    if len(prints) != 1:
+        raise RuntimeError(
+            f"hot-loop fingerprints diverged: {sorted(prints)} — the "
+            "current and reference stacks disagree, or the workload is "
+            "nondeterministic")
+    invoke_prints = {r["fingerprint"] for r in invoke_runs}
+    if len(invoke_prints) != 1:
+        raise RuntimeError(
+            f"invoke fingerprints diverged across repeats: "
+            f"{sorted(invoke_prints)} — the workload is nondeterministic")
+
+    current = max(current_runs, key=lambda r: r["events_per_sec"])
+    reference = max(reference_runs, key=lambda r: r["events_per_sec"])
+    invoke = max(invoke_runs, key=lambda r: r["invokes_per_sec"])
+    speedup = (current["events_per_sec"] / reference["events_per_sec"]
+               if reference["events_per_sec"] > 0 else 0.0)
+    return {
+        "engine": current,
+        "reference": reference,
+        "speedup": speedup,
+        "invoke": invoke,
+        "repeat": repeat,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: print the benchmark report as JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repeats; fastest wins (default 2)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force serial invoke() even when "
+                             "invoke_many is available")
+    args = parser.parse_args(argv)
+    report = run_benchmarks(repeat=args.repeat, serial=args.serial)
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -551,6 +551,32 @@ class PCSICloud:
     # The syscall surface calls this (nested invocation).
     op_invoke = invoke
 
+    def invoke_many(self, client_node: str, fn_ref: Reference,
+                    args: Optional[Dict[str, Reference]] = None,
+                    requests: Optional[List[Dict[str, Any]]] = None,
+                    preferred_node: Optional[str] = None,
+                    impl_name: Optional[str] = None,
+                    max_attempts: int = 1,
+                    retry=None,
+                    deadline: Optional[float] = None) -> Generator:
+        """Invoke a batch of requests serially; returns their results.
+
+        Resolves the function reference once and validates every
+        request up front, then runs each request through the same
+        per-invoke path as :meth:`invoke` — under a pinned seed the
+        outcomes are byte-identical to calling :meth:`invoke` in a
+        loop (``repro.bench.regress --only-throughput`` pins this).
+        Use it for invoke storms where per-call resolution overhead
+        matters; see :meth:`FunctionScheduler.invoke_many
+        <repro.core.scheduler.FunctionScheduler.invoke_many>` for the
+        retry/deadline semantics.
+        """
+        results = yield from self.scheduler.invoke_many(
+            client_node, fn_ref, args or {}, list(requests or ()),
+            preferred_node=preferred_node, impl_name=impl_name,
+            max_attempts=max_attempts, retry=retry, deadline=deadline)
+        return results
+
     def submit_graph(self, client_node: str, graph: TaskGraph,
                      ephemeral_intermediates: Optional[bool] = None
                      ) -> Generator:

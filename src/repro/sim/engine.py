@@ -11,6 +11,17 @@ Determinism: events scheduled for the same instant fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so a
 simulation is a pure function of its inputs and RNG seeds.
 
+Hot-path design (see docs/INTERNALS.md, "engine hot path"): the
+schedule is tiered. A sliding **timer wheel** of fixed-granularity
+buckets absorbs the common short-delay schedule with an O(1) list
+append; a **far heap** holds events beyond the wheel horizon; and a
+small **active heap** holds only the current bucket, which is where
+(time, priority, seq) ordering is settled. Timeout and internal kick
+events are recycled through freelists once their callbacks have run and
+no outside reference survives, so steady-state runs approach zero
+allocation per event. None of this is observable: the event order is
+byte-identical to a single global heap.
+
 Example
 -------
 >>> sim = Simulator()
@@ -26,7 +37,9 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: One nanosecond, in simulation seconds.
@@ -46,6 +59,21 @@ HOUR = 3600.0
 PENDING = "pending"
 TRIGGERED = "triggered"
 PROCESSED = "processed"
+
+#: Timer-wheel shape: bucket width in simulated seconds and slot count
+#: (a power of two, so the slot index is a mask). Delays shorter than
+#: ``WHEEL_GRANULARITY * WHEEL_SLOTS`` (~0.4 s) — the vast majority of
+#: network/compute waits — schedule with a list append instead of a
+#: log-n heap push. The wheel only re-tiers storage; ordering is always
+#: settled by (time, priority, seq) inside the active bucket.
+WHEEL_GRANULARITY = 1e-4
+WHEEL_SLOTS = 4096
+_WHEEL_MASK = WHEEL_SLOTS - 1
+_INV_GRANULARITY = 1.0 / WHEEL_GRANULARITY
+
+#: Freelist bound per event class (beyond this, retired events are left
+#: to the garbage collector).
+_POOL_LIMIT = 4096
 
 
 class SimulationError(Exception):
@@ -69,6 +97,11 @@ class Event:
     An event starts *pending*, becomes *triggered* when :meth:`succeed`
     or :meth:`fail` is called (which schedules its callbacks), and is
     *processed* once the simulator has run those callbacks.
+
+    ``callbacks`` is a plain list and part of the public API (waiters
+    append bound methods). The kernel clears it in place after
+    dispatch; appending to an already-*processed* event's list is a
+    no-op by contract (nothing will ever run it).
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "name")
@@ -110,7 +143,12 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._schedule(self)
+        # Inline of sim._schedule(self): a zero-delay priority-1
+        # schedule always lands on the immediate queue.
+        sim = self.sim
+        sim._seq += 1
+        sim._pending += 1
+        sim._immediate.append((sim._now, 1, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -122,7 +160,10 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._schedule(self)
+        sim = self.sim
+        sim._seq += 1
+        sim._pending += 1
+        sim._immediate.append((sim._now, 1, sim._seq, self))
         return self
 
     def _mark_processed(self) -> None:
@@ -134,19 +175,47 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` seconds after creation."""
+    """An event that fires ``delay`` seconds after creation.
+
+    The ``name`` is computed lazily from the delay: timeouts are the
+    dominant event class and the eager f-string was a measurable cost.
+    Instances are recycled through :attr:`Simulator._timeout_pool` once
+    processed and unreferenced (see :meth:`Simulator.timeout`).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"Timeout({delay})")
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ (the ``name`` slot stays unset: the
+        # class property below shadows it).
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
+        self.delay = delay
         sim._schedule(self, delay=delay)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"Timeout({self.delay})"
+
+
+class _Kick(Event):
+    """Internal trigger the kernel uses to (re)start a process.
+
+    Kicks are engine-owned — no user code ever sees one — so they are
+    always safe to pool. ``reason`` tags what the kick was for (init /
+    replay / interrupt), purely for debugging output.
+    """
+
+    __slots__ = ("reason",)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"kick:{self.reason}"
 
 
 class Process(Event):
@@ -166,22 +235,28 @@ class Process(Event):
     spawner's trace context.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "context")
+    __slots__ = ("_generator", "_waiting_on", "context", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = "",
                  inherit_context: bool = True):
-        super().__init__(sim, name=name or getattr(generator, "__name__", "Process"))
+        # Inlined Event.__init__ — spawn is hot in fan-out workloads.
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._state = PENDING
+        self.name = name or getattr(generator, "__name__", "Process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        #: The bound ``_resume`` method, created once: attribute access
+        #: on a method otherwise allocates a fresh bound-method object
+        #: per yield, which is one allocation per event at steady state.
+        self._resume_cb = self._resume
         creator = sim.active_process
         self.context: dict = dict(creator.context) \
             if inherit_context and creator is not None else {}
         # Bootstrap: resume the process at the current instant.
-        kick = Event(sim, name=f"init:{self.name}")
-        kick.callbacks.append(self._resume)
-        kick._ok = True
-        kick._state = TRIGGERED
-        sim._schedule(kick)
+        sim._kick("init", True, None, self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -199,16 +274,12 @@ class Process(Event):
         target = self._waiting_on
         if target is not None and not target.processed:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._waiting_on = None
-        kick = Event(self.sim, name=f"interrupt:{self.name}")
-        kick.callbacks.append(self._resume)
-        kick._ok = False
-        kick._value = Interrupt(cause)
-        kick._state = TRIGGERED
-        self.sim._schedule(kick, priority=0)
+        self.sim._kick("interrupt", False, Interrupt(cause), self._resume_cb,
+                       priority=0)
 
     def _resume(self, trigger: Event) -> None:
         if self._state != PENDING:
@@ -218,40 +289,36 @@ class Process(Event):
             # the event state; the kick is simply obsolete.
             return
         self._waiting_on = None
-        prev_active = self.sim.active_process
-        self.sim.active_process = self
+        sim = self.sim
+        prev_active = sim.active_process
+        sim.active_process = self
         try:
             try:
-                if trigger.ok:
-                    target = self._generator.send(trigger.value)
+                if trigger._ok:
+                    target = self._generator.send(trigger._value)
                 else:
-                    target = self._generator.throw(trigger.value)
+                    target = self._generator.throw(trigger._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
             except BaseException as exc:  # noqa: BLE001 - propagate to waiters
-                if self.callbacks or self.sim._strict:
+                if self.callbacks or sim._strict:
                     self.fail(exc)
                     return
                 raise
         finally:
-            self.sim.active_process = prev_active
+            sim.active_process = prev_active
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must "
                 "yield Event instances (e.g. sim.timeout(...))"
             )
-        if target.processed:
+        if target._state == PROCESSED:
             # The event already fired; resume immediately (this tick).
-            kick = Event(self.sim, name=f"replay:{self.name}")
-            kick.callbacks.append(self._resume)
-            kick._ok = target._ok
-            kick._value = target._value
-            kick._state = TRIGGERED
-            self.sim._schedule(kick)
+            sim._kick("replay", target._ok, target._value, self._resume_cb)
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
 
 
 class Condition(Event):
@@ -262,13 +329,16 @@ class Condition(Event):
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
-        self._pending_count = 0
+        #: Children whose completion this condition has not yet
+        #: observed. Counting makes wide joins O(n) total instead of
+        #: the O(n^2) of re-scanning every child per completion.
+        self._pending_count = len(self.events)
+        observe = self._observe
         for ev in self.events:
-            if ev.processed:
-                self._observe(ev)
+            if ev._state == PROCESSED:
+                observe(ev)
             else:
-                ev.callbacks.append(self._observe)
-                self._pending_count += 1
+                ev.callbacks.append(observe)
         self._check_untriggered()
 
     def _check_untriggered(self) -> None:
@@ -287,17 +357,18 @@ class AllOf(Condition):
     name = "AllOf"
 
     def _check_untriggered(self) -> None:
-        if not self.triggered and all(e.processed for e in self.events):
-            self.succeed([e.value for e in self.events])
+        if self._state == PENDING and self._pending_count == 0:
+            self.succeed([e._value for e in self.events])
 
     def _observe(self, ev: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
-        if not ev.ok:
-            self.fail(ev.value)
+        if not ev._ok:
+            self.fail(ev._value)
             return
-        if all(e.processed and e.ok for e in self.events):
-            self.succeed([e.value for e in self.events])
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([e._value for e in self.events])
 
 
 class AnyOf(Condition):
@@ -306,28 +377,41 @@ class AnyOf(Condition):
     name = "AnyOf"
 
     def _check_untriggered(self) -> None:
+        if self._state != PENDING:
+            # A processed child already triggered us via _observe
+            # during __init__.
+            return
         for ev in self.events:
-            if ev.processed:
-                if ev.ok:
-                    self.succeed(ev.value)
+            if ev._state == PROCESSED:
+                if ev._ok:
+                    self.succeed(ev._value)
                 else:
-                    self.fail(ev.value)
+                    self.fail(ev._value)
                 return
 
     def _observe(self, ev: Event) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return
-        if ev.ok:
-            self.succeed(ev.value)
+        if ev._ok:
+            self.succeed(ev._value)
         else:
-            self.fail(ev.value)
+            self.fail(ev._value)
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a tiered priority queue of (time, priority, seq, event).
+
+    Storage tiers (behaviorally invisible — see module docstring):
+
+    * ``_active`` — heap holding the bucket currently being drained;
+      every pop settles exact (time, priority, seq) order here.
+    * ``_wheel`` — ``WHEEL_SLOTS`` lists of entries within the horizon;
+      ``_bucket_heap`` tracks which absolute buckets are non-empty.
+    * ``_far`` — heap of entries beyond the horizon; they migrate into
+      the wheel as the window slides.
+    """
 
     def __init__(self, strict: bool = True):
-        self._queue: List = []
         self._now = 0.0
         self._seq = 0
         self._strict = strict
@@ -335,6 +419,17 @@ class Simulator:
         #: The process whose generator is executing right now (None
         #: between resumptions). Trace context is keyed off this.
         self.active_process: Optional[Process] = None
+        # -- tiered schedule ------------------------------------------
+        self._pending = 0
+        self._immediate: deque = deque()
+        self._active: List = []
+        self._wheel: List[List] = [[] for _ in range(WHEEL_SLOTS)]
+        self._bucket_heap: List[int] = []
+        self._far: List = []
+        self._base = 0
+        # -- freelists ------------------------------------------------
+        self._timeout_pool: List[Timeout] = []
+        self._kick_pool: List[_Kick] = []
 
     @property
     def now(self) -> float:
@@ -347,8 +442,68 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
+        """An event firing ``delay`` seconds from now.
+
+        Recycles a pooled :class:`Timeout` when one is available; the
+        pool only ever receives instances whose callbacks have run and
+        to which no outside reference survived, so a recycled timeout
+        is indistinguishable from a fresh one.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            ev = pool.pop()
+            ev._value = value
+            ev._ok = True
+            ev._state = TRIGGERED
+            ev.delay = delay
+            # Inline of _schedule(ev, delay) — this is the hottest
+            # allocation-free path in the kernel.
+            self._seq += 1
+            self._pending += 1
+            if delay == 0.0:
+                self._immediate.append((self._now, 1, self._seq, ev))
+                return ev
+            when = self._now + delay
+            entry = (when, 1, self._seq, ev)
+            bucket = int(when * _INV_GRANULARITY)
+            base = self._base
+            if bucket <= base:
+                heappush(self._active, entry)
+            elif bucket - base < WHEEL_SLOTS:
+                slot = self._wheel[bucket & _WHEEL_MASK]
+                if not slot:
+                    heappush(self._bucket_heap, bucket)
+                slot.append(entry)
+            else:
+                heappush(self._far, entry)
+            return ev
         return Timeout(self, delay, value)
+
+    def _kick(self, reason: str, ok: bool, value: Any,
+              resume: Callable[[Event], None], priority: int = 1) -> None:
+        """Schedule an internal (pooled) trigger that calls ``resume``."""
+        pool = self._kick_pool
+        if pool:
+            ev = pool.pop()
+        else:
+            ev = _Kick.__new__(_Kick)
+            ev.sim = self
+            ev.callbacks = []
+        ev.reason = reason
+        ev._ok = ok
+        ev._value = value
+        ev._state = TRIGGERED
+        ev.callbacks.append(resume)
+        self._seq += 1
+        self._pending += 1
+        if priority == 1:
+            self._immediate.append((self._now, 1, self._seq, ev))
+        else:
+            # Priority-0 interrupt kicks must order ahead of
+            # same-instant priority-1 work: the active heap sorts it.
+            heappush(self._active, (self._now, priority, self._seq, ev))
 
     def spawn(self, generator: Generator, name: str = "",
               inherit_context: bool = True) -> Process:
@@ -377,38 +532,201 @@ class Simulator:
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._pending += 1
+        if delay == 0.0 and priority == 1:
+            # Same-instant schedule (kicks, succeed/fail, joins): a
+            # FIFO append. Deque order IS seq order, and every entry
+            # here precedes anything in the wheel/far tiers (their
+            # times are strictly later), so pops only ever compare
+            # against the active heap's top.
+            self._immediate.append((self._now, 1, self._seq, event))
+            return
+        when = self._now + delay
+        entry = (when, priority, self._seq, event)
+        bucket = int(when * _INV_GRANULARITY)
+        base = self._base
+        if bucket <= base:
+            heappush(self._active, entry)
+        elif bucket - base < WHEEL_SLOTS:
+            slot = self._wheel[bucket & _WHEEL_MASK]
+            if not slot:
+                heappush(self._bucket_heap, bucket)
+            slot.append(entry)
+        else:
+            heappush(self._far, entry)
+
+    def _settle(self) -> None:
+        """Make ``_active`` hold the earliest pending entries.
+
+        No-op when ``_active`` is already populated (its entries are
+        always globally earliest: wheel slots and the far heap only
+        hold later buckets). Otherwise slides the window forward to
+        the next non-empty bucket, merging far-heap entries that have
+        come inside the horizon. Never advances ``_now`` and never
+        runs callbacks, so it is safe to call at any point.
+        """
+        if self._active or not self._pending:
+            return
+        bheap = self._bucket_heap
+        far = self._far
+        near = bheap[0] if bheap else None
+        if far:
+            far_bucket = int(far[0][0] * _INV_GRANULARITY)
+            target = far_bucket if near is None or far_bucket < near else near
+        else:
+            target = near
+        # target is not None here: _pending > 0 and _active is empty,
+        # so at least one tier holds an entry.
+        self._base = target
+        if near == target:
+            heappop(bheap)
+            idx = target & _WHEEL_MASK
+            bucket = self._wheel[idx]
+            self._wheel[idx] = []
+        else:
+            bucket = []
+        if far:
+            # Entries at the new base join the active bucket; entries
+            # now inside the horizon spread into wheel slots.
+            while far and int(far[0][0] * _INV_GRANULARITY) <= target:
+                bucket.append(heappop(far))
+            horizon = target + WHEEL_SLOTS
+            wheel = self._wheel
+            while far and int(far[0][0] * _INV_GRANULARITY) < horizon:
+                entry = heappop(far)
+                slot = wheel[int(entry[0] * _INV_GRANULARITY) & _WHEEL_MASK]
+                if not slot:
+                    heappush(bheap, int(entry[0] * _INV_GRANULARITY))
+                slot.append(entry)
+        heapify(bucket)
+        self._active = bucket
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if not self._pending:
+            return float("inf")
+        immediate = self._immediate
+        if immediate:
+            # Immediate entries sit at the current instant; only the
+            # active heap can hold an equal-or-earlier time, and equal
+            # times peek the same.
+            return immediate[0][0]
+        self._settle()
+        return self._active[0][0]
 
-    def step(self) -> None:
-        """Process a single event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
-        if not event.ok and not callbacks and self._strict:
-            exc = event.value
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's callbacks; recycle if possible."""
+        callbacks = event.callbacks
+        event._state = PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+            callbacks.clear()
+            # Freelist recycle: only engine-owned classes, and only
+            # when no reference beyond this frame survives (3 = the
+            # caller's local + our parameter + getrefcount's argument),
+            # so user code holding a timeout can never observe reuse.
+            cls = event.__class__
+            if cls is Timeout:
+                pool = self._timeout_pool
+                if len(pool) < _POOL_LIMIT and getrefcount(event) == 3:
+                    pool.append(event)
+            elif cls is _Kick:
+                pool = self._kick_pool
+                if len(pool) < _POOL_LIMIT and getrefcount(event) == 3:
+                    pool.append(event)
+        elif not event._ok and self._strict:
+            exc = event._value
             if isinstance(exc, BaseException) and not isinstance(exc, Interrupt):
                 raise exc
 
+    def step(self) -> None:
+        """Process a single event."""
+        if not self._pending:
+            raise SimulationError("step() on an empty schedule")
+        immediate = self._immediate
+        active = self._active
+        if immediate:
+            if active and active[0] < immediate[0]:
+                when, _prio, _seq, event = heappop(active)
+            else:
+                when, _prio, _seq, event = immediate.popleft()
+        else:
+            if not active:
+                self._settle()
+                active = self._active
+            when, _prio, _seq, event = heappop(active)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._pending -= 1
+        self._now = when
+        self._dispatch(event)
+
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the schedule drains or virtual time reaches ``until``."""
+        """Run until the schedule drains or virtual time reaches ``until``.
+
+        The boundary is **inclusive**: an event scheduled exactly at
+        ``until`` is processed before the run stops (only events
+        strictly after ``until`` are left pending). This is pinned by
+        ``tests/sim/test_engine.py`` and must survive any internal
+        re-tiering of the schedule.
+
+        This is the hot loop: it drains events inline (one settle +
+        pop + dispatch per event) rather than paying a :meth:`step`
+        call per event. ``step`` stays the single-event entry point
+        for external steppers.
+        """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            if until is not None and self.peek() > until:
-                self._now = until
-                return
-            self.step()
+        timeout_pool = self._timeout_pool
+        kick_pool = self._kick_pool
+        immediate = self._immediate
+        while self._pending:
+            active = self._active
+            if immediate:
+                # Immediates carry the current instant, so they can
+                # never overshoot ``until``; only the active heap can
+                # hold an earlier key (e.g. a priority-0 interrupt).
+                if active and active[0] < immediate[0]:
+                    when, _prio, _seq, event = heappop(active)
+                else:
+                    when, _prio, _seq, event = immediate.popleft()
+            else:
+                if not active:
+                    self._settle()
+                    active = self._active
+                if until is not None and active[0][0] > until:
+                    self._now = until
+                    return
+                when, _prio, _seq, event = heappop(active)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._pending -= 1
+            self._now = when
+            # Inline _dispatch (kept in sync; the call overhead is
+            # measurable at millions of events).
+            callbacks = event.callbacks
+            event._state = PROCESSED
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+                callbacks.clear()
+                # Refcount 2 = the ``event`` local + getrefcount's
+                # argument: nothing else holds the object.
+                cls = event.__class__
+                if cls is Timeout:
+                    if len(timeout_pool) < _POOL_LIMIT \
+                            and getrefcount(event) == 2:
+                        timeout_pool.append(event)
+                elif cls is _Kick:
+                    if len(kick_pool) < _POOL_LIMIT \
+                            and getrefcount(event) == 2:
+                        kick_pool.append(event)
+            elif not event._ok and self._strict:
+                exc = event._value
+                if isinstance(exc, BaseException) \
+                        and not isinstance(exc, Interrupt):
+                    raise exc
         if until is not None:
             self._now = until
 
@@ -420,7 +738,7 @@ class Simulator:
         virtual seconds pass) without the event firing.
         """
         while not event.processed:
-            if not self._queue:
+            if not self._pending:
                 raise SimulationError(f"schedule drained before {event!r} fired")
             if limit is not None and self.peek() > limit:
                 raise SimulationError(f"{event!r} did not fire before t={limit}")

@@ -115,9 +115,11 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     out = tmp_path / "cp.json"
     metrics = tmp_path / "metrics.json"
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--update", "--skip-autoscale",
                  "--baseline", str(baseline)]) == 0
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--skip-autoscale",
                  "--baseline", str(baseline),
                  "--out", str(out), "--metrics-out", str(metrics)]) == 0
@@ -129,12 +131,14 @@ def test_cli_update_then_compare_and_perturb(tmp_path):
     doc["by_layer"]["network"] *= 2.0
     baseline.write_text(json.dumps(doc))
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--skip-autoscale",
                  "--baseline", str(baseline)]) == 1
 
 
 def test_cli_missing_baseline_is_usage_error(tmp_path):
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--skip-autoscale",
                  "--baseline", str(tmp_path / "nope.json")]) == 2
 
@@ -185,11 +189,13 @@ def test_cli_autoscale_update_then_compare_and_perturb(tmp_path):
     e4 = tmp_path / "e4.json"
     asb = tmp_path / "autoscale.json"
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--update", "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 0
     doc = json.loads(asb.read_text())
     assert doc["controlled"]["cold_starts"] < doc["fixed"]["cold_starts"]
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 0
 
@@ -197,6 +203,7 @@ def test_cli_autoscale_update_then_compare_and_perturb(tmp_path):
     doc["controlled"]["cold_starts"] += 5
     asb.write_text(json.dumps(doc))
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--baseline", str(e4),
                  "--autoscale-baseline", str(asb)]) == 1
 
@@ -204,9 +211,11 @@ def test_cli_autoscale_update_then_compare_and_perturb(tmp_path):
 def test_cli_missing_autoscale_baseline_is_usage_error(tmp_path):
     e4 = tmp_path / "e4.json"
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--update", "--skip-autoscale",
                  "--baseline", str(e4)]) == 0
     assert main(["--requests", "1", "--skip-chaos", "--skip-attribution",
+                 "--skip-throughput",
                  "--baseline", str(e4),
                  "--autoscale-baseline",
                  str(tmp_path / "nope.json")]) == 2

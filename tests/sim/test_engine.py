@@ -269,6 +269,37 @@ def test_run_until_stops_mid_simulation():
     assert log[-1] == 10.0
 
 
+def test_run_until_boundary_is_inclusive():
+    # Pinned contract (see Simulator.run docstring): an event scheduled
+    # exactly at ``until`` is processed; only strictly-later events are
+    # left pending. Must survive any internal re-tiering (immediate
+    # queue / timer wheel / far heap) of the schedule.
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        log.append(("at", sim.now))
+        yield sim.timeout(2.0)       # fires exactly at until=3.0
+        log.append(("boundary", sim.now))
+        yield sim.timeout(0.5)       # strictly after: must stay pending
+        log.append(("late", sim.now))
+
+    sim.spawn(proc(sim))
+    sim.run(until=3.0)
+    assert log == [("at", 1.0), ("boundary", 3.0)]
+    assert sim.now == 3.0
+    sim.run()
+    assert log[-1] == ("late", 3.5)
+
+
+def test_run_until_in_the_past_is_an_error():
+    sim = Simulator()
+    sim.run(until=2.0)
+    with pytest.raises(ValueError, match="in the past"):
+        sim.run(until=1.0)
+
+
 def test_run_until_event_returns_value():
     sim = Simulator()
 

@@ -1,0 +1,172 @@
+"""Differential tests: the fast engine against the frozen reference.
+
+The tiered schedule (immediate deque / timer wheel / far heap) and the
+counting ``AllOf`` join are pure speed refactors — every observable
+ordering must match the pre-refactor engine snapshotted in
+:mod:`repro.bench._reference`. These tests replay the same pinned
+random workload on both engines and require identical event traces,
+plus pin the counting join's semantics directly.
+"""
+
+from repro.bench._reference import engine as reference
+from repro.sim import Simulator
+from repro.sim.engine import WHEEL_GRANULARITY, WHEEL_SLOTS
+from repro.sim.rng import RandomStream
+
+#: Delay menu spanning every storage tier: zero-delay immediates, the
+#: wheel's first/last buckets, and far-heap horizons that force wheel
+#: re-tiering as the clock advances.
+_HORIZON = WHEEL_GRANULARITY * WHEEL_SLOTS
+
+
+def _pinned_delays(count):
+    rng = RandomStream(2026, "engine-differential")
+    tiers = (
+        lambda: 0.0,                                  # immediate
+        lambda: rng.uniform(0.0, WHEEL_GRANULARITY),  # first bucket
+        lambda: rng.uniform(0.0, _HORIZON),           # anywhere in wheel
+        lambda: _HORIZON + rng.uniform(0.0, 5.0),     # just past horizon
+        lambda: rng.uniform(50.0, 500.0),             # deep far heap
+    )
+    return [tiers[int(rng.uniform(0, len(tiers)))]() for _ in range(count)]
+
+
+def _workload(sim_cls, delays):
+    """Run a mixed-tier workload; return the observable event trace."""
+    sim = sim_cls()
+    log = []
+
+    def hopper(tag, naps):
+        for d in naps:
+            yield sim.timeout(d)
+            log.append((tag, repr(sim.now)))
+
+    def joiner(tag, naps):
+        waits = [sim.spawn(hopper(f"{tag}.c{i}", [d]))
+                 for i, d in enumerate(naps)]
+        values = yield sim.all_of(waits)
+        log.append((tag, repr(sim.now), len(values)))
+
+    chunks = [delays[i::7] for i in range(7)]
+    for i in range(5):
+        sim.spawn(hopper(f"h{i}", chunks[i]))
+    sim.spawn(joiner("j0", chunks[5]))
+    sim.spawn(joiner("j1", chunks[6]))
+    sim.run()
+    return log, repr(sim.now), sim._seq
+
+
+def test_fast_engine_matches_reference_ordering():
+    delays = _pinned_delays(400)
+    current = _workload(Simulator, delays)
+    frozen = _workload(reference.Simulator, delays)
+    assert current == frozen
+
+
+def test_fast_engine_matches_reference_under_run_until():
+    delays = _pinned_delays(150)
+
+    def staged(sim_cls):
+        sim = sim_cls()
+        log = []
+
+        def proc(tag, naps):
+            for d in naps:
+                yield sim.timeout(d)
+                log.append((tag, repr(sim.now)))
+
+        for i in range(3):
+            sim.spawn(proc(f"p{i}", delays[i::3]))
+        # Stop inside the wheel horizon, then drain: re-tiering across
+        # the boundary must not reorder anything.
+        sim.run(until=_HORIZON / 2)
+        log.append(("cut", repr(sim.now)))
+        sim.run()
+        return log, repr(sim.now)
+
+    assert staged(Simulator) == staged(reference.Simulator)
+
+
+# -- AllOf counting join -------------------------------------------------
+def test_all_of_values_follow_list_order_not_completion_order():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        first = sim.timeout(3.0, value="slow")
+        second = sim.timeout(1.0, value="fast")
+        values = yield sim.all_of([first, second])
+        out.append(values)
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [["slow", "fast"]]
+
+
+def test_all_of_with_already_processed_children():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        done = sim.timeout(1.0, value="early")
+        yield sim.timeout(2.0)      # `done` fires and is processed
+        pending = sim.timeout(1.0, value="late")
+        values = yield sim.all_of([done, pending])
+        out.append((values, repr(sim.now)))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(["early", "late"], repr(3.0))]
+
+
+def test_all_of_empty_list_fires_immediately():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        values = yield sim.all_of([])
+        out.append((values, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [([], 0.0)]
+
+
+def test_all_of_duplicate_children_count_once_each():
+    # The counting join decrements once per registered callback; a
+    # duplicated child appears twice in the list and must be counted
+    # twice, not collapse the join early.
+    sim = Simulator()
+    out = []
+
+    def proc():
+        shared = sim.timeout(1.0, value="x")
+        values = yield sim.all_of([shared, shared, sim.timeout(2.0, value="y")])
+        out.append((values, repr(sim.now)))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(["x", "x", "y"], repr(2.0))]
+
+
+def test_all_of_fails_fast_on_child_failure():
+    sim = Simulator()
+    out = []
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise RuntimeError("child boom")
+
+    def proc():
+        kids = [sim.spawn(failing()), sim.timeout(100.0)]
+        try:
+            yield sim.all_of(kids)
+        except RuntimeError as exc:
+            out.append((str(exc), repr(sim.now)))
+
+    sim.spawn(proc())
+    # The join fails at t=1 and its waiter absorbs the exception; the
+    # still-pending timeout then drains with no waiters, so the run
+    # itself completes cleanly.
+    sim.run()
+    assert out == [("child boom", repr(1.0))]

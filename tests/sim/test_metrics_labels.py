@@ -220,3 +220,51 @@ def test_window_level_sums_gauges_by_subset_filter(reg):
     assert reg.window_level("size") == 12.0  # the aggregate
     assert reg.window_level("size", pool="nope") == 0.0
     assert reg.window_level("missing") == 0.0
+
+
+# -- hot-path memo -------------------------------------------------------
+
+def test_fast_cache_returns_identical_child_on_repeat(reg):
+    first = reg.counter("hits", fn="a", node="n1")
+    assert ("counter", "hits", ("fn", "a"), ("node", "n1")) in reg._fast
+    assert reg.counter("hits", fn="a", node="n1") is first
+
+
+def test_fast_cache_label_orders_share_one_child(reg):
+    # Two call shapes, one instrument: the memo is keyed on kwargs
+    # order but both entries resolve to the same canonical child.
+    ab = reg.counter("hits", fn="a", node="n1")
+    ba = reg.counter("hits", node="n1", fn="a")
+    assert ab is ba
+    ab.add(3)
+    assert reg.counters()["hits{fn=a,node=n1}"] == 3
+    assert len(reg._fast) == 2
+
+
+def test_fast_cache_never_caches_overflow_children():
+    reg = LabeledMetricsRegistry(max_label_sets=2)
+    reg.counter("c", k="1").add(1)
+    reg.counter("c", k="2").add(1)
+    # Over the cap: collapses to __overflow__ and counts a drop —
+    # on *every* call, so the overflow child must stay uncached.
+    for expected in (1, 2, 3):
+        over = reg.counter("c", k="over")
+        assert reg.dropped_label_sets == expected
+    assert ("counter", "c", ("k", "over")) not in reg._fast
+    over.add(5)
+    assert reg.counters()[f"c{{{OVERFLOW_LABEL}=true}}"] == 5
+    # Materialized children still memoize.
+    assert ("counter", "c", ("k", "1")) in reg._fast
+
+
+def test_fast_cache_skips_unhashable_label_values(reg):
+    child = reg.counter("c", k=["un", "hashable"])
+    child.add(2)
+    assert reg.counter("c", k=["un", "hashable"]) is child
+    assert len(reg._fast) == 0
+
+
+def test_kind_mismatch_still_raises_with_warm_cache(reg):
+    reg.counter("m", k="1").add(1)
+    with pytest.raises(TypeError):
+        reg.histogram("m", k="1")
