@@ -1,0 +1,27 @@
+"""E24 — front-door admission control vs an unprotected scheduler."""
+
+from repro.bench.experiments import run_overload
+
+
+def test_e24_overload(run_experiment):
+    result = run_experiment(run_overload)
+    claims = result.claims
+    # The admission arm sustains near-peak goodput at 4x offered load
+    # while the unprotected scheduler collapses: open-loop arrivals do
+    # not ease off, so past saturation its queue fills with doomed work.
+    assert claims["gated_fraction_at_top"] >= claims["min_gated_fraction"]
+    assert claims["none_fraction_at_top"] < claims[
+        "max_unprotected_fraction"]
+    # Equal-weight tenants share the protected capacity almost exactly
+    # evenly (per-tenant token buckets + weighted fair queueing).
+    assert claims["jain_at_top"] >= claims["min_jain"]
+    # Per-tenant buckets insulate polite tenants from a hog tenant that
+    # alone offers 2x the cluster's capacity.
+    assert claims["hog_polite_goodput_gateway"] > claims[
+        "hog_polite_goodput_none"]
+    # The seeded 1000-tenant heterogeneous mix flows through the same
+    # front door, and the pass-through NoAdmission config stays
+    # byte-identical to the seed scheduler path.
+    assert claims["scale_tenants"] == 1000
+    assert claims["scale_ok"] > 0
+    assert claims["noadmission_identical"]

@@ -28,6 +28,7 @@ from .e19_nonrest_api import run_nonrest_api
 from .e20_churn import run_churn
 from .e21_chaos import run_chaos
 from .e22_attribution import run_attribution_drift
+from .e24_overload import run_overload
 
 ALL_EXPERIMENTS = {
     "E1": run_table1,
@@ -52,6 +53,7 @@ ALL_EXPERIMENTS = {
     "E20": run_churn,
     "E21": run_chaos,
     "E22": run_attribution_drift,
+    "E24": run_overload,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in

@@ -56,6 +56,20 @@ stack and on the frozen pre-refactor snapshot
 
 CI runs this as the ``throughput`` arm of the gate matrix.
 
+**Overload gate** — replays the pinned short E24 overload sweep
+(``e24_overload.SHORT``): open-loop equal-weight tenants from 0.5x to
+4x capacity through the unprotected scheduler and through the
+admission gateway, plus the hog mini-run, the 1000-tenant scale
+smoke, and the ``NoAdmission`` byte-identity check. Pins exact
+offered/ok/shed/throttled/missed counts and per-tenant completion
+digests per sweep point (``benchmarks/baselines/
+overload_goodput.json``) and enforces the win conditions — the
+gateway retains >= 80% of its peak goodput at 4x while the
+unprotected arm collapses below 50%, Jain fairness >= 0.9 among
+equal tenants, polite tenants protected from the hog, and the
+pass-through front door byte-identical to the seed scheduler path.
+CI runs this as the ``overload`` arm of the gate matrix.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -70,6 +84,7 @@ Usage::
     python -m repro.bench.regress --only-chaos    # chaos gate alone
     python -m repro.bench.regress --only-attribution  # E22 gate alone
     python -m repro.bench.regress --only-throughput   # hot-loop gate
+    python -m repro.bench.regress --only-overload     # front-door gate
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -511,6 +526,150 @@ def compare_attribution(current: Dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Overload gate
+# ---------------------------------------------------------------------------
+
+#: Sweep-point fields compared exactly — arrivals, admission
+#: decisions, and deadline outcomes all replay deterministically, so
+#: any drift in these counts is a semantic change to the front door.
+PINNED_OVERLOAD_FIELDS = ("offered", "ok", "deadline_miss", "throttled",
+                          "shed", "per_tenant_fingerprint")
+
+#: Hog-run fields compared exactly per arm.
+PINNED_HOG_FIELDS = ("offered", "ok", "hog_ok", "polite_offered",
+                     "polite_ok")
+
+#: Scale-smoke fields compared exactly (1000 tenants through the
+#: gateway).
+PINNED_SCALE_FIELDS = ("tenants", "offered", "ok", "deadline_miss",
+                       "throttled", "shed", "tenants_served")
+
+
+def overload_baseline_path() -> Path:
+    """``benchmarks/baselines/overload_goodput.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "overload_goodput.json"
+
+
+def _overload_point_doc(point: Dict[str, Any]) -> Dict[str, Any]:
+    """One sweep point with the per-tenant ok list folded to a digest."""
+    doc = {k: v for k, v in point.items() if k != "per_tenant_ok"}
+    doc["per_tenant_fingerprint"] = _seq_fingerprint(
+        point["per_tenant_ok"])
+    return doc
+
+
+def run_overload_gate() -> Dict[str, Any]:
+    """Replay the pinned short overload sweep (none vs gateway)."""
+    from .experiments.e24_overload import (
+        MAX_UNPROTECTED_FRACTION,
+        MIN_GATED_FRACTION,
+        MIN_JAIN,
+        SHORT,
+        run_overload_arms,
+    )
+    res = run_overload_arms(SHORT)
+    return {
+        "experiment": "E24 pinned short overload sweep "
+                      "(none vs gateway)",
+        "config": res["config"],
+        "sweep": {
+            arm: {mult: _overload_point_doc(point)
+                  for mult, point in res["sweep"][arm].items()}
+            for arm in ("none", "gateway")
+        },
+        "gated_peak_rps": res["gated_peak_rps"],
+        "none_peak_rps": res["none_peak_rps"],
+        "gated_fraction_at_top": res["gated_fraction_at_top"],
+        "none_fraction_at_top": res["none_fraction_at_top"],
+        "jain_at_top": res["jain_at_top"],
+        "min_gated_fraction": MIN_GATED_FRACTION,
+        "max_unprotected_fraction": MAX_UNPROTECTED_FRACTION,
+        "min_jain": MIN_JAIN,
+        "hog_none": res["hog_none"],
+        "hog_gateway": res["hog_gateway"],
+        "scale": res["scale"],
+        "direct_fingerprint": res["direct_fingerprint"],
+        "noadmission_fingerprint": res["noadmission_fingerprint"],
+        "noadmission_identical": res["noadmission_identical"],
+    }
+
+
+def compare_overload(current: Dict[str, Any],
+                     baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the overload gate against its baseline doc."""
+    violations: List[str] = []
+    base_sweep = baseline.get("sweep", {})
+    cur_sweep = current.get("sweep", {})
+    for arm in ("none", "gateway"):
+        mults = sorted(set(base_sweep.get(arm, {}))
+                       | set(cur_sweep.get(arm, {})), key=float)
+        for mult in mults:
+            base_pt = base_sweep.get(arm, {}).get(mult, {})
+            cur_pt = cur_sweep.get(arm, {}).get(mult, {})
+            for fld in PINNED_OVERLOAD_FIELDS:
+                base, cur = base_pt.get(fld), cur_pt.get(fld)
+                if base != cur:
+                    violations.append(
+                        f"overload {arm}@{mult}x.{fld}: {cur} vs "
+                        f"pinned {base}")
+    min_gated = baseline.get("min_gated_fraction", 0.0)
+    gated_frac = current.get("gated_fraction_at_top", 0.0)
+    if gated_frac < min_gated:
+        violations.append(
+            f"overload: gateway holds only {gated_frac:.1%} of its "
+            f"peak goodput at the top multiplier (required >= "
+            f"{min_gated:.0%})")
+    max_none = baseline.get("max_unprotected_fraction", 1.0)
+    none_frac = current.get("none_fraction_at_top", 1.0)
+    if none_frac >= max_none:
+        violations.append(
+            f"overload: the unprotected arm retains {none_frac:.1%} "
+            f"of its peak at the top multiplier — it no longer "
+            f"collapses (expected < {max_none:.0%}), so the "
+            "comparison is not exercising overload")
+    min_jain = baseline.get("min_jain", 0.0)
+    jain = current.get("jain_at_top", 0.0)
+    if jain < min_jain:
+        violations.append(
+            f"overload: Jain fairness {jain:.3f} among equal-weight "
+            f"tenants at the top multiplier (required >= {min_jain})")
+    for arm in ("hog_none", "hog_gateway"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_HOG_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"overload {arm}.{fld}: {cur} vs pinned {base}")
+    gated_polite = current.get("hog_gateway", {}).get("polite_goodput",
+                                                      0.0)
+    none_polite = current.get("hog_none", {}).get("polite_goodput", 1.0)
+    if gated_polite <= none_polite:
+        violations.append(
+            f"overload: per-tenant buckets no longer protect polite "
+            f"tenants from the hog ({gated_polite:.1%} gated vs "
+            f"{none_polite:.1%} unprotected)")
+    for fld in PINNED_SCALE_FIELDS:
+        base = baseline.get("scale", {}).get(fld)
+        cur = current.get("scale", {}).get(fld)
+        if base != cur:
+            violations.append(
+                f"overload scale.{fld}: {cur} vs pinned {base}")
+    if current.get("noadmission_fingerprint") \
+            != baseline.get("noadmission_fingerprint"):
+        violations.append(
+            f"overload: NoAdmission fingerprint "
+            f"{current.get('noadmission_fingerprint')} vs pinned "
+            f"{baseline.get('noadmission_fingerprint')}")
+    if not current.get("noadmission_identical", False):
+        violations.append(
+            "overload: the NoAdmission pass-through is no longer "
+            "byte-identical to the seed scheduler path")
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # Throughput gate
 # ---------------------------------------------------------------------------
 
@@ -661,6 +820,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--throughput-repeat", type=int, default=2,
                         help="timing repeats per stack; fastest wins "
                              "(default 2)")
+    parser.add_argument("--overload-baseline", type=Path,
+                        default=overload_baseline_path(),
+                        help="overload-gate baseline JSON")
+    parser.add_argument("--skip-overload", action="store_true",
+                        help="skip the E24 front-door overload gate")
+    parser.add_argument("--only-overload", action="store_true",
+                        help="run only the overload gate "
+                             "(CI overload-gate job)")
+    parser.add_argument("--overload-out", type=Path, default=None,
+                        help="write the current overload-gate JSON here")
     args = parser.parse_args(argv)
     if args.only_chaos and args.skip_chaos:
         parser.error("--only-chaos and --skip-chaos are exclusive")
@@ -670,11 +839,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.only_throughput and args.skip_throughput:
         parser.error("--only-throughput and --skip-throughput are "
                      "exclusive")
+    if args.only_overload and args.skip_overload:
+        parser.error("--only-overload and --skip-overload are "
+                     "exclusive")
     only_flags = [args.only_chaos, args.only_attribution,
-                  args.only_throughput]
+                  args.only_throughput, args.only_overload]
     if sum(only_flags) > 1:
-        parser.error("--only-chaos, --only-attribution and "
-                     "--only-throughput are exclusive")
+        parser.error("--only-chaos, --only-attribution, "
+                     "--only-throughput and --only-overload are "
+                     "exclusive")
     if args.throughput_repeat < 1:
         parser.error("--throughput-repeat must be >= 1")
     if args.requests < 1:
@@ -684,7 +857,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--sample-rate must be in [0, 1]")
 
     only_other = args.only_chaos or args.only_attribution \
-        or args.only_throughput
+        or args.only_throughput or args.only_overload
     doc = None
     by_layer: Dict[str, float] = {}
     if not only_other:
@@ -706,7 +879,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     autoscale_doc = None \
         if (args.skip_autoscale or only_other) else run_autoscale_gate()
     chaos_doc = None if (args.skip_chaos or args.only_attribution
-                         or args.only_throughput) \
+                         or args.only_throughput or args.only_overload) \
         else run_chaos_gate()
     if args.chaos_out is not None and chaos_doc is not None:
         args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
@@ -716,7 +889,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"chaos-gate results written to {args.chaos_out}")
     attribution_doc = None \
         if (args.skip_attribution or args.only_chaos
-            or args.only_throughput) \
+            or args.only_throughput or args.only_overload) \
         else run_attribution_gate()
     if args.attribution_out is not None and attribution_doc is not None:
         args.attribution_out.parent.mkdir(parents=True, exist_ok=True)
@@ -727,7 +900,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.attribution_out}")
     throughput_doc = None \
         if (args.skip_throughput or args.only_chaos
-            or args.only_attribution) \
+            or args.only_attribution or args.only_overload) \
         else run_throughput_gate(repeat=args.throughput_repeat)
     if args.throughput_out is not None and throughput_doc is not None:
         args.throughput_out.parent.mkdir(parents=True, exist_ok=True)
@@ -735,6 +908,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(throughput_doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         print(f"throughput-gate results written to {args.throughput_out}")
+    overload_doc = None \
+        if (args.skip_overload or args.only_chaos
+            or args.only_attribution or args.only_throughput) \
+        else run_overload_gate()
+    if args.overload_out is not None and overload_doc is not None:
+        args.overload_out.parent.mkdir(parents=True, exist_ok=True)
+        args.overload_out.write_text(
+            json.dumps(overload_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"overload-gate results written to {args.overload_out}")
 
     if args.update:
         if doc is not None:
@@ -770,6 +953,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(throughput_doc, indent=2, sort_keys=True)
                 + "\n", encoding="utf-8")
             print(f"baseline updated: {args.throughput_baseline}")
+        if overload_doc is not None:
+            args.overload_baseline.parent.mkdir(parents=True,
+                                                exist_ok=True)
+            args.overload_baseline.write_text(
+                json.dumps(overload_doc, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+            print(f"baseline updated: {args.overload_baseline}")
         return 0
 
     violations: List[str] = []
@@ -850,6 +1040,23 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{throughput_doc['invokes_per_sec']:,.0f} invokes/s")
         violations += compare_throughput(throughput_doc,
                                          throughput_baseline)
+
+    if overload_doc is not None:
+        if not args.overload_baseline.exists():
+            print(f"no baseline at {args.overload_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        overload_baseline = json.loads(
+            args.overload_baseline.read_text(encoding="utf-8"))
+        print(f"  overload   goodput at 4x: "
+              f"{overload_doc['none_fraction_at_top']:.1%} of peak "
+              f"(unprotected) vs "
+              f"{overload_doc['gated_fraction_at_top']:.1%} (gateway), "
+              f"Jain {overload_doc['jain_at_top']:.3f}, "
+              f"{overload_doc['scale']['tenants']} tenants OK, "
+              f"pass-through "
+              f"{'identical' if overload_doc['noadmission_identical'] else 'DIVERGED'}")
+        violations += compare_overload(overload_doc, overload_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

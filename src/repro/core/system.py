@@ -31,6 +31,7 @@ from ..cluster.topology import Topology, build_cluster
 from ..cost.accounting import CostMeter
 from ..cost.pricing import PriceBook
 from ..faas.controller import AutoscaleController, make_policy_factory
+from ..net.gateway import AdmissionGateway, GatewayConfig, NoAdmission
 from ..net.marshal import SizedPayload
 from ..security.capabilities import CAPABILITY_CHECK_TIME, Right
 from ..sim.engine import Simulator
@@ -106,7 +107,8 @@ class PCSICloud:
                  sampler: Optional[SamplingPolicy] = None,
                  topology: Optional[Topology] = None,
                  attribution: bool = False,
-                 observation_mode: str = "static"):
+                 observation_mode: str = "static",
+                 admission=None):
         self.sim = sim if sim is not None else Simulator()
         self.rng = RandomStream(seed, "pcsi")
         self.tracer = Tracer(enabled=trace, sampler=sampler).bind(self.sim)
@@ -168,6 +170,25 @@ class PCSICloud:
                                            keep_alive=keep_alive,
                                            autoscaler=self.autoscaler)
         self.gc = GarbageCollector(self)
+
+        # ``admission`` stands an optional front door up in front of
+        # the scheduler (§2.2: rejection is a first-class response).
+        # ``None`` leaves the seed path untouched; ``"none"`` installs
+        # the pass-through NoAdmission (byte-identical to calling the
+        # scheduler directly — the overload gate pins that); a
+        # GatewayConfig installs the real AdmissionGateway with
+        # token buckets, WFQ, and deadline shedding.
+        self.gateway = None
+        if admission is not None:
+            if admission == "none":
+                self.gateway = NoAdmission(self)
+            elif isinstance(admission, GatewayConfig):
+                self.gateway = AdmissionGateway(
+                    self, admission, attributor=self.attributor)
+            else:
+                raise ValueError(
+                    "admission must be None, 'none', or a GatewayConfig; "
+                    f"got {admission!r}")
 
         # Transient kernel state for FIFO/socket objects.
         self._fifos: Dict[str, Channel] = {}

@@ -1,5 +1,16 @@
-"""Protocol layer: marshaling, services, REST and session transports."""
+"""Protocol layer: marshaling, services, REST and session transports,
+and the admission gateway (the front door's overload control)."""
 
+from .gateway import (
+    AdmissionError,
+    AdmissionGateway,
+    GatewayConfig,
+    NoAdmission,
+    ShedError,
+    ThrottledError,
+    TokenBucket,
+    WeightedFairQueue,
+)
 from .marshal import (
     REST_ENVELOPE_BYTES,
     SESSION_FRAME_BYTES,
@@ -29,4 +40,7 @@ __all__ = [
     "RestTransport",
     "SessionTransport", "Session", "SessionClosedError",
     "FRAME_ENCODE_TIME",
+    "AdmissionGateway", "NoAdmission", "GatewayConfig",
+    "TokenBucket", "WeightedFairQueue",
+    "AdmissionError", "ThrottledError", "ShedError",
 ]

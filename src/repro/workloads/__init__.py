@@ -4,9 +4,14 @@ from .analytics import AnalyticsConfig, AnalyticsJob
 from .factory import FactoryApp, FactoryConfig
 from .arrivals import (
     LoadDriver,
+    OpenLoopDriver,
+    TenantMix,
+    TenantSpec,
+    TenantStats,
     bursty_rate,
     constant_rate,
     diurnal_rate,
+    phase_shift,
 )
 from .kv import KVWorkload, KVWorkloadConfig
 from .ml_serving import ModelServingApp, ModelServingConfig, monolith_stages
@@ -15,6 +20,8 @@ from .zipf import ZipfKeys
 
 __all__ = [
     "LoadDriver", "constant_rate", "bursty_rate", "diurnal_rate",
+    "phase_shift",
+    "OpenLoopDriver", "TenantMix", "TenantSpec", "TenantStats",
     "ZipfKeys",
     "ModelServingApp", "ModelServingConfig", "monolith_stages",
     "AnalyticsJob", "AnalyticsConfig",

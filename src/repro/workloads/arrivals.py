@@ -1,14 +1,28 @@
-"""Arrival processes and the open-loop load driver.
+"""Arrival processes and the open-loop load drivers.
 
 Section 4.2's claims are about behavior under "rapidly varying load or
 skew", so the generators cover constant (Poisson), bursty (square-wave
 rate), and diurnal (sinusoidal rate) regimes, all seeded.
+
+Two drivers share the open-loop discipline (arrivals fire on their own
+clock and never wait for completions — offered load is a property of
+the workload, not of the system under test):
+
+* :class:`LoadDriver` — single-stream, one rate function; and
+* :class:`OpenLoopDriver` — the million-user front door's traffic
+  source: a :class:`TenantMix` of per-tenant arrival processes (each
+  tenant its own Poisson/bursty/diurnal rate, weight, and forked
+  RNG stream) driven concurrently for thousands of tenants. Per-tenant
+  RNGs fork off one seed by tenant name, so the offered schedule is
+  identical across runs and across systems under test — the E24
+  overload sweep relies on both arms seeing the same arrivals.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Generator, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional, Sequence
 
 from ..sim.engine import Simulator
 from ..sim.metrics import Histogram
@@ -110,13 +124,242 @@ class LoadDriver:
     def completed(self) -> int:
         return self.latencies.count
 
+    @property
+    def in_flight(self) -> int:
+        """Requests started but not yet finished (open-loop backlog)."""
+        return self._outstanding
+
     def summary(self) -> dict:
         """Driver-level statistics for experiment tables."""
+        done = self.latencies.count > 0
         return {
             "offered": self.offered,
             "completed": self.completed,
             "failed": self.failed,
-            "mean_latency": self.latencies.mean,
-            "p50": self.latencies.p50,
-            "p99": self.latencies.p99,
+            "in_flight": self._outstanding,
+            "mean_latency": self.latencies.mean if done else None,
+            "p50": self.latencies.p50 if done else None,
+            "p99": self.latencies.p99 if done else None,
+        }
+
+
+def phase_shift(rate_fn: RateFn, phase: float) -> RateFn:
+    """``rate_fn`` advanced by ``phase`` seconds (staggers tenants so a
+    mix's bursts don't all land on the same instant)."""
+    return lambda t: rate_fn(t + phase)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered-load contract: a rate function plus the
+    fair-share weight the gateway should honor for it."""
+
+    tenant: str
+    rate_fn: RateFn
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.tenant:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+
+class TenantMix:
+    """A population of tenants and their arrival processes.
+
+    Build one explicitly from :class:`TenantSpec` entries, or use the
+    constructors: :meth:`uniform` (equal constant rates — the fairness
+    baseline) and :meth:`seeded` (a reproducible heterogeneous mix of
+    Poisson, bursty, and diurnal tenants with staggered phases — the
+    "thousands of users" traffic shape).
+    """
+
+    def __init__(self, specs: Sequence[TenantSpec]):
+        if not specs:
+            raise ValueError("a tenant mix needs at least one tenant")
+        names = [s.tenant for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        self.specs: List[TenantSpec] = list(specs)
+
+    @classmethod
+    def uniform(cls, count: int, rate: float,
+                prefix: str = "tenant") -> "TenantMix":
+        """``count`` equal-weight tenants, each a constant ``rate``."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        width = len(str(count - 1))
+        return cls([TenantSpec(f"{prefix}{i:0{width}d}",
+                               constant_rate(rate))
+                    for i in range(count)])
+
+    @classmethod
+    def seeded(cls, count: int, rate: float, rng: RandomStream,
+               patterns: Sequence[str] = ("poisson", "bursty", "diurnal"),
+               period: float = 60.0,
+               prefix: str = "tenant") -> "TenantMix":
+        """A reproducible heterogeneous mix averaging ``rate`` each.
+
+        Every tenant draws a pattern from ``patterns`` and a phase
+        offset in ``[0, period)`` from ``rng``, so bursts and diurnal
+        peaks stagger across the population instead of synchronizing.
+        Bursty tenants time-average to ``rate`` (2x/20% duty bursts
+        over a quieter base); diurnal tenants swing rate/2..3·rate/2.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if not patterns:
+            raise ValueError("patterns must be non-empty")
+        specs = []
+        width = len(str(count - 1))
+        for i in range(count):
+            pattern = rng.choice(list(patterns))
+            phase = rng.uniform(0.0, period)
+            if pattern == "poisson":
+                fn = constant_rate(rate)
+            elif pattern == "bursty":
+                # 20% duty at 2x averages to rate: base = 0.75 * rate.
+                fn = phase_shift(bursty_rate(0.75 * rate, 2.0 * rate,
+                                             period, 0.2), phase)
+            elif pattern == "diurnal":
+                fn = phase_shift(diurnal_rate(0.5 * rate, 1.5 * rate,
+                                              period), phase)
+            else:
+                raise ValueError(f"unknown arrival pattern {pattern!r}")
+            specs.append(TenantSpec(f"{prefix}{i:0{width}d}", fn))
+        return cls(specs)
+
+    @property
+    def tenants(self) -> List[str]:
+        return [s.tenant for s in self.specs]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def total_rate(self, t: float) -> float:
+        """Aggregate offered rate at time ``t`` (requests/second)."""
+        return sum(s.rate_fn(t) for s in self.specs)
+
+    def scaled(self, factor: float) -> "TenantMix":
+        """The same mix with every rate multiplied by ``factor`` —
+        how the overload sweep turns one mix into 0.5x..4x arms."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return TenantMix([
+            TenantSpec(s.tenant,
+                       (lambda fn: lambda t: fn(t) * factor)(s.rate_fn),
+                       s.weight)
+            for s in self.specs])
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant open-loop accounting (counts only: a mix may hold
+    thousands of tenants, so no per-tenant histograms)."""
+
+    offered: int = 0
+    completed: int = 0
+    failed: int = 0
+    latency_sum: float = 0.0
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        if not self.completed:
+            return None
+        return self.latency_sum / self.completed
+
+
+class OpenLoopDriver:
+    """Open-loop multi-tenant load: one arrival process per tenant.
+
+    ``make_request(tenant, i)`` returns a generator handling the
+    ``i``-th global request on behalf of ``tenant``; its completion
+    latency is recorded. Failures (including gateway rejections) are
+    counted per tenant, never raised — an open-loop driver keeps
+    offering load no matter what the system under test does.
+
+    Determinism: each tenant's inter-arrival draws come from
+    ``rng.fork(tenant_name)``, so the offered schedule depends only on
+    the seed and the mix — not on completion order, simulator
+    interleaving, or what ``make_request`` does.
+    """
+
+    def __init__(self, sim: Simulator, rng: RandomStream, mix: TenantMix,
+                 horizon: float):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.sim = sim
+        self.mix = mix
+        self.horizon = horizon
+        self._rngs: Dict[str, RandomStream] = {
+            s.tenant: rng.fork(s.tenant) for s in mix.specs}
+        self.latencies = Histogram("request-latency")
+        self.per_tenant: Dict[str, TenantStats] = {
+            s.tenant: TenantStats() for s in mix.specs}
+        self.offered = 0
+        self.failed = 0
+        self._outstanding = 0
+
+    def start(self, make_request: Callable[[str, int], Generator]) -> None:
+        """Arm one arrival loop per tenant; they begin when the
+        simulation runs."""
+        for spec in self.mix.specs:
+            self.sim.spawn(self._arrival_loop(spec, make_request),
+                           name=f"arrivals:{spec.tenant}")
+
+    def _arrival_loop(self, spec: TenantSpec, make_request) -> Generator:
+        rng = self._rngs[spec.tenant]
+        while self.sim.now < self.horizon:
+            rate = spec.rate_fn(self.sim.now)
+            if rate <= 0:
+                yield self.sim.timeout(1.0)
+                continue
+            yield self.sim.timeout(rng.exponential(1.0 / rate))
+            if self.sim.now >= self.horizon:
+                return
+            i = self.offered
+            self.offered += 1
+            self.per_tenant[spec.tenant].offered += 1
+            self.sim.spawn(self._tracked(spec.tenant, make_request, i),
+                           name=f"request:{spec.tenant}:{i}")
+
+    def _tracked(self, tenant: str, make_request, i: int) -> Generator:
+        start = self.sim.now
+        stats = self.per_tenant[tenant]
+        self._outstanding += 1
+        try:
+            yield from make_request(tenant, i)
+        except Exception:  # noqa: BLE001 - open loop absorbs failures
+            self.failed += 1
+            stats.failed += 1
+            return
+        finally:
+            self._outstanding -= 1
+        latency = self.sim.now - start
+        stats.completed += 1
+        stats.latency_sum += latency
+        self.latencies.observe(latency)
+
+    @property
+    def completed(self) -> int:
+        return self.latencies.count
+
+    @property
+    def in_flight(self) -> int:
+        """Requests started but not yet finished (open-loop backlog)."""
+        return self._outstanding
+
+    def summary(self) -> dict:
+        """Driver-level statistics for experiment tables."""
+        done = self.latencies.count > 0
+        return {
+            "tenants": len(self.mix),
+            "offered": self.offered,
+            "completed": self.completed,
+            "failed": self.failed,
+            "in_flight": self._outstanding,
+            "mean_latency": self.latencies.mean if done else None,
+            "p50": self.latencies.p50 if done else None,
+            "p99": self.latencies.p99 if done else None,
         }

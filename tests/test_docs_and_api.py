@@ -53,10 +53,19 @@ def test_all_exports_resolve():
                 f"{package_name}.__all__ lists missing name {name!r}"
 
 
+#: Experiment numbers used by infrastructure benchmarks that live in
+#: `repro.bench` proper rather than the claims registry (E23 is the
+#: throughput gate's hot-loop workload — see EXPERIMENTS.md).
+RESERVED_EXPERIMENT_IDS = {"E23"}
+
+
 def test_experiment_registry_complete():
     from repro.bench.experiments import ALL_EXPERIMENTS
     ids = list(ALL_EXPERIMENTS)
-    assert ids == [f"E{i}" for i in range(1, len(ids) + 1)]
+    expected = [f"E{i}" for i in
+                range(1, len(ids) + len(RESERVED_EXPERIMENT_IDS) + 1)
+                if f"E{i}" not in RESERVED_EXPERIMENT_IDS]
+    assert ids == expected
     for fn in ALL_EXPERIMENTS.values():
         assert (fn.__doc__ or "").strip()
 

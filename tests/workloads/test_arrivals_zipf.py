@@ -5,10 +5,14 @@ import pytest
 from repro.sim import MS, RandomStream, Simulator
 from repro.workloads import (
     LoadDriver,
+    OpenLoopDriver,
+    TenantMix,
+    TenantSpec,
     ZipfKeys,
     bursty_rate,
     constant_rate,
     diurnal_rate,
+    phase_shift,
 )
 
 
@@ -37,6 +41,146 @@ def test_diurnal_rate_bounds():
     assert max(values) <= 10.0 + 1e-9
     with pytest.raises(ValueError):
         diurnal_rate(5.0, 1.0)
+
+
+def test_bursty_rate_is_periodic():
+    rate = bursty_rate(base=2.0, burst=50.0, period=7.5,
+                       burst_fraction=0.3)
+    for t in (0.0, 1.1, 2.4, 5.0, 7.4):
+        assert rate(t) == rate(t + 7.5) == rate(t + 75.0)
+
+
+def test_diurnal_rate_is_periodic():
+    rate = diurnal_rate(low=1.0, high=9.0, period=40.0)
+    for t in (0.0, 3.0, 13.7, 25.0):
+        assert rate(t) == pytest.approx(rate(t + 40.0))
+        assert rate(t) == pytest.approx(rate(t + 400.0))
+
+
+def test_phase_shift_translates_rate_function():
+    rate = bursty_rate(base=1.0, burst=100.0, period=10.0,
+                       burst_fraction=0.2)
+    shifted = phase_shift(rate, 5.0)
+    for t in (0.0, 0.5, 3.0, 6.0, 9.9):
+        assert shifted(t) == rate(t + 5.0)
+
+
+# --------------------------------------------------------------- TenantMix
+def test_tenant_mix_uniform():
+    mix = TenantMix.uniform(12, rate=5.0)
+    assert len(mix) == 12
+    assert mix.tenants == sorted(mix.tenants)
+    assert mix.tenants[0] == "tenant00"
+    assert mix.total_rate(0.0) == pytest.approx(60.0)
+    assert mix.total_rate(123.0) == pytest.approx(60.0)
+
+
+def test_tenant_mix_seeded_is_deterministic_and_heterogeneous():
+    a = TenantMix.seeded(50, rate=4.0, rng=RandomStream(9, "mix"),
+                         period=30.0)
+    b = TenantMix.seeded(50, rate=4.0, rng=RandomStream(9, "mix"),
+                         period=30.0)
+    assert len(a) == 50
+    assert a.tenants == b.tenants
+    for sa, sb in zip(a.specs, b.specs):
+        for t in (0.0, 7.0, 29.0):
+            assert sa.rate_fn(t) == pytest.approx(sb.rate_fn(t))
+    # The seeded mix blends patterns: rates must actually vary over time
+    # for at least some tenants (bursty/diurnal), not all constant.
+    varying = sum(
+        1 for s in a.specs
+        if abs(s.rate_fn(0.0) - s.rate_fn(11.0)) > 1e-9)
+    assert varying > 0
+
+
+def test_tenant_mix_scaled():
+    mix = TenantMix.uniform(4, rate=10.0)
+    doubled = mix.scaled(2.0)
+    assert doubled.total_rate(0.0) == pytest.approx(80.0)
+    # The original is untouched.
+    assert mix.total_rate(0.0) == pytest.approx(40.0)
+    with pytest.raises(ValueError):
+        mix.scaled(0.0)
+
+
+def test_tenant_mix_validation():
+    with pytest.raises(ValueError):
+        TenantMix([])
+    spec = TenantSpec("t0", constant_rate(1.0))
+    with pytest.raises(ValueError):
+        TenantMix([spec, TenantSpec("t0", constant_rate(2.0))])
+    with pytest.raises(ValueError):
+        TenantSpec("t1", constant_rate(1.0), weight=0.0)
+
+
+# ----------------------------------------------------------- OpenLoopDriver
+def _run_open_loop(seed, horizon=5.0, block=False):
+    sim = Simulator()
+    mix = TenantMix.uniform(6, rate=20.0)
+    driver = OpenLoopDriver(sim, RandomStream(seed, "ol"), mix,
+                            horizon=horizon)
+    parked = sim.event(name="never")
+
+    def make_request(tenant, i):
+        if block:
+            yield parked
+        else:
+            yield sim.timeout(2 * MS)
+
+    driver.start(make_request)
+    sim.run(until=horizon + 1.0)
+    return driver
+
+
+def test_open_loop_driver_deterministic_under_fixed_seed():
+    first = _run_open_loop(11)
+    second = _run_open_loop(11)
+    assert first.offered == second.offered
+    assert first.summary() == second.summary()
+    for tenant in first.per_tenant:
+        assert (first.per_tenant[tenant].offered
+                == second.per_tenant[tenant].offered)
+    # A different seed produces a different arrival schedule.
+    other = _run_open_loop(12)
+    assert other.summary() != first.summary()
+
+
+def test_open_loop_driver_tracks_per_tenant_offered():
+    driver = _run_open_loop(13)
+    assert driver.offered == sum(
+        s.offered for s in driver.per_tenant.values())
+    assert driver.completed == driver.offered  # nothing blocked
+    assert driver.in_flight == 0
+    # Every tenant at equal rate sees comparable traffic.
+    counts = [s.offered for s in driver.per_tenant.values()]
+    assert min(counts) > 0
+
+
+def test_open_loop_driver_in_flight_accounting():
+    """Handlers that never finish stay in flight — open loop means the
+    driver keeps offering regardless."""
+    driver = _run_open_loop(14, block=True)
+    assert driver.offered > 0
+    assert driver.completed == 0
+    assert driver.in_flight == driver.offered
+    summary = driver.summary()
+    assert summary["in_flight"] == driver.offered
+    assert summary["completed"] == 0
+
+
+def test_load_driver_summary_reports_in_flight():
+    sim = Simulator()
+    driver = LoadDriver(sim, RandomStream(6, "t"), constant_rate(10.0),
+                        horizon=5.0)
+    parked = sim.event(name="never")
+
+    def handler(i):
+        yield parked
+
+    driver.start(handler)
+    sim.run(until=6.0)
+    assert driver.in_flight == driver.offered > 0
+    assert driver.summary()["in_flight"] == driver.offered
 
 
 # --------------------------------------------------------------- LoadDriver
