@@ -165,6 +165,7 @@ class WarmPool:
         tracer = self.tracer
         if self.controller is not None:
             self.controller.notify_activity()
+        requeue_front = False
         while True:
             candidates = self.idle
             if preferred_node is not None:
@@ -220,7 +221,10 @@ class WarmPool:
                     "and no executor exists to wait for")
             # Starved: wait for a release, then retry.
             waiter = self.sim.event(name=f"starved:{self.name}")
-            self._waiters.append(waiter)
+            if requeue_front:
+                self._waiters.insert(0, waiter)
+            else:
+                self._waiters.append(waiter)
             self.queue_waits += 1
             self._count("queue_waits")
             self._track_queue_depth()
@@ -234,16 +238,26 @@ class WarmPool:
                 # it back into circulation.
                 self._abandon_wait(waiter)
                 raise
+            # _offer reserved the executor (marked it busy) on our
+            # behalf before waking us, so no arrival in between could
+            # steal it: the grant order is the queue order.
             if executor is not None and executor.live \
-                    and not executor.busy and executor.node.alive:
-                executor.mark_busy()
+                    and executor.node.alive:
                 self.warm_hits += 1
                 self._count("acquire", outcome="queued")
                 if span is not None:
                     span.set(outcome="queued")
                 return executor
-            # Handed a stale executor (e.g. its node died meanwhile):
-            # loop and try again.
+            # The reservation went stale (the node died between the
+            # hand-off and our wake-up): return the sandbox to the
+            # reaper and retry from the *front* of the queue — a stale
+            # hand-off must not cost the waiter its position.
+            if executor is not None and executor.live:
+                executor.cancel_reservation()
+                self.sim.spawn(self._reap_after_idle(executor),
+                               name=f"reap:{self.name}",
+                               inherit_context=False)
+            requeue_front = True
 
     def release(self, executor: Executor) -> None:
         """Return an executor to the warm pool.
@@ -256,13 +270,23 @@ class WarmPool:
 
     def _offer(self, executor: Executor) -> None:
         """Route an idle executor to the oldest live waiter, else arm
-        the idle-reaper."""
-        while self._waiters:
-            waiter = self._waiters.pop(0)
-            self._track_queue_depth()
-            if not waiter.triggered:
-                waiter.succeed(executor)
-                return
+        the idle-reaper.
+
+        The executor is *reserved* (marked busy) before the waiter is
+        woken: the succeed only schedules the waiter's resumption, and
+        an arrival that runs in between must not see the sandbox in
+        :attr:`idle` and steal it — that is the release/reap race that
+        made grant ordering non-FIFO. A sandbox stranded on a dead node
+        is never handed to a waiter; it goes straight to the reaper.
+        """
+        if executor.node.alive:
+            while self._waiters:
+                waiter = self._waiters.pop(0)
+                self._track_queue_depth()
+                if not waiter.triggered:
+                    executor.mark_busy()
+                    waiter.succeed(executor)
+                    return
         self.sim.spawn(self._reap_after_idle(executor),
                        name=f"reap:{self.name}", inherit_context=False)
 
@@ -281,7 +305,10 @@ class WarmPool:
             pass
         if waiter.triggered and waiter.ok:
             handed = waiter.value
-            if handed is not None and handed.live and not handed.busy:
+            if handed is not None and handed.live and handed.busy:
+                # Still carrying the reservation _offer made for the
+                # now-dead waiter: cancel it and re-circulate.
+                handed.cancel_reservation()
                 self._offer(handed)
 
     def _reap_after_idle(self, executor: Executor) -> Generator:
@@ -344,14 +371,9 @@ class WarmPool:
         self.prewarmed += 1
         self._track_size()
         self._count("prewarm", platform=self.platform.name)
-        while self._waiters:
-            waiter = self._waiters.pop(0)
-            self._track_queue_depth()
-            if not waiter.triggered:
-                waiter.succeed(executor)
-                return executor
-        self.sim.spawn(self._reap_after_idle(executor),
-                       name=f"reap:{self.name}", inherit_context=False)
+        # Same reserved hand-off as release(): a starved waiter gets
+        # the sandbox already claimed, else the reaper is armed.
+        self._offer(executor)
         return executor
 
     def shrink(self, count: int) -> int:

@@ -175,6 +175,20 @@ class Executor:
         self.invocations += 1
         self.idle_since = self.sim.now
 
+    def cancel_reservation(self) -> None:
+        """Undo a :meth:`mark_busy` that never ran an invocation.
+
+        The warm pool reserves an executor (marks it busy) at hand-off
+        time so a late arrival cannot steal it from a queued waiter; if
+        the hand-off goes stale (the waiter died, or the node crashed
+        before the waiter resumed) the reservation is cancelled without
+        counting an invocation.
+        """
+        if not self.busy:
+            raise ExecutorStateError("cancelling an unreserved executor")
+        self.busy = False
+        self.idle_since = self.sim.now
+
     def shutdown(self) -> None:
         """Release the sandbox's resources (scale-to-zero reaping)."""
         if not self.live:

@@ -137,6 +137,60 @@ def test_single_executor_pool_drains_waiters_fifo(schedule):
     assert pool.cold_starts + pool.warm_hits == len(schedule)
 
 
+def test_release_race_cannot_steal_from_queued_waiter():
+    """Regression for the ROADMAP non-FIFO grant bug: requests 0 and 1
+    arrive together (1 queues behind the single-executor cap), and
+    request 2 arrives in the same instant request 0 releases. Before
+    the reserved hand-off, request 2 saw the sandbox idle between the
+    release and the waiter's wake-up and was granted ``[0, 2, 1]``;
+    the reservation makes the grant order the arrival order."""
+    pool, grants, violations = run_schedule(
+        [(0.0, 0.01), (0.0, 0.01), (0.16, 0.01)], max_executors=1)
+    assert violations == []
+    assert grants == [0, 1, 2]
+
+
+def test_stale_handoff_requeues_at_front():
+    """A waiter whose reserved hand-off goes stale (the node crashed
+    between the hand-off and its wake-up) must not lose its queue
+    position: it re-enters at the *front*, so a younger queued request
+    cannot pass it. Pre-fix, the stale waiter re-queued at the back
+    and the grants came out ``[0, 2, 1]``."""
+    sim, pool = make_pool(keep_alive=0.05, max_executors=1, nodes=2)
+    grants = []
+    held = []
+
+    def request(i, hold, release=True):
+        def flow():
+            ex = yield from pool.acquire()
+            grants.append(i)
+            held.append(ex)
+            if release:
+                yield sim.timeout(hold)
+                pool.release(ex)
+        return flow()
+
+    def driver():
+        # Request 0 holds the only executor; 1 and 2 queue in order.
+        yield sim.timeout(0.3)
+        ex = held[0]
+        # Release hands (reserves) the sandbox to request 1, and its
+        # node dies in the same instant — before request 1 resumes.
+        pool.release(ex)
+        ex.node.crash()
+        # The stale sandbox reaps after 0.05 s; then a prewarm lands a
+        # fresh one on the surviving node and feeds the queue front.
+        yield sim.timeout(0.2)
+        yield from pool.prewarm()
+
+    sim.spawn(request(0, 0.0, release=False), name="req-0")
+    sim.spawn(request(1, 0.01), name="req-1")  # queues
+    sim.spawn(request(2, 0.01), name="req-2")  # queues behind 1
+    sim.spawn(driver(), name="driver")
+    sim.run()
+    assert grants == [0, 1, 2]
+
+
 @settings(max_examples=20, deadline=None)
 @given(schedule=SCHEDULES, cap=st.integers(1, 3))
 def test_capped_pool_never_exceeds_cap(schedule, cap):
