@@ -29,6 +29,7 @@ from .e20_churn import run_churn
 from .e21_chaos import run_chaos
 from .e22_attribution import run_attribution_drift
 from .e24_overload import run_overload
+from .e25_recovery import run_recovery
 
 ALL_EXPERIMENTS = {
     "E1": run_table1,
@@ -54,6 +55,7 @@ ALL_EXPERIMENTS = {
     "E21": run_chaos,
     "E22": run_attribution_drift,
     "E24": run_overload,
+    "E25": run_recovery,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in

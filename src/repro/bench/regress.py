@@ -70,6 +70,20 @@ equal tenants, polite tenants protected from the hog, and the
 pass-through front door byte-identical to the seed scheduler path.
 CI runs this as the ``overload`` arm of the gate matrix.
 
+**Recovery gate** — replays the pinned short E25 chaos-storm MTTR run
+(``e25_recovery.SHORT``): an identical seeded storm of crashes,
+crash/rejoin churn, gray slowdowns, and a partition over a two-stream
+workload, once with the self-healing health plane attached and once
+with ``health=None``. Pins exact per-arm outcome tallies,
+orphaned/recovered/deduped counts, ejection and detection counts,
+per-crash detection latencies, and per-arm outcome fingerprints
+(``benchmarks/baselines/recovery_mttr.json``), and enforces the win
+conditions — the detection arm recovers >= 95% of orphaned in-flight
+invokes and holds >= 80% of its pre-fault goodput through the storm
+while the detection-off arm falls below that bar, with every detected
+crash confirmed within 1.5 s. CI runs this as the ``recovery`` arm of
+the gate matrix.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -85,6 +99,7 @@ Usage::
     python -m repro.bench.regress --only-attribution  # E22 gate alone
     python -m repro.bench.regress --only-throughput   # hot-loop gate
     python -m repro.bench.regress --only-overload     # front-door gate
+    python -m repro.bench.regress --only-recovery     # MTTR gate
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -670,6 +685,103 @@ def compare_overload(current: Dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Recovery gate
+# ---------------------------------------------------------------------------
+
+#: Per-arm fields compared exactly — arrivals, faults, detection, and
+#: recovery all replay deterministically, so any drift in these is a
+#: semantic change to the health plane or the invoke path.
+PINNED_RECOVERY_FIELDS = ("offered", "front", "batch", "errors",
+                          "fault_events", "orphaned", "recovered",
+                          "deduped", "ejections", "crashes_detected",
+                          "crashes_total", "detection_latencies",
+                          "fingerprint")
+
+
+def recovery_baseline_path() -> Path:
+    """``benchmarks/baselines/recovery_mttr.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "recovery_mttr.json"
+
+
+def run_recovery_gate() -> Dict[str, Any]:
+    """Replay the pinned short chaos-storm MTTR run (both arms)."""
+    from .experiments.e25_recovery import (
+        MAX_DETECTION_LATENCY,
+        MAX_OFF_RETENTION,
+        MIN_ON_RETENTION,
+        MIN_ORPHANS,
+        MIN_RECOVERED_RATIO,
+        SHORT,
+        run_recovery_arms,
+    )
+    res = run_recovery_arms(SHORT)
+    return {
+        "experiment": "E25 pinned short chaos-storm MTTR "
+                      "(detection vs none)",
+        "config": res["config"],
+        "detection": res["detection"],
+        "none": res["none"],
+        "recovery_ratio": res["recovery_ratio"],
+        "min_recovered_ratio": MIN_RECOVERED_RATIO,
+        "min_orphans": MIN_ORPHANS,
+        "min_on_retention": MIN_ON_RETENTION,
+        "max_off_retention": MAX_OFF_RETENTION,
+        "max_detection_latency": MAX_DETECTION_LATENCY,
+    }
+
+
+def compare_recovery(current: Dict[str, Any],
+                     baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the recovery gate against its baseline doc."""
+    violations: List[str] = []
+    for arm in ("detection", "none"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_RECOVERY_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"recovery {arm}.{fld}: {cur} vs pinned {base}")
+    on = current.get("detection", {})
+    off = current.get("none", {})
+    min_ratio = baseline.get("min_recovered_ratio", 0.0)
+    ratio = current.get("recovery_ratio", 0.0)
+    if ratio < min_ratio:
+        violations.append(
+            f"recovery: only {ratio:.1%} of orphaned in-flight invokes "
+            f"were recovered (required >= {min_ratio:.0%})")
+    min_orphans = baseline.get("min_orphans", 0)
+    if on.get("orphaned", 0) < min_orphans:
+        violations.append(
+            f"recovery: the storm orphaned only "
+            f"{on.get('orphaned', 0)} invokes (required >= "
+            f"{min_orphans}), so it is not exercising crash recovery")
+    min_on = baseline.get("min_on_retention", 0.0)
+    on_ret = on.get("goodput_retention", 0.0)
+    if on_ret < min_on:
+        violations.append(
+            f"recovery: the detection arm holds only {on_ret:.1%} of "
+            f"its pre-fault goodput through the storm (required >= "
+            f"{min_on:.0%})")
+    max_off = baseline.get("max_off_retention", 1.0)
+    off_ret = off.get("goodput_retention", 1.0)
+    if off_ret >= max_off:
+        violations.append(
+            f"recovery: the detection-off arm retains {off_ret:.1%} of "
+            f"its pre-fault goodput — the storm no longer hurts it "
+            f"(expected < {max_off:.0%}), so the comparison is not "
+            "exercising the health plane")
+    max_latency = baseline.get("max_detection_latency", float("inf"))
+    det_max = on.get("detection_latency_max", 0.0)
+    if det_max > max_latency:
+        violations.append(
+            f"recovery: worst crash-detection latency {det_max:.2f} s "
+            f"(required <= {max_latency:.1f} s)")
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # Throughput gate
 # ---------------------------------------------------------------------------
 
@@ -830,6 +942,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(CI overload-gate job)")
     parser.add_argument("--overload-out", type=Path, default=None,
                         help="write the current overload-gate JSON here")
+    parser.add_argument("--recovery-baseline", type=Path,
+                        default=recovery_baseline_path(),
+                        help="recovery-gate baseline JSON")
+    parser.add_argument("--skip-recovery", action="store_true",
+                        help="skip the E25 chaos-storm recovery gate")
+    parser.add_argument("--only-recovery", action="store_true",
+                        help="run only the recovery gate "
+                             "(CI recovery-gate job)")
+    parser.add_argument("--recovery-out", type=Path, default=None,
+                        help="write the current recovery-gate JSON here")
     args = parser.parse_args(argv)
     if args.only_chaos and args.skip_chaos:
         parser.error("--only-chaos and --skip-chaos are exclusive")
@@ -842,12 +964,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.only_overload and args.skip_overload:
         parser.error("--only-overload and --skip-overload are "
                      "exclusive")
+    if args.only_recovery and args.skip_recovery:
+        parser.error("--only-recovery and --skip-recovery are "
+                     "exclusive")
     only_flags = [args.only_chaos, args.only_attribution,
-                  args.only_throughput, args.only_overload]
+                  args.only_throughput, args.only_overload,
+                  args.only_recovery]
     if sum(only_flags) > 1:
         parser.error("--only-chaos, --only-attribution, "
-                     "--only-throughput and --only-overload are "
-                     "exclusive")
+                     "--only-throughput, --only-overload and "
+                     "--only-recovery are exclusive")
     if args.throughput_repeat < 1:
         parser.error("--throughput-repeat must be >= 1")
     if args.requests < 1:
@@ -857,7 +983,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--sample-rate must be in [0, 1]")
 
     only_other = args.only_chaos or args.only_attribution \
-        or args.only_throughput or args.only_overload
+        or args.only_throughput or args.only_overload \
+        or args.only_recovery
     doc = None
     by_layer: Dict[str, float] = {}
     if not only_other:
@@ -879,7 +1006,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     autoscale_doc = None \
         if (args.skip_autoscale or only_other) else run_autoscale_gate()
     chaos_doc = None if (args.skip_chaos or args.only_attribution
-                         or args.only_throughput or args.only_overload) \
+                         or args.only_throughput or args.only_overload
+                         or args.only_recovery) \
         else run_chaos_gate()
     if args.chaos_out is not None and chaos_doc is not None:
         args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
@@ -889,7 +1017,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"chaos-gate results written to {args.chaos_out}")
     attribution_doc = None \
         if (args.skip_attribution or args.only_chaos
-            or args.only_throughput or args.only_overload) \
+            or args.only_throughput or args.only_overload
+            or args.only_recovery) \
         else run_attribution_gate()
     if args.attribution_out is not None and attribution_doc is not None:
         args.attribution_out.parent.mkdir(parents=True, exist_ok=True)
@@ -900,7 +1029,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{args.attribution_out}")
     throughput_doc = None \
         if (args.skip_throughput or args.only_chaos
-            or args.only_attribution or args.only_overload) \
+            or args.only_attribution or args.only_overload
+            or args.only_recovery) \
         else run_throughput_gate(repeat=args.throughput_repeat)
     if args.throughput_out is not None and throughput_doc is not None:
         args.throughput_out.parent.mkdir(parents=True, exist_ok=True)
@@ -910,7 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"throughput-gate results written to {args.throughput_out}")
     overload_doc = None \
         if (args.skip_overload or args.only_chaos
-            or args.only_attribution or args.only_throughput) \
+            or args.only_attribution or args.only_throughput
+            or args.only_recovery) \
         else run_overload_gate()
     if args.overload_out is not None and overload_doc is not None:
         args.overload_out.parent.mkdir(parents=True, exist_ok=True)
@@ -918,6 +1049,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(overload_doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         print(f"overload-gate results written to {args.overload_out}")
+    recovery_doc = None \
+        if (args.skip_recovery or args.only_chaos
+            or args.only_attribution or args.only_throughput
+            or args.only_overload) \
+        else run_recovery_gate()
+    if args.recovery_out is not None and recovery_doc is not None:
+        args.recovery_out.parent.mkdir(parents=True, exist_ok=True)
+        args.recovery_out.write_text(
+            json.dumps(recovery_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"recovery-gate results written to {args.recovery_out}")
 
     if args.update:
         if doc is not None:
@@ -960,6 +1102,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(overload_doc, indent=2, sort_keys=True)
                 + "\n", encoding="utf-8")
             print(f"baseline updated: {args.overload_baseline}")
+        if recovery_doc is not None:
+            args.recovery_baseline.parent.mkdir(parents=True,
+                                                exist_ok=True)
+            args.recovery_baseline.write_text(
+                json.dumps(recovery_doc, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+            print(f"baseline updated: {args.recovery_baseline}")
         return 0
 
     violations: List[str] = []
@@ -1057,6 +1206,23 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"pass-through "
               f"{'identical' if overload_doc['noadmission_identical'] else 'DIVERGED'}")
         violations += compare_overload(overload_doc, overload_baseline)
+
+    if recovery_doc is not None:
+        if not args.recovery_baseline.exists():
+            print(f"no baseline at {args.recovery_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        recovery_baseline = json.loads(
+            args.recovery_baseline.read_text(encoding="utf-8"))
+        on = recovery_doc["detection"]
+        print(f"  recovery   storm goodput "
+              f"{recovery_doc['none']['goodput_retention']:.1%} "
+              f"(detection off) -> {on['goodput_retention']:.1%} "
+              f"(health plane), {on['recovered']}/{on['orphaned']} "
+              f"orphans recovered, {on['ejections']} ejections, "
+              f"worst detect "
+              f"{on['detection_latency_max'] * 1e3:.0f} ms")
+        violations += compare_recovery(recovery_doc, recovery_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

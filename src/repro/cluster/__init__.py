@@ -1,6 +1,13 @@
 """Warehouse-scale cluster substrate: nodes, topology, network, failures."""
 
 from .failures import ChaosEvent, ChaosInjector, ChaosPlan, FailureInjector
+from .health import (
+    CircuitBreaker,
+    CircuitOpenError,
+    HealthConfig,
+    HealthPlane,
+    InvokeOrphanedError,
+)
 from .latency import (
     DC_2005,
     DC_2021,
@@ -34,4 +41,6 @@ __all__ = [
     "GB", "MB", "KB",
     "Topology", "build_cluster",
     "FailureInjector", "ChaosEvent", "ChaosInjector", "ChaosPlan",
+    "HealthConfig", "HealthPlane", "CircuitBreaker",
+    "CircuitOpenError", "InvokeOrphanedError",
 ]

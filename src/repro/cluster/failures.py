@@ -138,7 +138,7 @@ class FailureInjector:
 class ChaosEvent:
     """One expanded fault in a chaos schedule."""
 
-    kind: str          #: "crash" | "gray" | "partition"
+    kind: str          #: "crash" | "gray" | "partition" | "recover"
     at: float          #: injection time
     until: float       #: recovery / restore / heal time
     node: str = ""     #: target node ("crash"/"gray")
@@ -160,6 +160,16 @@ class ChaosPlan:
     scheduler's own node out of the blast radius), and at most
     ``max_faulty_fraction`` of eligible nodes are faulty at any instant
     — arrivals that would exceed the cap are deterministically dropped.
+
+    ``recover_rate`` schedules **recover** events: crashes with a short
+    scheduled rejoin (mean ``recover_downtime_mean``), distinct from
+    the ``crash_rate`` stream so storms can churn nodes through the
+    health plane's probation/reinstatement path without lengthening
+    outages. ``start`` delays every stream's first arrival (a quiet
+    warm-up prefix); both default to the old behavior, and because the
+    recover stream draws from its own fork, plans that leave them at
+    their defaults expand bit-identically to plans predating the
+    fields (the E21 replay check pins this).
     """
 
     seed: int
@@ -171,15 +181,21 @@ class ChaosPlan:
     gray_duration_mean: float = 5.0
     partition_rate: float = 0.0
     partition_duration_mean: float = 2.0
+    recover_rate: float = 0.0
+    recover_downtime_mean: float = 0.5
     loss_prob: float = 0.0
     loss_rto: float = 0.05
     protected: Tuple[str, ...] = ()
     max_faulty_fraction: float = 0.34
+    start: float = 0.0
 
     def __post_init__(self):
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
-        for rate in (self.crash_rate, self.gray_rate, self.partition_rate):
+        if not 0.0 <= self.start < self.horizon:
+            raise ValueError("start must be in [0, horizon)")
+        for rate in (self.crash_rate, self.gray_rate,
+                     self.partition_rate, self.recover_rate):
             if rate < 0:
                 raise ValueError("negative fault rate")
         if not 0.0 <= self.loss_prob < 1.0:
@@ -207,7 +223,7 @@ class ChaosPlan:
                      mean_duration: float, make) -> None:
             if rate <= 0:
                 return
-            t = rng.exponential(1.0 / rate)
+            t = self.start + rng.exponential(1.0 / rate)
             while t < self.horizon:
                 duration = max(rng.exponential(mean_duration), 1e-3)
                 down = faulty_at(t)
@@ -240,6 +256,10 @@ class ChaosPlan:
                  lambda at, until, nid: ChaosEvent(
                      "partition", at=at, until=until, node=nid,
                      group=(nid,)))
+        arrivals(self.recover_rate, root.fork("recover"),
+                 self.recover_downtime_mean,
+                 lambda at, until, nid: ChaosEvent(
+                     "recover", at=at, until=until, node=nid))
         events.sort(key=lambda ev: (ev.at, ev.kind, ev.node))
         return events
 
@@ -273,4 +293,9 @@ class ChaosInjector(FailureInjector):
                 group = set(ev.group)
                 self.partition(group, everyone - group, at=ev.at,
                                heal_at=ev.until)
+            elif ev.kind == "recover":
+                # A crash with a scheduled (short) rejoin: the node
+                # comes back and must earn its way out of the health
+                # plane's probation.
+                self.crash_node(ev.node, at=ev.at, recover_at=ev.until)
         return events

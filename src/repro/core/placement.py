@@ -40,13 +40,26 @@ class PlacementPolicy:
         #: observation feed. The base policies ignore it; observation-
         #: aware subclasses consult it in :meth:`choose`.
         self.attributor = attributor
+        #: Optional :class:`~repro.cluster.health.HealthPlane`, wired
+        #: by the kernel after construction. When set, nodes the plane
+        #: says to avoid (quarantined gray outliers, suspect/confirmed
+        #: nodes) are filtered out of the candidate set — unless that
+        #: would leave nothing, in which case degraded capacity beats
+        #: no capacity.
+        self.health = None
 
     def candidates(self, resources: ResourceVector,
                    platform: PlatformSpec) -> List[Node]:
         """Live nodes with the device and free capacity."""
-        return [n for n in self.topology.live_nodes()
-                if n.has_device(platform.device_kind)
-                and n.can_fit(resources)]
+        nodes = [n for n in self.topology.live_nodes()
+                 if n.has_device(platform.device_kind)
+                 and n.can_fit(resources)]
+        if self.health is not None and nodes:
+            preferred = [n for n in nodes
+                         if not self.health.avoid(n.node_id)]
+            if preferred:
+                nodes = preferred
+        return nodes
 
     def placer(self):
         """The callable handed to warm pools."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Tuple
 
+from ..cluster.health import _MISSING, CircuitOpenError, InvokeOrphanedError
 from ..cluster.network import NetworkUnreachableError
 from ..faas.autoscale import DEFAULT_KEEP_ALIVE, PlacementFailedError, WarmPool
 from ..faas.platforms import ExecutorLostError
@@ -24,6 +25,7 @@ from ..sim.deadline import (
     DeadlineScope,
     current_deadline,
 )
+from ..sim.engine import Interrupt
 from ..sim.metrics_registry import LabeledMetricsRegistry
 from ..storage.replication import QuorumUnavailableError
 from .errors import InvocationError, ObjectTypeError
@@ -69,6 +71,7 @@ class FunctionScheduler:
                 platform=impl.platform, resources=impl.resources,
                 placer=self.policy.placer(), keep_alive=self.keep_alive,
                 metrics=self.kernel.metrics, tracer=self.kernel.tracer)
+            pool.health = getattr(self.kernel, "health", None)
             if self.autoscaler is not None:
                 self.autoscaler.register(pool)
             self._pools[key] = pool
@@ -86,7 +89,8 @@ class FunctionScheduler:
     #: semantically safe (at-least-once), so transient infrastructure
     #: failures need not surface to callers.
     RETRIABLE = (NetworkUnreachableError, QuorumUnavailableError,
-                 PlacementFailedError, ExecutorLostError)
+                 PlacementFailedError, ExecutorLostError,
+                 CircuitOpenError)
 
     def invoke(self, client_node: str, fn_ref: Reference,
                args: Dict[str, Reference], request: Dict[str, Any],
@@ -230,6 +234,19 @@ class FunctionScheduler:
                         return work.value
                     raise work.value
                 work.interrupt("deadline")
+                # Attribute the expiry: if the node this invoke landed
+                # on died under it, the trace should say "node-crash",
+                # not a generic timeout, so recovery exemplars link to
+                # the crashing node's trace. (_NullSpan's shared
+                # attributes dict stays empty; .get is safe on it.)
+                dead_node = root.attributes.get("node")
+                if dead_node is not None:
+                    try:
+                        alive = kernel.topology.node(dead_node).alive
+                    except KeyError:
+                        alive = True
+                    if not alive:
+                        root.set(cause="node-crash", crashed_node=dead_node)
                 if isinstance(kernel.metrics, LabeledMetricsRegistry):
                     kernel.metrics.counter("invoke.deadline_exceeded",
                                            fn=fn_def.name).add(1)
@@ -245,33 +262,122 @@ class FunctionScheduler:
                       preferred_node: Optional[str],
                       impl_name: Optional[str], root,
                       policy: RetryPolicy) -> Generator:
-        """Dispatch to the hedged or plain retry chain."""
-        if policy.hedge_delay is not None:
-            result = yield from self._run_hedged(
+        """Dispatch to the hedged or plain retry chain.
+
+        With a health plane attached, this is also where crash-safe
+        recovery lives: the invoke gets an idempotency key (stable
+        across every retry, hedge arm, and re-dispatch, so the
+        completion log can deduplicate), and an attempt that raises
+        :class:`InvokeOrphanedError` — its host confirmed dead
+        mid-flight — is re-dispatched to a healthy node up to
+        ``max_recoveries`` times. Recovery is platform-owned: it does
+        not consume the caller's retry budget or attempt count.
+        """
+        health = getattr(self.kernel, "health", None)
+        if health is None:
+            if policy.hedge_delay is not None:
+                result = yield from self._run_hedged(
+                    client_node, fn_ref, fn_def, args, request,
+                    preferred_node, impl_name, root, policy)
+                return result
+            result = yield from self._retry_loop(
                 client_node, fn_ref, fn_def, args, request,
                 preferred_node, impl_name, root, policy)
             return result
-        result = yield from self._retry_loop(
-            client_node, fn_ref, fn_def, args, request,
-            preferred_node, impl_name, root, policy)
-        return result
+
+        kernel = self.kernel
+        tracer = kernel.tracer
+        idem_key = health.idempotency_key(fn_def.name)
+        recoveries = 0
+        last_cause = "node-crash"
+        while True:
+            try:
+                if policy.hedge_delay is not None:
+                    result = yield from self._run_hedged(
+                        client_node, fn_ref, fn_def, args, request,
+                        preferred_node, impl_name, root, policy,
+                        idem_key=idem_key)
+                else:
+                    result = yield from self._retry_loop(
+                        client_node, fn_ref, fn_def, args, request,
+                        preferred_node, impl_name, root, policy,
+                        idem_key=idem_key)
+            except InvokeOrphanedError as exc:
+                last_cause = exc.cause
+                if recoveries == 0:
+                    health.orphaned += 1
+                if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                    kernel.metrics.counter("invoke.orphaned",
+                                           fn=fn_def.name,
+                                           cause=exc.cause).add(1)
+                else:
+                    kernel.metrics.counter("invoke.orphaned").add(1)
+                if recoveries >= health.config.max_recoveries:
+                    raise
+                recoveries += 1
+                with tracer.span("invoke.recover", fn=fn_def.name,
+                                 node=exc.node_id, cause=exc.cause,
+                                 n=recoveries):
+                    pass
+                # Re-dispatch immediately, dropping the co-location
+                # hint: the preferred node is the one that just died.
+                preferred_node = None
+                continue
+            except self.RETRIABLE as exc:
+                # A transient transport error while re-dispatching a
+                # recovered invoke. Recovery is platform-owned, so it
+                # must not depend on the caller's retry budget (a
+                # batch invoke typically has none): back off briefly —
+                # the fault that orphaned the invoke may still be
+                # partitioning the path — and re-dispatch, consuming
+                # recovery budget rather than attempt count.
+                if recoveries == 0 \
+                        or recoveries >= health.config.max_recoveries:
+                    raise
+                recoveries += 1
+                with tracer.span("invoke.recover", fn=fn_def.name,
+                                 node=None,
+                                 cause=type(exc).__name__,
+                                 n=recoveries):
+                    pass
+                yield kernel.sim.timeout(
+                    kernel.profile.network_rtt
+                    * DEFAULT_BASE_RTT_MULTIPLE * (2 ** recoveries))
+                continue
+            if recoveries:
+                health.recovered += 1
+                if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                    kernel.metrics.counter("invoke.recovered",
+                                           fn=fn_def.name,
+                                           cause=last_cause).add(1)
+                else:
+                    kernel.metrics.counter("invoke.recovered").add(1)
+                root.set(recovered=recoveries, recovery_cause=last_cause)
+            return result
 
     def _retry_loop(self, client_node: str, fn_ref: Reference,
                     fn_def: FunctionDef, args: Dict[str, Reference],
                     request: Dict[str, Any],
                     preferred_node: Optional[str],
                     impl_name: Optional[str], root,
-                    policy: RetryPolicy) -> Generator:
+                    policy: RetryPolicy,
+                    idem_key: Optional[str] = None) -> Generator:
         """Attempt until success, exhaustion, veto, or deadline.
 
         A legacy policy (no jitter, no budget, no deadline) reproduces
         the original inline loop event for event: the n-th backoff is
         the uncapped base for n=1 and ``min(base * 2**(n-1), 1.0)``
         after, with the base defaulting to four profile RTTs.
+
+        With a health plane attached the loop also fails fast: when
+        every circuit breaker for the function refuses admission there
+        is no healthy target to retry against, so the failure surfaces
+        immediately instead of backing off into an open breaker.
         """
         kernel = self.kernel
         sim = kernel.sim
         tracer = kernel.tracer
+        health = getattr(kernel, "health", None)
         policy.note_request()
         attempt = 0
         base = policy.base_backoff if policy.base_backoff is not None \
@@ -282,10 +388,23 @@ class FunctionScheduler:
                 with tracer.span("attempt", n=attempt):
                     result = yield from self._attempt(
                         client_node, fn_ref, fn_def, args, request,
-                        preferred_node, impl_name, root)
+                        preferred_node, impl_name, root,
+                        idem_key=idem_key)
                 return result
             except self.RETRIABLE as exc:
                 if attempt >= policy.max_attempts:
+                    raise
+                if health is not None \
+                        and not health.dispatch_allowed(fn_def.name):
+                    # Every breaker for this function is open: retrying
+                    # would only hammer targets already known bad.
+                    if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                        kernel.metrics.counter(
+                            "invoke.breaker_failfast",
+                            fn=fn_def.name).add(1)
+                    else:
+                        kernel.metrics.counter(
+                            "invoke.breaker_failfast").add(1)
                     raise
                 deadline = current_deadline(sim)
                 if deadline is not None and deadline.expired(sim.now):
@@ -338,7 +457,8 @@ class FunctionScheduler:
                     request: Dict[str, Any],
                     preferred_node: Optional[str],
                     impl_name: Optional[str], root,
-                    policy: RetryPolicy) -> Generator:
+                    policy: RetryPolicy,
+                    idem_key: Optional[str] = None) -> Generator:
         """Primary attempt chain plus a delayed speculative duplicate.
 
         The primary runs as its own process. If it produces no outcome
@@ -354,9 +474,12 @@ class FunctionScheduler:
         tracer = kernel.tracer
 
         def arm(arm_preferred: Optional[str]) -> Generator:
+            # Both arms share one idempotency key: whichever finishes
+            # second finds the first's completion in the dedup log.
             result = yield from self._retry_loop(
                 client_node, fn_ref, fn_def, args, request,
-                arm_preferred, impl_name, root, policy)
+                arm_preferred, impl_name, root, policy,
+                idem_key=idem_key)
             return result
 
         with tracer.span("hedge", fn=fn_def.name,
@@ -391,10 +514,12 @@ class FunctionScheduler:
     def _attempt(self, client_node: str, fn_ref: Reference,
                  fn_def: FunctionDef, args: Dict[str, Reference],
                  request: Dict[str, Any], preferred_node: Optional[str],
-                 impl_name: Optional[str], root_span=None) -> Generator:
+                 impl_name: Optional[str], root_span=None,
+                 idem_key: Optional[str] = None) -> Generator:
         kernel = self.kernel
         sim = kernel.sim
         tracer = kernel.tracer
+        health = getattr(kernel, "health", None)
         with tracer.span("placement", fn=fn_def.name,
                          preferred=preferred_node) as psp:
             if impl_name is not None:
@@ -421,6 +546,16 @@ class FunctionScheduler:
             root_span.set(impl=impl.name, node=inv.executor_node,
                           cold=inv.cold_start)
 
+        if health is not None \
+                and not health.allow_dispatch(fn_def.name,
+                                              inv.executor_node):
+            # The (fn, node class) breaker refused this dispatch: hand
+            # the sandbox back and let the retry loop decide whether
+            # another class can serve, or fail fast if all are open.
+            pool.release(executor)
+            raise CircuitOpenError(fn_def.name,
+                                   health.node_class(inv.executor_node))
+
         for ref in args.values():
             kernel.refs.pin(ref.object_id)
         kernel.refs.pin(fn_ref.object_id)
@@ -435,7 +570,11 @@ class FunctionScheduler:
             ctx = FunctionContext(kernel, inv, executor, impl)
             with tracer.span("execute", fn=fn_def.name, impl=impl.name,
                              node=inv.executor_node, cold=inv.cold_start):
-                result = yield from body(ctx)
+                if health is None:
+                    result = yield from body(ctx)
+                else:
+                    result = yield from self._guarded_body(
+                        health, fn_def, body, ctx, inv, idem_key)
         finally:
             for ref in args.values():
                 kernel.refs.unpin(ref.object_id)
@@ -482,6 +621,87 @@ class FunctionScheduler:
                                            client_node, result_size,
                                            purpose="invoke-result")
         return result
+
+    def _guarded_body(self, health, fn_def: FunctionDef, body, ctx,
+                      inv, idem_key: Optional[str]) -> Generator:
+        """Run the body raced against its host's death (health plane).
+
+        The dispatch is registered in the ledger with its idempotency
+        key; the body runs as a child process raced against the
+        entry's orphan event. If the detector confirms the host dead
+        mid-flight, the doomed body is interrupted *immediately* and
+        :class:`InvokeOrphanedError` tells ``_run_attempts`` to
+        re-dispatch — no waiting out a deadline on a corpse. The
+        completion log is consulted first and written on success, so a
+        re-dispatch (or losing hedge arm) that finds a recorded
+        completion returns it without re-running the body:
+        effectively-once completion.
+        """
+        kernel = self.kernel
+        sim = kernel.sim
+        key = idem_key if idem_key is not None \
+            else health.idempotency_key(fn_def.name)
+        cached = health.completions.lookup(key)
+        if cached is not _MISSING:
+            health.deduped += 1
+            if isinstance(kernel.metrics, LabeledMetricsRegistry):
+                kernel.metrics.counter("invoke.deduped",
+                                       fn=fn_def.name).add(1)
+            else:
+                kernel.metrics.counter("invoke.deduped").add(1)
+            return cached
+
+        entry = health.register_dispatch(key, inv.executor_node)
+
+        def run_body():
+            result = yield from body(ctx)
+            # Recorded the instant the body completes — before anyone
+            # can observe an orphan race at the same timestamp — so a
+            # finished body is never re-executed.
+            health.completions.record(key, result)
+            return result
+
+        work = sim.spawn(run_body(), name=f"body:{fn_def.name}")
+        try:
+            # A failing body fails the any_of, which re-raises here;
+            # swallow that case (it is inspected below via work.value)
+            # but propagate cancellation of *this* process — deadline
+            # expiry, a lost hedge race — after stopping the child.
+            yield sim.any_of([work, entry.orphan])
+        except BaseException as exc:
+            if not (work.triggered and not work.ok
+                    and work.value is exc):
+                if work.is_alive:
+                    work.interrupt("cancelled")
+                if isinstance(exc, Interrupt) and exc.cause == "deadline":
+                    # A deadline burned on this host is evidence
+                    # against it (gray nodes can be so slow that no
+                    # attempt ever survives to produce a latency
+                    # sample); a lost hedge race is not.
+                    health.report_outcome(fn_def.name, inv.executor_node,
+                                          ok=False, cause="deadline")
+                raise
+        finally:
+            health.settle_dispatch(entry)
+        if work.triggered:
+            if work.ok:
+                health.report_outcome(
+                    fn_def.name, inv.executor_node, ok=True,
+                    latency=sim.now - inv.started_at,
+                    warm=not inv.cold_start)
+                return work.value
+            health.report_outcome(fn_def.name, inv.executor_node,
+                                  ok=False,
+                                  cause=type(work.value).__name__)
+            raise work.value
+        # The orphan event won: the host was confirmed dead while the
+        # body was still computing.
+        if work.is_alive:
+            work.interrupt("node-crash")
+        health.report_outcome(fn_def.name, inv.executor_node,
+                              ok=False, cause="orphaned")
+        raise InvokeOrphanedError(inv.executor_node,
+                                  entry.cause or "node-crash")
 
     # -- introspection -------------------------------------------------------------
     def last_invocation(self, fn_name: str) -> Invocation:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..bench.attribution import LatencyAttributor
+from ..cluster.health import HealthConfig, HealthPlane
 from ..cluster.latency import DC_2021, LatencyProfile
 from ..cluster.network import Network
 from ..cluster.topology import Topology, build_cluster
@@ -108,7 +109,8 @@ class PCSICloud:
                  topology: Optional[Topology] = None,
                  attribution: bool = False,
                  observation_mode: str = "static",
-                 admission=None):
+                 admission=None,
+                 health=None):
         self.sim = sim if sim is not None else Simulator()
         self.rng = RandomStream(seed, "pcsi")
         self.tracer = Tracer(enabled=trace, sampler=sampler).bind(self.sim)
@@ -159,6 +161,28 @@ class PCSICloud:
         # AutoscaleController that every warm pool registers with. The
         # default (None) leaves pools exactly as before — no controller
         # process exists and event order is untouched.
+        # ``health`` stands the self-healing health plane up: phi-
+        # accrual failure detection, per-(fn, node class) circuit
+        # breakers, gray-node outlier ejection, and crash-safe invoke
+        # recovery. ``None`` (the default) constructs nothing — no
+        # heartbeat/monitor processes exist and every hook in the
+        # scheduler, placement, warm pools, and gateway is skipped, so
+        # the event sequence is byte-identical to the seed (the
+        # differential test pins that). ``True`` uses the default
+        # HealthConfig; a HealthConfig instance tunes it.
+        self.health = None
+        if health is not None:
+            config = HealthConfig(seed=seed) if health is True else health
+            if not isinstance(config, HealthConfig):
+                raise ValueError(
+                    "health must be None, True, or a HealthConfig; "
+                    f"got {health!r}")
+            self.health = HealthPlane(
+                self.sim, self.topology, config, metrics=self.metrics,
+                tracer=self.tracer, node_class_fn=self._node_class)
+            self.health.start()
+        self.policy.health = self.health
+
         self.autoscaler = None
         if autoscale is not None:
             self.autoscaler = AutoscaleController(

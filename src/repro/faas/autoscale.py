@@ -71,6 +71,11 @@ class WarmPool:
         #: The :class:`~repro.faas.controller.AutoscaleController`
         #: watching this pool (if any); acquires poke it awake.
         self.controller = None
+        #: Optional :class:`~repro.cluster.health.HealthPlane`, wired
+        #: by the scheduler at pool creation. When set, warm sandboxes
+        #: on quarantined/suspect nodes are skipped by the idle scan
+        #: (the keep-alive reaper collects them).
+        self.health = None
         self._live_gauge = TimeWeightedGauge(f"{name}.live",
                                              start_time=sim.now)
 
@@ -168,6 +173,13 @@ class WarmPool:
         requeue_front = False
         while True:
             candidates = self.idle
+            if self.health is not None:
+                # Skip warm sandboxes on nodes the health plane says
+                # to avoid: a cold start on a healthy node beats a
+                # warm hit on a quarantined one. The keep-alive reaper
+                # collects the skipped sandboxes.
+                candidates = [e for e in candidates
+                              if not self.health.avoid(e.node.node_id)]
             if preferred_node is not None:
                 preferred = [e for e in candidates
                              if e.node.node_id == preferred_node]

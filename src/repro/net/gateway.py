@@ -395,6 +395,16 @@ class AdmissionGateway:
                     f"tenant {tenant!r} exceeded "
                     f"{state.bucket.rate:.3g} req/s "
                     f"(burst {state.bucket.burst:.3g})")
+            health = getattr(self.kernel, "health", None)
+            if health is not None and fn_name is not None \
+                    and health.all_breakers_open(fn_name):
+                # Every (fn, node class) breaker is open: the backend
+                # cannot serve this function right now, so shed at the
+                # front door instead of queueing doomed work.
+                self._shed(tenant, "circuit_open", span)
+                raise ShedError(
+                    tenant, "circuit_open",
+                    f"all circuit breakers for {fn_name!r} are open")
             estimate = self.estimated_service_time(fn_name)
             if deadline is not None and estimate is not None \
                     and deadline < self.config.estimate_margin * estimate:

@@ -1,0 +1,94 @@
+"""Differential pin: ``health=None`` is byte-identical to the seed.
+
+The health plane (detector, breakers, ejection, crash recovery) hooks
+into the scheduler's attempt path, the placement candidate filter, the
+warm pool's idle scan, and the gateway's admission check. All of those
+hooks are guarded on ``kernel.health is not None`` — so a cloud built
+without a health plane must replay the pre-health-plane event sequence
+*bit for bit*: same outcomes, same latencies, same simulator event
+count, same virtual clock.
+
+The fingerprint below was captured from the seed code before the
+health plane existed (the workload deliberately exercises every hooked
+path: retries over a mid-run node crash, deadline expiries, warm-pool
+queueing, and placement around a dead node). If it ever drifts, a
+health-plane hook leaked into the default path.
+"""
+
+import hashlib
+import json
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.resources import cpu_task, server_node
+from repro.cluster.topology import build_cluster
+from repro.core.functions import FunctionImpl
+from repro.core.retry import RetryPolicy
+from repro.core.system import PCSICloud
+from repro.faas.platforms import WASM
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+
+#: Captured on the seed code (pre-health-plane), pinned forever.
+SEED_FINGERPRINT = "94dcd0b63a6197f8"
+
+
+def run_seed_workload(**cloud_kwargs) -> str:
+    """A pinned mini-workload through every health-hooked code path.
+
+    40 Poisson arrivals (alternating deadline / no deadline, every
+    third with retries) against a small all-CPU cluster; one node is
+    crashed mid-run so retries, placement around a corpse, and the
+    pool's dead-node release path all execute. Returns a digest of
+    every outcome kind and exact latency plus the simulator's final
+    event count and clock.
+    """
+    sim = Simulator()
+    topo = build_cluster(sim, racks=2, nodes_per_rack=4,
+                         gpu_nodes_per_rack=0,
+                         node_capacity=server_node(cpus=1, memory_gb=4))
+    cloud = PCSICloud(sim, seed=73, keep_alive=600.0, topology=topo,
+                      data_replicas=1, **cloud_kwargs)
+    cloud.scheduler.control_node = cloud.client_node()
+    fn = cloud.define_function(
+        "front", [FunctionImpl("wasm", WASM,
+                               cpu_task(cpus=1, memory_gb=1),
+                               work_ops=2.5e9)])
+    client = cloud.client_node()
+    injector = FailureInjector(sim, topo)
+    injector.crash_node("rack0-n1", at=0.6)
+    rng = RandomStream(73, "diff-arrivals")
+    outcomes = []
+
+    def request(i: int):
+        start = sim.now
+        deadline = 0.5 if i % 2 else None
+        retry = RetryPolicy(max_attempts=3) if i % 3 == 0 else None
+        try:
+            yield from cloud.invoke(client, fn, deadline=deadline,
+                                    retry=retry)
+        except Exception as exc:  # noqa: BLE001 - outcome recorded
+            outcomes.append((type(exc).__name__, repr(sim.now - start)))
+            return
+        outcomes.append(("ok", repr(sim.now - start)))
+
+    def arrivals():
+        for i in range(40):
+            yield sim.timeout(rng.exponential(1.0 / 30.0))
+            sim.spawn(request(i), name=f"diff-{i}")
+
+    sim.spawn(arrivals(), name="diff-load")
+    cloud.run()
+    payload = json.dumps([outcomes, sim._seq, repr(sim.now)],
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def test_health_off_matches_seed_fingerprint():
+    """No health plane configured -> the seed event sequence, exactly."""
+    assert run_seed_workload() == SEED_FINGERPRINT
+
+
+def test_health_off_is_default():
+    cloud = PCSICloud(racks=1, nodes_per_rack=2, gpu_nodes_per_rack=0,
+                      data_replicas=1)
+    assert cloud.health is None
