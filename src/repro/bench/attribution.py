@@ -18,6 +18,15 @@ lets the observation-fed optimizer (:mod:`repro.core.optimizer`)
 amortize observed cold starts exactly the way it amortizes modeled
 ones, instead of ping-ponging off one expensive first call.
 
+Alongside the EMA vectors each key keeps a **warm-latency quantile
+sketch** (:class:`~repro.sim.sketch.QuantileSketch`): bounded-memory,
+mergeable, so :meth:`LatencyAttributor.tail_latency` can answer "what
+is the observed p99 of fn X on impl Y?" — per key or losslessly merged
+across keys. That is the signal the tail-aware control loops read: the
+scheduler's adaptive hedge arms at observed p99 instead of a fixed
+constant, and the optimizer's ``objective="p99"`` trades mean against
+tail.
+
 Everything here is a pure observer: folding a finished tree schedules
 no events and opens no spans, so attaching an attributor to a run
 leaves the simulation's event order byte-identical.
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..sim.sketch import QuantileSketch
 from ..sim.trace import Span, Tracer
 from .critical_path import critical_path
 
@@ -84,7 +94,7 @@ class AttributionStats:
     """Running attribution state for one (fn, impl, node-class) key."""
 
     __slots__ = ("count", "cold_count", "ema", "warm_ema",
-                 "cold_overhead_ema", "total_ema")
+                 "cold_overhead_ema", "total_ema", "warm_sketch")
 
     def __init__(self):
         self.count = 0
@@ -97,6 +107,10 @@ class AttributionStats:
         self.cold_overhead_ema: Optional[float] = None
         #: EMA of the raw end-to-end total (cold starts included).
         self.total_ema: Optional[float] = None
+        #: Streaming quantile sketch of (total - coldstart): the warm
+        #: latency *distribution*, not just its mean — what
+        #: :meth:`LatencyAttributor.tail_latency` reads.
+        self.warm_sketch = QuantileSketch()
 
     def update(self, vector: Dict[str, float], cold: bool,
                alpha: float) -> None:
@@ -106,8 +120,9 @@ class AttributionStats:
         for comp in COMPONENTS:
             self.ema[comp] = _ema(self.ema.get(comp),
                                   vector.get(comp, 0.0), alpha)
-        self.warm_ema = _ema(self.warm_ema,
-                             total - vector.get("coldstart", 0.0), alpha)
+        warm = total - vector.get("coldstart", 0.0)
+        self.warm_ema = _ema(self.warm_ema, warm, alpha)
+        self.warm_sketch.insert(max(warm, 0.0))
         self.total_ema = _ema(self.total_ema, total, alpha)
         if cold:
             self.cold_count += 1
@@ -117,7 +132,7 @@ class AttributionStats:
 
     def to_json(self) -> Dict[str, Any]:
         """JSON-shaped snapshot of this key's state."""
-        return {
+        doc: Dict[str, Any] = {
             "count": self.count,
             "cold_count": self.cold_count,
             "ema": {c: self.ema.get(c, 0.0) for c in COMPONENTS},
@@ -125,6 +140,13 @@ class AttributionStats:
             "cold_overhead_ema_s": self.cold_overhead_ema,
             "total_ema_s": self.total_ema,
         }
+        if self.warm_sketch.count:
+            doc["warm_tail_s"] = {
+                "q50": self.warm_sketch.percentile(50),
+                "q90": self.warm_sketch.percentile(90),
+                "q99": self.warm_sketch.percentile(99),
+            }
+        return doc
 
 
 class LatencyAttributor:
@@ -235,6 +257,26 @@ class LatencyAttributor:
         """Observed steady-state latency (cold starts excluded)."""
         return self._weighted(self._matching(fn, impl, node_class),
                               "warm_ema")
+
+    def tail_latency(self, fn: Optional[str] = None,
+                     impl: Optional[str] = None,
+                     node_class: Optional[str] = None,
+                     q: float = 99.0) -> Optional[float]:
+        """Observed warm-latency percentile (``0 <= q <= 100``).
+
+        Each ``None`` dimension widens the selection; the matching
+        keys' sketches merge losslessly before the quantile is read, so
+        ``tail_latency("etl", q=99)`` is the p99 over *every* impl and
+        node class that ran ``etl`` — not an average of per-key p99s.
+        None when no matching key has warm observations.
+        """
+        merged = QuantileSketch.merged(
+            st.warm_sketch for _, st in self._matching(fn, impl,
+                                                       node_class)
+            if st.warm_sketch.count)
+        if merged is None:
+            return None
+        return merged.percentile(q)
 
     def cold_overhead(self, fn: str, impl: str,
                       node_class: Optional[str] = None) -> Optional[float]:

@@ -30,6 +30,7 @@ from .e21_chaos import run_chaos
 from .e22_attribution import run_attribution_drift
 from .e24_overload import run_overload
 from .e25_recovery import run_recovery
+from .e26_tail import run_tail_drift
 
 ALL_EXPERIMENTS = {
     "E1": run_table1,
@@ -56,6 +57,7 @@ ALL_EXPERIMENTS = {
     "E22": run_attribution_drift,
     "E24": run_overload,
     "E25": run_recovery,
+    "E26": run_tail_drift,
 }
 
 __all__ = ["ALL_EXPERIMENTS"] + [fn.__name__ for fn in

@@ -84,6 +84,18 @@ while the detection-off arm falls below that bar, with every detected
 crash confirmed within 1.5 s. CI runs this as the ``recovery`` arm of
 the gate matrix.
 
+**Tail gate** — replays the pinned E26 tail-pipeline comparison
+(``e26_tail``): the mean- vs p99-steered optimizer arms on the
+bimodal fat-tail trap plus the fixed- vs adaptive-hedge mini-runs.
+Pins every arm's exact decision and latency sequences as digests
+(``benchmarks/baselines/tail_drift.json``) and enforces the win
+conditions — the p99-steered arm flips to the tight-tail impl while
+the mean-steered arm stays stuck, adaptive hedging beats the
+mis-tuned fixed delay with its duplicate-launch fraction bounded,
+and the sketch-vs-exact quantile differential stays within
+``MAX_SKETCH_REL_ERR`` on every latency stream. CI runs this as the
+``tail`` arm of the gate matrix.
+
 The simulation is deterministic, so any drift beyond tolerance is a
 real behavior change — a new network hop on the hot path, an extra
 quorum round, a changed control decision — not noise. CI runs this
@@ -100,6 +112,7 @@ Usage::
     python -m repro.bench.regress --only-throughput   # hot-loop gate
     python -m repro.bench.regress --only-overload     # front-door gate
     python -m repro.bench.regress --only-recovery     # MTTR gate
+    python -m repro.bench.regress --only-tail         # E26 tail gate
 
 Updating the baselines is a deliberate act: run with ``--update``,
 commit the JSON, and explain the perf delta in the commit message.
@@ -782,6 +795,138 @@ def compare_recovery(current: Dict[str, Any],
 
 
 # ---------------------------------------------------------------------------
+# Tail gate
+# ---------------------------------------------------------------------------
+
+#: Objective-arm fields compared exactly — the decision digest pins
+#: *which impl served every request* (the p99 flip and the mean
+#: non-flip), the latency digest every request's exact duration, and
+#: the SLO fields the burn-rate alerting behavior.
+PINNED_TAIL_OBJECTIVE_FIELDS = ("objective", "decision_fingerprint",
+                                "latency_fingerprint", "flip_index",
+                                "stuck_on_bimodal", "slo_alerts")
+
+#: Hedge-arm fields compared exactly per arm.
+PINNED_TAIL_HEDGE_FIELDS = ("mode", "latency_fingerprint", "hedges",
+                            "hedge_wins")
+
+
+def tail_baseline_path() -> Path:
+    """``benchmarks/baselines/tail_drift.json`` at the repo root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" \
+        / "baselines" / "tail_drift.json"
+
+
+def _tail_objective_doc(arm: Dict[str, Any]) -> Dict[str, Any]:
+    """One objective arm with its bulky sequences folded to digests."""
+    return {
+        "objective": arm["objective"],
+        "mean_s": arm["mean_s"],
+        "p99_s": arm["p99_s"],
+        "decision_fingerprint": _seq_fingerprint(arm["decisions"]),
+        "latency_fingerprint": _seq_fingerprint(arm["latencies"]),
+        "flip_index": arm["flip_index"],
+        "stuck_on_bimodal": arm["stuck_on_bimodal"],
+        "slo_alerts": arm["slo_alerts"],
+        "slo_final_burn": arm["slo_final_burn"],
+        "slo_attainment": arm["slo_attainment"],
+        "sketch_rel_err": arm["sketch_rel_err"],
+    }
+
+
+def _tail_hedge_doc(arm: Dict[str, Any]) -> Dict[str, Any]:
+    """One hedge arm with its latency sequence folded to a digest."""
+    return {
+        "mode": arm["mode"],
+        "mean_s": arm["mean_s"],
+        "p50_s": arm["p50_s"],
+        "p99_s": arm["p99_s"],
+        "latency_fingerprint": _seq_fingerprint(arm["latencies"]),
+        "hedges": arm["hedges"],
+        "hedge_wins": arm["hedge_wins"],
+        "launch_fraction": arm["launch_fraction"],
+        "sketch_rel_err": arm["sketch_rel_err"],
+    }
+
+
+def run_tail_gate() -> Dict[str, Any]:
+    """Replay the pinned E26 tail comparison (all four arms)."""
+    from .experiments.e26_tail import (
+        MAX_HEDGE_OVERHEAD,
+        MAX_SKETCH_REL_ERR,
+        run_tail_arms,
+    )
+    res = run_tail_arms()
+    return {
+        "experiment": "E26 pinned tail pipeline (p99 objective, "
+                      "adaptive hedging, SLO burn)",
+        "config": res["config"],
+        "mean": _tail_objective_doc(res["mean"]),
+        "p99": _tail_objective_doc(res["p99"]),
+        "hedge_fixed": _tail_hedge_doc(res["hedge_fixed"]),
+        "hedge_adaptive": _tail_hedge_doc(res["hedge_adaptive"]),
+        "p99_tail_cut": res["p99_tail_cut"],
+        "hedge_p99_cut": res["hedge_p99_cut"],
+        "sketch_rel_err": res["sketch_rel_err"],
+        "max_sketch_rel_err": MAX_SKETCH_REL_ERR,
+        "max_hedge_overhead": MAX_HEDGE_OVERHEAD,
+    }
+
+
+def compare_tail(current: Dict[str, Any],
+                 baseline: Dict[str, Any]) -> List[str]:
+    """Violations of the tail gate against its baseline doc."""
+    violations: List[str] = []
+    for arm in ("mean", "p99"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_TAIL_OBJECTIVE_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"tail {arm}.{fld}: {cur} vs pinned {base}")
+    for arm in ("hedge_fixed", "hedge_adaptive"):
+        base_arm = baseline.get(arm, {})
+        cur_arm = current.get(arm, {})
+        for fld in PINNED_TAIL_HEDGE_FIELDS:
+            base, cur = base_arm.get(fld), cur_arm.get(fld)
+            if base != cur:
+                violations.append(
+                    f"tail {arm}.{fld}: {cur} vs pinned {base}")
+    if current.get("p99", {}).get("flip_index") is None:
+        violations.append(
+            "tail: the p99-steered optimizer never flipped to the "
+            "tight-tail impl — the tail objective is not steering")
+    if not current.get("mean", {}).get("stuck_on_bimodal", False):
+        violations.append(
+            "tail: the mean-steered arm left the bimodal impl — the "
+            "trap no longer distinguishes mean from tail steering")
+    fixed_p99 = current.get("hedge_fixed", {}).get("p99_s", 0.0)
+    adaptive_p99 = current.get("hedge_adaptive", {}).get("p99_s",
+                                                         float("inf"))
+    if adaptive_p99 >= fixed_p99:
+        violations.append(
+            f"tail: adaptive hedging no longer beats the fixed delay "
+            f"({adaptive_p99:.6f} s p99 vs {fixed_p99:.6f} s fixed)")
+    max_overhead = baseline.get("max_hedge_overhead", 1.0)
+    launch_fraction = current.get("hedge_adaptive",
+                                  {}).get("launch_fraction", 0.0)
+    if launch_fraction > max_overhead:
+        violations.append(
+            f"tail: adaptive hedging launches duplicates for "
+            f"{launch_fraction:.1%} of requests (bound "
+            f"{max_overhead:.0%})")
+    max_err = baseline.get("max_sketch_rel_err", 1.0)
+    rel_err = current.get("sketch_rel_err", 0.0)
+    if rel_err > max_err:
+        violations.append(
+            f"tail: worst sketch-vs-exact quantile error "
+            f"{rel_err:.2%} across the latency streams (bound "
+            f"{max_err:.0%})")
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # Throughput gate
 # ---------------------------------------------------------------------------
 
@@ -952,6 +1097,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(CI recovery-gate job)")
     parser.add_argument("--recovery-out", type=Path, default=None,
                         help="write the current recovery-gate JSON here")
+    parser.add_argument("--tail-baseline", type=Path,
+                        default=tail_baseline_path(),
+                        help="tail-gate baseline JSON")
+    parser.add_argument("--skip-tail", action="store_true",
+                        help="skip the E26 tail-pipeline gate")
+    parser.add_argument("--only-tail", action="store_true",
+                        help="run only the tail gate "
+                             "(CI tail-gate job)")
+    parser.add_argument("--tail-out", type=Path, default=None,
+                        help="write the current tail-gate JSON here")
     args = parser.parse_args(argv)
     if args.only_chaos and args.skip_chaos:
         parser.error("--only-chaos and --skip-chaos are exclusive")
@@ -967,13 +1122,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.only_recovery and args.skip_recovery:
         parser.error("--only-recovery and --skip-recovery are "
                      "exclusive")
+    if args.only_tail and args.skip_tail:
+        parser.error("--only-tail and --skip-tail are exclusive")
     only_flags = [args.only_chaos, args.only_attribution,
                   args.only_throughput, args.only_overload,
-                  args.only_recovery]
+                  args.only_recovery, args.only_tail]
     if sum(only_flags) > 1:
         parser.error("--only-chaos, --only-attribution, "
-                     "--only-throughput, --only-overload and "
-                     "--only-recovery are exclusive")
+                     "--only-throughput, --only-overload, "
+                     "--only-recovery and --only-tail are exclusive")
     if args.throughput_repeat < 1:
         parser.error("--throughput-repeat must be >= 1")
     if args.requests < 1:
@@ -984,7 +1141,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     only_other = args.only_chaos or args.only_attribution \
         or args.only_throughput or args.only_overload \
-        or args.only_recovery
+        or args.only_recovery or args.only_tail
     doc = None
     by_layer: Dict[str, float] = {}
     if not only_other:
@@ -1007,7 +1164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if (args.skip_autoscale or only_other) else run_autoscale_gate()
     chaos_doc = None if (args.skip_chaos or args.only_attribution
                          or args.only_throughput or args.only_overload
-                         or args.only_recovery) \
+                         or args.only_recovery or args.only_tail) \
         else run_chaos_gate()
     if args.chaos_out is not None and chaos_doc is not None:
         args.chaos_out.parent.mkdir(parents=True, exist_ok=True)
@@ -1018,7 +1175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     attribution_doc = None \
         if (args.skip_attribution or args.only_chaos
             or args.only_throughput or args.only_overload
-            or args.only_recovery) \
+            or args.only_recovery or args.only_tail) \
         else run_attribution_gate()
     if args.attribution_out is not None and attribution_doc is not None:
         args.attribution_out.parent.mkdir(parents=True, exist_ok=True)
@@ -1030,7 +1187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     throughput_doc = None \
         if (args.skip_throughput or args.only_chaos
             or args.only_attribution or args.only_overload
-            or args.only_recovery) \
+            or args.only_recovery or args.only_tail) \
         else run_throughput_gate(repeat=args.throughput_repeat)
     if args.throughput_out is not None and throughput_doc is not None:
         args.throughput_out.parent.mkdir(parents=True, exist_ok=True)
@@ -1041,7 +1198,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     overload_doc = None \
         if (args.skip_overload or args.only_chaos
             or args.only_attribution or args.only_throughput
-            or args.only_recovery) \
+            or args.only_recovery or args.only_tail) \
         else run_overload_gate()
     if args.overload_out is not None and overload_doc is not None:
         args.overload_out.parent.mkdir(parents=True, exist_ok=True)
@@ -1052,7 +1209,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     recovery_doc = None \
         if (args.skip_recovery or args.only_chaos
             or args.only_attribution or args.only_throughput
-            or args.only_overload) \
+            or args.only_overload or args.only_tail) \
         else run_recovery_gate()
     if args.recovery_out is not None and recovery_doc is not None:
         args.recovery_out.parent.mkdir(parents=True, exist_ok=True)
@@ -1060,6 +1217,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dumps(recovery_doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
         print(f"recovery-gate results written to {args.recovery_out}")
+    tail_doc = None \
+        if (args.skip_tail or args.only_chaos
+            or args.only_attribution or args.only_throughput
+            or args.only_overload or args.only_recovery) \
+        else run_tail_gate()
+    if args.tail_out is not None and tail_doc is not None:
+        args.tail_out.parent.mkdir(parents=True, exist_ok=True)
+        args.tail_out.write_text(
+            json.dumps(tail_doc, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"tail-gate results written to {args.tail_out}")
 
     if args.update:
         if doc is not None:
@@ -1109,6 +1277,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 json.dumps(recovery_doc, indent=2, sort_keys=True)
                 + "\n", encoding="utf-8")
             print(f"baseline updated: {args.recovery_baseline}")
+        if tail_doc is not None:
+            args.tail_baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.tail_baseline.write_text(
+                json.dumps(tail_doc, indent=2, sort_keys=True)
+                + "\n", encoding="utf-8")
+            print(f"baseline updated: {args.tail_baseline}")
         return 0
 
     violations: List[str] = []
@@ -1223,6 +1397,25 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"worst detect "
               f"{on['detection_latency_max'] * 1e3:.0f} ms")
         violations += compare_recovery(recovery_doc, recovery_baseline)
+
+    if tail_doc is not None:
+        if not args.tail_baseline.exists():
+            print(f"no baseline at {args.tail_baseline}; "
+                  "run with --update first", file=sys.stderr)
+            return 2
+        tail_baseline = json.loads(
+            args.tail_baseline.read_text(encoding="utf-8"))
+        ha = tail_doc["hedge_adaptive"]
+        print(f"  tail       p99 "
+              f"{tail_doc['mean']['p99_s'] * 1e3:.0f} ms "
+              f"(objective=mean) -> "
+              f"{tail_doc['p99']['p99_s'] * 1e3:.0f} ms "
+              f"(objective=p99), hedge p99 "
+              f"{tail_doc['hedge_fixed']['p99_s'] * 1e3:.0f} ms "
+              f"(fixed) -> {ha['p99_s'] * 1e3:.0f} ms (adaptive, "
+              f"{ha['launch_fraction']:.0%} launches), sketch err "
+              f"{tail_doc['sketch_rel_err']:.2%}")
+        violations += compare_tail(tail_doc, tail_baseline)
 
     if violations:
         print("PERF REGRESSION:", file=sys.stderr)

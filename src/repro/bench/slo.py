@@ -1,0 +1,266 @@
+"""SLO targets and multi-window burn-rate alerting.
+
+The tail pipeline ends at a question an operator actually pages on:
+*is this function (or tenant) burning its error budget too fast?* This
+module implements the Google-SRE multi-window, multi-burn-rate recipe:
+
+* An :class:`SLOTarget` says "``objective`` of requests must finish
+  within ``threshold_s``" — e.g. 99% under 100 ms. The error budget is
+  ``1 - objective``.
+* The **burn rate** over a window is ``bad_fraction / budget``: 1.0
+  means the budget is being consumed exactly at the sustainable rate;
+  14.4 means a 30-day budget would be gone in 50 hours.
+* An alert fires only when **both** a long window and its paired short
+  window exceed the same burn-rate threshold. The long window gives
+  significance (a blip cannot page); the short window gives reset (the
+  alert stops firing quickly once the problem is fixed, instead of
+  paging for the whole long window).
+
+:class:`SLOTracker` keeps a bounded per-key deque of ``(time, ok)``
+events against *simulated* time, recomputes window burn rates on each
+record, emits ``slo.burn_rate`` gauges into a metrics registry when
+one is attached, and appends an :class:`SLOAlert` record on each rising
+edge. Everything is a pure observer over latencies the caller already
+measured: recording schedules no simulation events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["BurnRateWindow", "SLOTarget", "SLOAlert", "SLOTracker",
+           "DEFAULT_WINDOWS"]
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One long/short window pair with its burn-rate threshold.
+
+    ``long_s`` carries the significance, ``short_s`` the reset
+    behavior; ``threshold`` is the burn rate both must exceed.
+    """
+
+    long_s: float
+    short_s: float
+    threshold: float
+
+    def __post_init__(self):
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ValueError("window lengths must be positive")
+        if self.short_s > self.long_s:
+            raise ValueError("short window must not exceed the long one")
+        if self.threshold <= 0:
+            raise ValueError("burn-rate threshold must be positive")
+
+
+#: The SRE-book pairs, scaled to simulation timescales: page-worthy
+#: fast burn (14.4x over 1 hour / 5 min) and slow burn (6x over
+#: 6 h / 30 min) become 60 s / 5 s and 360 s / 30 s — same ratios,
+#: sim-sized absolute lengths.
+DEFAULT_WINDOWS: Tuple[BurnRateWindow, ...] = (
+    BurnRateWindow(long_s=60.0, short_s=5.0, threshold=14.4),
+    BurnRateWindow(long_s=360.0, short_s=30.0, threshold=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """``objective`` of requests for ``key`` finish within ``threshold_s``."""
+
+    key: str
+    threshold_s: float
+    objective: float = 0.99
+
+    def __post_init__(self):
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerable bad fraction."""
+        return 1.0 - self.objective
+
+
+@dataclass
+class SLOAlert:
+    """One rising-edge alert record."""
+
+    key: str
+    time_s: float
+    window: BurnRateWindow
+    long_burn: float
+    short_burn: float
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "time_s": self.time_s,
+            "long_window_s": self.window.long_s,
+            "short_window_s": self.window.short_s,
+            "threshold": self.window.threshold,
+            "long_burn": self.long_burn,
+            "short_burn": self.short_burn,
+        }
+
+
+class _KeyState:
+    """Bounded event history and alert latch for one SLO key."""
+
+    __slots__ = ("target", "events", "total", "bad", "active")
+
+    def __init__(self, target: SLOTarget):
+        self.target = target
+        #: (time, ok) events within the longest window; older entries
+        #: are pruned on every record, so memory is O(window), not
+        #: O(history).
+        self.events: Deque[Tuple[float, bool]] = deque()
+        #: Lifetime counts (cheap, exact, never pruned).
+        self.total = 0
+        self.bad = 0
+        #: Alert latch per window pair (rising-edge detection).
+        self.active: Dict[BurnRateWindow, bool] = {}
+
+
+class SLOTracker:
+    """Tracks per-key SLO attainment and burn-rate alerts.
+
+    Keys are whatever dimension the caller cares about — function
+    names, ``tenant:<id>``, experiment arms. Attach a
+    :class:`~repro.sim.metrics_registry.LabeledMetricsRegistry` to get
+    ``slo.burn_rate`` gauges (labeled by key and window) and an
+    ``slo.alerts`` counter for free.
+    """
+
+    def __init__(self, metrics=None,
+                 windows: Tuple[BurnRateWindow, ...] = DEFAULT_WINDOWS):
+        if not windows:
+            raise ValueError("at least one burn-rate window is required")
+        self.metrics = metrics
+        self.windows = tuple(windows)
+        self._keys: Dict[str, _KeyState] = {}
+        #: Every rising-edge alert, in firing order.
+        self.alerts: List[SLOAlert] = []
+
+    # -- configuration ----------------------------------------------------
+    def add_target(self, key: str, threshold_s: float,
+                   objective: float = 0.99) -> SLOTarget:
+        """Register (or replace) the SLO for one key."""
+        target = SLOTarget(key=key, threshold_s=threshold_s,
+                           objective=objective)
+        self._keys[key] = _KeyState(target)
+        return target
+
+    def target(self, key: str) -> Optional[SLOTarget]:
+        state = self._keys.get(key)
+        return state.target if state is not None else None
+
+    def keys(self) -> List[str]:
+        return sorted(self._keys)
+
+    # -- recording --------------------------------------------------------
+    def record(self, key: str, latency_s: float, now: float,
+               ok: Optional[bool] = None) -> None:
+        """Fold one finished request into ``key``'s budget.
+
+        ``ok`` defaults to ``latency_s <= threshold``; pass it
+        explicitly to count errors (a failed request is always bad,
+        whatever its latency). Unknown keys are ignored — callers can
+        record every request and target only some functions.
+        """
+        state = self._keys.get(key)
+        if state is None:
+            return
+        good = ok if ok is not None \
+            else latency_s <= state.target.threshold_s
+        state.events.append((now, good))
+        state.total += 1
+        if not good:
+            state.bad += 1
+        horizon = now - max(w.long_s for w in self.windows)
+        while state.events and state.events[0][0] < horizon:
+            state.events.popleft()
+        self._check(state, now)
+
+    # -- queries ----------------------------------------------------------
+    def burn_rate(self, key: str, window_s: float, now: float) -> float:
+        """``bad_fraction / budget`` over the trailing window.
+
+        0.0 when the window holds no events (no traffic burns no
+        budget).
+        """
+        state = self._keys.get(key)
+        if state is None:
+            return 0.0
+        since = now - window_s
+        total = bad = 0
+        for t, good in reversed(state.events):
+            if t < since:
+                break
+            total += 1
+            if not good:
+                bad += 1
+        if not total:
+            return 0.0
+        return (bad / total) / state.target.budget
+
+    def attainment(self, key: str) -> Optional[float]:
+        """Lifetime good fraction for one key (None before traffic)."""
+        state = self._keys.get(key)
+        if state is None or not state.total:
+            return None
+        return 1.0 - state.bad / state.total
+
+    def alert_count(self, key: Optional[str] = None) -> int:
+        if key is None:
+            return len(self.alerts)
+        return sum(1 for a in self.alerts if a.key == key)
+
+    # -- alert evaluation -------------------------------------------------
+    def _check(self, state: _KeyState, now: float) -> None:
+        key = state.target.key
+        for window in self.windows:
+            long_burn = self.burn_rate(key, window.long_s, now)
+            short_burn = self.burn_rate(key, window.short_s, now)
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "slo.burn_rate", key=key,
+                    window=int(window.long_s)).set(long_burn, now)
+            firing = (long_burn >= window.threshold
+                      and short_burn >= window.threshold)
+            was = state.active.get(window, False)
+            state.active[window] = firing
+            if firing and not was:
+                self.alerts.append(SLOAlert(
+                    key=key, time_s=now, window=window,
+                    long_burn=long_burn, short_burn=short_burn))
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "slo.alerts", key=key,
+                        window=int(window.long_s)).add(1)
+
+    # -- export -----------------------------------------------------------
+    def to_json(self, now: float) -> Dict[str, Any]:
+        """Snapshot: per-key attainment/burn rates plus alert records."""
+        keys: Dict[str, Any] = {}
+        for key in self.keys():
+            state = self._keys[key]
+            keys[key] = {
+                "threshold_s": state.target.threshold_s,
+                "objective": state.target.objective,
+                "total": state.total,
+                "bad": state.bad,
+                "attainment": self.attainment(key),
+                "burn_rates": {
+                    str(int(w.long_s)): self.burn_rate(key, w.long_s, now)
+                    for w in self.windows
+                },
+            }
+        return {
+            "now_s": now,
+            "keys": keys,
+            "alerts": [a.to_json() for a in self.alerts],
+        }

@@ -44,11 +44,20 @@ it and falling back to serial ``invoke`` otherwise. The fingerprint
 covers per-invoke latency/placement outcomes and the metrics counters,
 so the batched entry point is pinned byte-identical to the serial loop.
 
+**Histogram-backend probe** — ``--histogram-backend sketch`` runs the
+hot loop on the current stack twice, once per histogram backend, and
+reports retained histogram bytes for both: the exact backend keeps
+every observed sample (unbounded, O(n) per series), the sketch backend
+a bounded bucket table (~1% quantile error). This mode is a standalone
+memory/speed probe — it never feeds the regress gate, whose
+fingerprints pin the exact backend's byte-identical summaries.
+
 Usage::
 
     python -m repro.bench.throughput            # print JSON report
     python -m repro.bench.throughput --repeat 3 # best-of-3 timing
     python -m repro.bench.throughput --serial   # force serial invokes
+    python -m repro.bench.throughput --histogram-backend sketch
 """
 
 from __future__ import annotations
@@ -269,17 +278,53 @@ def _interrupter(sim, delay: float, victim) -> Generator:
     victim.interrupt(cause="bench")
 
 
+def histogram_state_bytes(metrics) -> int:
+    """Retained bytes of histogram sample state across the registry.
+
+    Exact instruments are charged for their sample list and every
+    float in it; sketch instruments for their bucket table. Exemplar
+    reservoirs (identical in both modes) are not counted.
+    """
+    total = 0
+    for family in metrics._families.values():
+        if family.kind != "histogram":
+            continue
+        for _, hist in family.instruments():
+            sketch = getattr(hist, "sketch", None)
+            if sketch is not None:
+                buckets = sketch._buckets
+                total += sys.getsizeof(buckets)
+                total += sum(map(sys.getsizeof, buckets.keys()))
+                total += sum(map(sys.getsizeof, buckets.values()))
+            else:
+                samples = hist._samples
+                total += sys.getsizeof(samples)
+                total += sum(map(sys.getsizeof, samples))
+    return total
+
+
 def run_hot_loop_bench(stack_name: str = "current",
-                       plan: Optional[_HotLoopPlan] = None
+                       plan: Optional[_HotLoopPlan] = None,
+                       histogram_backend: str = "exact"
                        ) -> Dict[str, Any]:
-    """Time the pinned hot-loop workload on one stack."""
+    """Time the pinned hot-loop workload on one stack.
+
+    ``histogram_backend="sketch"`` is the standalone memory probe's
+    opt-in (current stack only — the frozen reference predates
+    sketches) and changes the fingerprint, so it never feeds the
+    gate path.
+    """
+    if histogram_backend != "exact" and stack_name != "current":
+        raise ValueError("histogram_backend only applies to the "
+                         "current stack")
     stack = STACKS[stack_name]()
     if plan is None:
         plan = _HotLoopPlan()
     sim = stack.simulator()
     tracer = stack.tracer().bind(sim)
     tracer.set_sampler(_TailPolicy())
-    metrics = stack.registry()
+    metrics = stack.registry() if histogram_backend == "exact" \
+        else stack.registry(histogram_backend=histogram_backend)
     done: List[str] = []
 
     for i in range(SESSIONS):
@@ -323,6 +368,8 @@ def run_hot_loop_bench(stack_name: str = "current",
         "final_now": sim.now,
         "spans": tracer.span_count,
         "fingerprint": fingerprint,
+        "histogram_backend": histogram_backend,
+        "histogram_bytes": histogram_state_bytes(metrics),
     }
 
 
@@ -434,6 +481,36 @@ def run_benchmarks(repeat: int = 2, serial: bool = False) -> Dict[str, Any]:
     }
 
 
+def run_backend_probe(repeat: int = 1) -> Dict[str, Any]:
+    """The memory probe: the hot loop under both histogram backends.
+
+    Runs the identical pinned workload on the current stack with exact
+    and sketch histograms and reports retained histogram bytes plus
+    events/sec for each (fastest of ``repeat`` runs per backend).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    plan = _HotLoopPlan()
+    runs: Dict[str, Dict[str, Any]] = {}
+    for backend in ("exact", "sketch"):
+        candidates = [run_hot_loop_bench("current", plan,
+                                         histogram_backend=backend)
+                      for _ in range(repeat)]
+        runs[backend] = max(candidates,
+                            key=lambda r: r["events_per_sec"])
+    exact_bytes = runs["exact"]["histogram_bytes"]
+    sketch_bytes = runs["sketch"]["histogram_bytes"]
+    return {
+        "exact": runs["exact"],
+        "sketch": runs["sketch"],
+        "histogram_bytes_exact": exact_bytes,
+        "histogram_bytes_sketch": sketch_bytes,
+        "memory_ratio": (exact_bytes / sketch_bytes
+                         if sketch_bytes else 0.0),
+        "repeat": repeat,
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point: print the benchmark report as JSON."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -442,8 +519,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--serial", action="store_true",
                         help="force serial invoke() even when "
                              "invoke_many is available")
+    parser.add_argument("--histogram-backend", default="exact",
+                        choices=("exact", "sketch"),
+                        help="'sketch' runs the standalone memory "
+                             "probe (both backends, current stack "
+                             "only) instead of the gated cross-stack "
+                             "report")
     args = parser.parse_args(argv)
-    report = run_benchmarks(repeat=args.repeat, serial=args.serial)
+    if args.histogram_backend == "sketch":
+        report = run_backend_probe(repeat=args.repeat)
+    else:
+        report = run_benchmarks(repeat=args.repeat, serial=args.serial)
     json.dump(report, sys.stdout, indent=2)
     print()
     return 0

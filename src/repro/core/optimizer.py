@@ -40,6 +40,12 @@ GOALS = ("latency", "cost")
 #: key has ``min_samples`` observations.
 OBSERVATION_MODES = ("static", "ema")
 
+#: What the observed estimate optimizes: "mean" reads the warm-path
+#: EMA (the historical behavior); "p99" reads the observed tail
+#: quantile from the attributor's warm-latency sketches, so an impl
+#: with a lower mean but a fat tail loses to a tight-tail one.
+OBJECTIVES = ("mean", "p99")
+
 
 @dataclass(frozen=True)
 class ImplEstimate:
@@ -60,7 +66,8 @@ class ImplOptimizer:
                  slo: Optional[float] = None,
                  observation_mode: str = "static",
                  attributor=None,
-                 min_samples: Optional[int] = None):
+                 min_samples: Optional[int] = None,
+                 objective: str = "mean"):
         if goal not in GOALS:
             raise ValueError(f"goal must be one of {GOALS}, got {goal!r}")
         if cold_start_amortization < 1:
@@ -74,7 +81,17 @@ class ImplOptimizer:
         if observation_mode != "static" and attributor is None:
             raise ValueError(
                 f"observation_mode={observation_mode!r} needs an attributor")
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"objective must be one of {OBJECTIVES}, got {objective!r}")
+        if objective == "p99" and observation_mode != "ema":
+            raise ValueError(
+                "objective='p99' steers on observed tail quantiles and "
+                "therefore needs observation_mode='ema'")
         self.goal = goal
+        #: "mean" scores impls on the warm EMA; "p99" on the observed
+        #: tail quantile (see :data:`OBJECTIVES`).
+        self.objective = objective
         #: "static" (model only) or "ema" (observed latencies once a
         #: key has ``min_samples`` samples).
         self.observation_mode = observation_mode
@@ -148,7 +165,11 @@ class ImplOptimizer:
             return model_latency
         if self.attributor.samples(fn_name, impl.name) < self.min_samples:
             return model_latency
-        warm_est = self.attributor.warm_latency(fn_name, impl.name)
+        if self.objective == "p99":
+            warm_est = self.attributor.tail_latency(fn_name, impl.name,
+                                                    q=99.0)
+        else:
+            warm_est = self.attributor.warm_latency(fn_name, impl.name)
         if warm_est is None:
             return model_latency
         if warm:

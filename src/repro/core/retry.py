@@ -94,6 +94,18 @@ class RetryPolicy:
     ``hedge_delay`` arms hedging: if the first attempt chain has not
     produced a result after that many seconds, a duplicate chain is
     dispatched and the first success wins.
+
+    ``hedge_mode`` picks how that delay is chosen per invocation:
+
+    * ``"fixed"`` (default) — always ``hedge_delay``, the legacy
+      behavior, byte-identical to before the knob existed.
+    * ``"adaptive"`` — the scheduler asks the latency attributor for
+      the observed ``hedge_quantile`` (default p99) warm latency of the
+      function being invoked and arms the hedge there, so the duplicate
+      fires exactly when this request has outlived the tail bound
+      instead of at a hand-tuned constant. Below ``hedge_min_samples``
+      observations (or with no attributor attached) it falls back to
+      the fixed ``hedge_delay``, which is therefore still required.
     """
 
     max_attempts: int = 1
@@ -104,8 +116,23 @@ class RetryPolicy:
     rng: Optional[RandomStream] = None
     budget: Optional[RetryBudget] = None
     hedge_delay: Optional[float] = None
+    hedge_mode: str = "fixed"
+    hedge_quantile: float = 99.0
+    hedge_min_samples: Optional[int] = None
 
     def __post_init__(self):
+        if self.hedge_mode not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"hedge_mode must be 'fixed' or 'adaptive', "
+                f"got {self.hedge_mode!r}")
+        if self.hedge_mode == "adaptive" and self.hedge_delay is None:
+            raise ValueError("adaptive hedging needs a fixed hedge_delay "
+                             "to fall back to below min samples")
+        if not 0.0 < self.hedge_quantile <= 100.0:
+            raise ValueError("hedge_quantile must be in (0, 100]")
+        if self.hedge_min_samples is not None \
+                and self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_backoff is not None and self.base_backoff < 0:

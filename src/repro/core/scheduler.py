@@ -452,6 +452,35 @@ class FunctionScheduler:
         else:
             kernel.metrics.counter(f"invoke.hedge.{event}").add(1)
 
+    def _hedge_delay(self, fn_def: FunctionDef,
+                     policy: RetryPolicy) -> float:
+        """The hedge arming delay for this invocation.
+
+        ``hedge_mode="fixed"`` returns ``policy.hedge_delay`` untouched
+        (no attributor reads — byte-identical to the pre-adaptive
+        scheduler). ``"adaptive"`` arms at the observed
+        ``hedge_quantile`` warm latency of this function — merged
+        across impls and node classes via the attributor's quantile
+        sketches — falling back to the fixed delay until
+        ``hedge_min_samples`` observations (the attributor's
+        ``min_samples`` when unset) or when no attributor is attached.
+        """
+        if policy.hedge_mode != "adaptive":
+            return policy.hedge_delay
+        attributor = getattr(self.kernel, "attributor", None)
+        if attributor is None:
+            return policy.hedge_delay
+        need = policy.hedge_min_samples
+        if need is None:
+            need = attributor.min_samples
+        if attributor.samples(fn_def.name) < need:
+            return policy.hedge_delay
+        tail = attributor.tail_latency(fn_def.name,
+                                       q=policy.hedge_quantile)
+        if tail is None or tail <= 0:
+            return policy.hedge_delay
+        return tail
+
     def _run_hedged(self, client_node: str, fn_ref: Reference,
                     fn_def: FunctionDef, args: Dict[str, Reference],
                     request: Dict[str, Any],
@@ -462,7 +491,9 @@ class FunctionScheduler:
         """Primary attempt chain plus a delayed speculative duplicate.
 
         The primary runs as its own process. If it produces no outcome
-        within ``policy.hedge_delay``, a secondary chain is dispatched
+        within the resolved hedge delay (:meth:`_hedge_delay` — the
+        fixed ``policy.hedge_delay``, or the observed tail quantile in
+        adaptive mode), a secondary chain is dispatched
         (without the co-location hint, so placement anti-affinity can
         route it around a slow machine) and the first chain to
         *succeed* wins; the loser is interrupted and its sandbox
@@ -482,11 +513,12 @@ class FunctionScheduler:
                 idem_key=idem_key)
             return result
 
+        delay = self._hedge_delay(fn_def, policy)
         with tracer.span("hedge", fn=fn_def.name,
-                         delay=policy.hedge_delay) as hspan:
+                         delay=delay) as hspan:
             primary = sim.spawn(arm(preferred_node),
                                 name=f"hedge:primary:{fn_def.name}")
-            trigger = sim.timeout(policy.hedge_delay)
+            trigger = sim.timeout(delay)
             # A failing primary fails the any_of, which re-raises here —
             # exactly the unhedged semantics.
             yield sim.any_of([primary, trigger])

@@ -109,6 +109,7 @@ class PCSICloud:
                  topology: Optional[Topology] = None,
                  attribution: bool = False,
                  observation_mode: str = "static",
+                 objective: str = "mean",
                  admission=None,
                  health=None):
         self.sim = sim if sim is not None else Simulator()
@@ -153,9 +154,13 @@ class PCSICloud:
         self.policy: PlacementPolicy = make_policy(
             placement, self.topology, self.rng.fork("placement"),
             attributor=self.attributor)
+        # ``objective="p99"`` steers impl selection on the observed
+        # tail quantile instead of the warm-path EMA mean (requires
+        # observation_mode="ema"; the optimizer validates that).
         self.optimizer = ImplOptimizer(goal=goal, prices=prices, slo=slo,
                                        observation_mode=observation_mode,
-                                       attributor=self.attributor)
+                                       attributor=self.attributor,
+                                       objective=objective)
         # ``autoscale`` closes the metrics → controller → pool loop:
         # a policy spec (name / class / prototype / factory) builds one
         # AutoscaleController that every warm pool registers with. The

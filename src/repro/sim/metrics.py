@@ -2,7 +2,20 @@
 
 Experiments report simulated latency/cost/utilization numbers that must
 be deterministic, so these classes do exact bookkeeping (sorted samples
-for percentiles) rather than approximate sketches.
+for percentiles) by default rather than approximate sketches.
+
+**Memory cost of the exact backend:** the exact histogram appends every
+observation to a Python list — 8 bytes of pointer plus a float object
+per sample, so a million-invoke run with a handful of per-request
+series holds tens of millions of floats just for percentile queries.
+That is the right trade for experiment-sized runs (exact percentiles,
+byte-stable gate fingerprints) and the wrong one at scale. High-volume
+series can opt into ``backend="sketch"`` — a DDSketch-style
+relative-error sketch (:mod:`repro.sim.sketch`) with O(1) insert and a
+hard bucket cap (~512 buckets ≈ a few KiB regardless of sample count)
+at the price of ~1% relative error on quantiles. The exact backend
+stays the default everywhere so existing byte-pinned gates do not
+move.
 
 **Exemplars** bridge aggregate metrics back to traces: a histogram
 keeps, per value bucket, a bounded reservoir of ``(value, trace_id)``
@@ -18,6 +31,8 @@ from __future__ import annotations
 import bisect
 import math
 from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .sketch import QuantileSketch
 
 #: Default upper bounds (``le``) of the exemplar buckets: log-spaced
 #: latency buckets from 100 us to 10 s, plus a +Inf catch-all. The
@@ -49,20 +64,48 @@ class Counter:
 
 
 class Histogram:
-    """Collects samples; reports mean/percentiles exactly.
+    """Collects samples; reports mean/percentiles exactly by default.
 
     Passing ``exemplar=<trace root id>`` to :meth:`observe` files the
     sample's trace reference into a bounded per-bucket reservoir (see
     :data:`DEFAULT_EXEMPLAR_BUCKETS`); :meth:`exemplars` and
     :meth:`exemplars_near_percentile` read it back.
+
+    ``backend="sketch"`` swaps the exact sample list for a bounded
+    :class:`~repro.sim.sketch.QuantileSketch`: O(1) insert, memory
+    capped at the sketch's bucket limit, percentiles within
+    ``relative_accuracy`` relative error, and :meth:`summary` gains
+    ``q50``/``q90``/``q99`` keys. Sketch-backed histograms only accept
+    non-negative values (every latency/size this system measures is).
+    Exemplars behave identically in both modes. The exact backend is
+    the default; its behavior and summary shape are byte-pinned by the
+    regression gates and must not change.
     """
 
     def __init__(self, name: str = "",
                  exemplar_buckets: Optional[Iterable[float]] = None,
-                 exemplar_reservoir: int = DEFAULT_EXEMPLAR_RESERVOIR):
+                 exemplar_reservoir: int = DEFAULT_EXEMPLAR_RESERVOIR,
+                 backend: str = "exact",
+                 relative_accuracy: Optional[float] = None,
+                 max_sketch_buckets: Optional[int] = None):
         if exemplar_reservoir < 1:
             raise ValueError("exemplar reservoir must hold >= 1 entry")
+        if backend not in ("exact", "sketch"):
+            raise ValueError(f"unknown histogram backend: {backend!r}")
+        if backend == "exact" and (relative_accuracy is not None
+                                   or max_sketch_buckets is not None):
+            raise ValueError("relative_accuracy/max_sketch_buckets only "
+                             "apply to backend='sketch'")
         self.name = name
+        self.backend = backend
+        self._sketch: Optional[QuantileSketch] = None
+        if backend == "sketch":
+            kwargs: Dict[str, Any] = {}
+            if relative_accuracy is not None:
+                kwargs["relative_accuracy"] = relative_accuracy
+            if max_sketch_buckets is not None:
+                kwargs["max_buckets"] = max_sketch_buckets
+            self._sketch = QuantileSketch(**kwargs)
         self._samples: List[float] = []
         self._sorted = True
         self._sum = 0.0
@@ -77,10 +120,13 @@ class Histogram:
 
     def observe(self, value: float, exemplar: Optional[Any] = None) -> None:
         """Record one sample, optionally carrying a trace reference."""
-        if self._samples and value < self._samples[-1]:
-            self._sorted = False
-        self._samples.append(value)
-        self._sum += value
+        if self._sketch is not None:
+            self._sketch.insert(value)
+        else:
+            if self._samples and value < self._samples[-1]:
+                self._sorted = False
+            self._samples.append(value)
+            self._sum += value
         if exemplar is not None:
             idx = bisect.bisect_left(self._bounds, value)
             bucket = self._exemplars.setdefault(idx, [])
@@ -95,25 +141,45 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        if self._sketch is not None:
+            return self._sketch.count
         return len(self._samples)
 
     @property
     def mean(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.mean if self._sketch.count else math.nan
         if not self._samples:
             return math.nan
         return self._sum / len(self._samples)
 
     @property
     def total(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.sum
         return self._sum
 
     @property
     def min(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.min if self._sketch.count else math.nan
         return min(self._samples) if self._samples else math.nan
 
     @property
     def max(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.max if self._sketch.count else math.nan
         return max(self._samples) if self._samples else math.nan
+
+    @property
+    def sketch(self) -> Optional[QuantileSketch]:
+        """The backing sketch (None for the exact backend).
+
+        Exposed so the registry can roll sketch-backed families up by
+        lossless :meth:`~repro.sim.sketch.QuantileSketch.merge` instead
+        of re-observing samples.
+        """
+        return self._sketch
 
     def percentile(self, p: float) -> float:
         """Exact percentile via linear interpolation (p in [0, 100]).
@@ -124,6 +190,12 @@ class Histogram:
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
+        if self._sketch is not None:
+            if not self._sketch.count:
+                raise EmptyHistogramError(
+                    f"histogram {self.name!r} is empty: no samples to take "
+                    f"a percentile of")
+            return self._sketch.percentile(p)
         if not self._samples:
             raise EmptyHistogramError(
                 f"histogram {self.name!r} is empty: no samples to take "
@@ -151,7 +223,14 @@ class Histogram:
         return self.percentile(99)
 
     def fraction_below(self, threshold: float) -> float:
-        """Fraction of samples <= threshold (SLO attainment)."""
+        """Fraction of samples <= threshold (SLO attainment).
+
+        Approximate (bucket-resolution) under the sketch backend.
+        """
+        if self._sketch is not None:
+            if not self._sketch.count:
+                return math.nan
+            return self._sketch.fraction_below(threshold)
         if not self._samples:
             return math.nan
         return sum(1 for v in self._samples
@@ -163,7 +242,31 @@ class Histogram:
         Safe on an empty histogram (count 0, NaN statistics) so that
         exporters can serialize every instrument unconditionally; only
         the *direct* percentile accessors raise when empty.
+
+        Sketch-backed histograms additionally report ``q50``/``q90``/
+        ``q99`` — the quantiles the tail pipeline exports. The exact
+        backend's key set is byte-pinned by gate fingerprints and does
+        not grow.
         """
+        if self._sketch is not None:
+            if not self._sketch.count:
+                return {"count": 0.0, "mean": math.nan, "min": math.nan,
+                        "p50": math.nan, "p99": math.nan, "max": math.nan,
+                        "q50": math.nan, "q90": math.nan, "q99": math.nan}
+            q50 = self._sketch.percentile(50)
+            q90 = self._sketch.percentile(90)
+            q99 = self._sketch.percentile(99)
+            return {
+                "count": float(self._sketch.count),
+                "mean": self._sketch.mean,
+                "min": self._sketch.min,
+                "p50": q50,
+                "p99": q99,
+                "max": self._sketch.max,
+                "q50": q50,
+                "q90": q90,
+                "q99": q99,
+            }
         if not self._samples:
             return {"count": 0.0, "mean": math.nan, "min": math.nan,
                     "p50": math.nan, "p99": math.nan, "max": math.nan}

@@ -38,6 +38,7 @@ import json
 from typing import Any, Dict, Generator, Iterator, List, Optional, Tuple
 
 from .metrics import Counter, Histogram, MetricsRegistry, TimeWeightedGauge
+from .sketch import QuantileSketch
 
 #: Label name used for the collapsed catch-all child of a full family.
 OVERFLOW_LABEL = "__overflow__"
@@ -83,8 +84,11 @@ class LabeledHistogram(Histogram):
     """
 
     def __init__(self, name: str = "",
-                 aggregate: Optional[Histogram] = None):
-        super().__init__(name)
+                 aggregate: Optional[Histogram] = None,
+                 backend: str = "exact",
+                 relative_accuracy: Optional[float] = None):
+        super().__init__(name, backend=backend,
+                         relative_accuracy=relative_accuracy)
         self._aggregate = aggregate
 
     def observe(self, value: float,
@@ -143,11 +147,22 @@ class LabeledMetricsRegistry(MetricsRegistry):
     bare name.
     """
 
-    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+                 histogram_backend: str = "exact",
+                 sketch_relative_accuracy: Optional[float] = None):
         super().__init__()
         if max_label_sets < 1:
             raise ValueError("max_label_sets must be >= 1")
+        if histogram_backend not in ("exact", "sketch"):
+            raise ValueError(
+                f"unknown histogram backend: {histogram_backend!r}")
         self.max_label_sets = max_label_sets
+        #: Default backend for new histogram families ("exact" keeps
+        #: every sample; "sketch" bounds memory at ~1% quantile error).
+        self.histogram_backend = histogram_backend
+        self.sketch_relative_accuracy = sketch_relative_accuracy
+        #: Per-family backend overrides (set before first use).
+        self._hist_backends: Dict[str, str] = {}
         self._families: Dict[str, _Family] = {}
         #: Label sets collapsed into __overflow__ children, by family.
         self.dropped_label_sets = 0
@@ -222,6 +237,28 @@ class LabeledMetricsRegistry(MetricsRegistry):
             self._memoize(cache_key, family, labels, child)
         return child
 
+    def set_histogram_backend(self, name: str, backend: str) -> None:
+        """Pick the backend for one histogram family, before first use.
+
+        High-volume families (per-request latency at million-invoke
+        scale) opt into ``"sketch"`` here while everything else stays
+        exact; gate-pinned families must never be switched.
+        """
+        if backend not in ("exact", "sketch"):
+            raise ValueError(f"unknown histogram backend: {backend!r}")
+        if name in self._families:
+            raise ValueError(
+                f"histogram family {name!r} already exists; the backend "
+                f"must be chosen before the first observation")
+        self._hist_backends[name] = backend
+
+    def _histogram_factory(self, name: str):
+        backend = self._hist_backends.get(name, self.histogram_backend)
+        accuracy = self.sketch_relative_accuracy \
+            if backend == "sketch" else None
+        return lambda n, agg: LabeledHistogram(
+            n, agg, backend=backend, relative_accuracy=accuracy)
+
     def histogram(self, name: str, **labels: Any) -> Histogram:
         """Get or create a histogram (the family aggregate if unlabeled)."""
         cache_key = ("histogram", name, *labels.items())
@@ -232,13 +269,54 @@ class LabeledMetricsRegistry(MetricsRegistry):
             cache_key = None
         if child is not None:
             return child
-        family = self._family(
-            name, "histogram", lambda n, agg: LabeledHistogram(n, agg))
-        child = self._child(family, labels,
-                            lambda n, agg: LabeledHistogram(n, agg))
+        factory = self._histogram_factory(name)
+        family = self._family(name, "histogram", factory)
+        child = self._child(family, labels, factory)
         if cache_key is not None:
             self._memoize(cache_key, family, labels, child)
         return child
+
+    def merged_sketch(self, name: str,
+                      **labels: Any) -> Optional[QuantileSketch]:
+        """Lossless merge of a sketch family's children into one sketch.
+
+        ``labels`` is a *subset* filter, like :meth:`window_delta`:
+        every child whose label set contains the given pairs
+        contributes (``merged_sketch("request_latency", fn="etl")``
+        merges across the ``tenant=...`` label that rides along). With
+        no labels the family aggregate's sketch is copied — the
+        aggregate already holds every forwarded sample. Returns None
+        for unknown, exact-backed, or empty selections.
+        """
+        family = self._families.get(name)
+        if family is None or family.kind != "histogram":
+            return None
+        if not labels:
+            sketch = family.aggregate.sketch
+            if sketch is None or not sketch.count:
+                return None
+            return sketch.copy()
+        want = set(label_key(labels))
+        sketches = []
+        for key in sorted(family.children):
+            if not want <= set(key):
+                continue
+            sketch = family.children[key].sketch
+            if sketch is not None and sketch.count:
+                sketches.append(sketch)
+        return QuantileSketch.merged(sketches)
+
+    def merged_quantile(self, name: str, pct: float,
+                        **labels: Any) -> Optional[float]:
+        """One percentile (``0 <= pct <= 100``) of a merged roll-up.
+
+        Convenience over :meth:`merged_sketch`; None when the selection
+        is empty or the family is exact-backed.
+        """
+        sketch = self.merged_sketch(name, **labels)
+        if sketch is None:
+            return None
+        return sketch.percentile(pct)
 
     def gauge(self, name: str, **labels: Any) -> TimeWeightedGauge:
         """Get or create a time-weighted gauge.

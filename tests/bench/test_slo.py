@@ -1,0 +1,155 @@
+"""Multi-window burn-rate SLO tracking."""
+
+import math
+
+import pytest
+
+from repro.bench.slo import (
+    DEFAULT_WINDOWS,
+    BurnRateWindow,
+    SLOTarget,
+    SLOTracker,
+)
+from repro.sim.metrics_registry import LabeledMetricsRegistry
+
+
+#: One small pair for unit tests: 10 s long / 2 s short, burn >= 2x.
+WINDOW = BurnRateWindow(long_s=10.0, short_s=2.0, threshold=2.0)
+
+
+def make_tracker(metrics=None, objective=0.9):
+    tracker = SLOTracker(metrics=metrics, windows=(WINDOW,))
+    tracker.add_target("serve", threshold_s=0.100, objective=objective)
+    return tracker
+
+
+# -- validation -------------------------------------------------------------
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        BurnRateWindow(long_s=0.0, short_s=1.0, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateWindow(long_s=1.0, short_s=2.0, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateWindow(long_s=2.0, short_s=1.0, threshold=0.0)
+
+
+def test_target_validation_and_budget():
+    with pytest.raises(ValueError):
+        SLOTarget(key="k", threshold_s=0.0)
+    with pytest.raises(ValueError):
+        SLOTarget(key="k", threshold_s=0.1, objective=1.0)
+    assert SLOTarget(key="k", threshold_s=0.1,
+                     objective=0.99).budget == pytest.approx(0.01)
+
+
+def test_tracker_requires_a_window():
+    with pytest.raises(ValueError):
+        SLOTracker(windows=())
+
+
+def test_default_windows_are_the_scaled_sre_pairs():
+    assert [w.threshold for w in DEFAULT_WINDOWS] == [14.4, 6.0]
+    for w in DEFAULT_WINDOWS:
+        assert w.long_s / w.short_s == pytest.approx(12.0)
+
+
+# -- recording and queries --------------------------------------------------
+
+def test_record_classifies_by_threshold_and_explicit_ok():
+    tracker = make_tracker()
+    tracker.record("serve", 0.050, now=1.0)        # good: under 100 ms
+    tracker.record("serve", 0.500, now=2.0)        # bad: over
+    tracker.record("serve", 0.050, now=3.0, ok=False)  # bad: error
+    assert tracker.attainment("serve") == pytest.approx(1 / 3)
+
+
+def test_unknown_keys_are_ignored():
+    tracker = make_tracker()
+    tracker.record("untracked", 9.9, now=1.0)
+    assert tracker.attainment("untracked") is None
+    assert tracker.alert_count() == 0
+
+
+def test_attainment_is_none_before_traffic():
+    assert make_tracker().attainment("serve") is None
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    tracker = make_tracker(objective=0.9)  # budget 0.1
+    for i in range(8):
+        tracker.record("serve", 0.050, now=float(i))
+    tracker.record("serve", 0.500, now=8.0)
+    tracker.record("serve", 0.500, now=9.0)
+    # 2 bad / 10 total = 0.2 bad fraction; over a 0.1 budget -> 2.0.
+    assert tracker.burn_rate("serve", 10.0, now=9.0) == pytest.approx(2.0)
+    assert tracker.burn_rate("serve", 10.0, now=200.0) == 0.0  # empty
+    assert tracker.burn_rate("nope", 10.0, now=9.0) == 0.0
+
+
+def test_events_are_pruned_to_the_longest_window():
+    tracker = make_tracker()
+    for i in range(100):
+        tracker.record("serve", 0.050, now=float(i))
+    state = tracker._keys["serve"]
+    assert len(state.events) <= 12  # 10 s window + the new event
+    assert state.total == 100  # lifetime counts survive pruning
+
+
+# -- alerting ---------------------------------------------------------------
+
+def test_alert_needs_both_windows_hot():
+    tracker = make_tracker(objective=0.9)
+    # Old burst of badness: hot in the 10 s window but the 2 s short
+    # window has cooled off -> no page.
+    for i in range(5):
+        tracker.record("serve", 0.500, now=0.1 * i)
+    tracker.record("serve", 0.050, now=5.0)
+    tracker.record("serve", 0.050, now=6.0)
+    before = tracker.alert_count("serve")
+    tracker.record("serve", 0.050, now=7.0)
+    assert tracker.alert_count("serve") == before
+
+
+def test_alert_fires_once_per_rising_edge():
+    tracker = make_tracker(objective=0.9)
+    for i in range(10):
+        tracker.record("serve", 0.500, now=0.2 * i)
+    assert tracker.alert_count("serve") == 1  # latched while firing
+    alert = tracker.alerts[0]
+    assert alert.key == "serve"
+    assert alert.long_burn >= WINDOW.threshold
+    assert alert.short_burn >= WINDOW.threshold
+    # Recover, then relapse: a second rising edge, a second alert.
+    for i in range(60):
+        tracker.record("serve", 0.050, now=2.0 + 0.2 * i)
+    assert tracker.alert_count("serve") == 1
+    for i in range(10):
+        tracker.record("serve", 0.500, now=20.0 + 0.2 * i)
+    assert tracker.alert_count("serve") == 2
+
+
+def test_metrics_emission():
+    reg = LabeledMetricsRegistry()
+    tracker = make_tracker(metrics=reg, objective=0.9)
+    for i in range(10):
+        tracker.record("serve", 0.500, now=0.2 * i)
+    assert reg.gauge("slo.burn_rate", key="serve",
+                     window=10).level >= WINDOW.threshold
+    assert reg.counter("slo.alerts", key="serve", window=10).value == 1
+
+
+# -- export -----------------------------------------------------------------
+
+def test_to_json_snapshot():
+    tracker = make_tracker(objective=0.9)
+    for i in range(10):
+        tracker.record("serve", 0.500, now=0.2 * i)
+    doc = tracker.to_json(now=2.0)
+    serve = doc["keys"]["serve"]
+    assert serve["total"] == 10
+    assert serve["bad"] == 10
+    assert serve["attainment"] == 0.0
+    assert serve["burn_rates"]["10"] >= WINDOW.threshold
+    assert doc["alerts"][0]["threshold"] == WINDOW.threshold
+    assert not math.isnan(doc["alerts"][0]["time_s"])

@@ -1,0 +1,113 @@
+"""The tail sub-gate: pinned E26 drift replay and its CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.regress import (
+    compare_tail,
+    main,
+    run_tail_gate,
+    tail_baseline_path,
+)
+
+
+@pytest.fixture(scope="module")
+def tail_doc():
+    return run_tail_gate()
+
+
+def test_gate_meets_its_own_bar(tail_doc):
+    """A fresh gate run satisfies its own baseline and win conditions."""
+    assert compare_tail(tail_doc, tail_doc) == []
+    assert tail_doc["p99"]["flip_index"] is not None
+    assert tail_doc["mean"]["stuck_on_bimodal"]
+    assert tail_doc["hedge_adaptive"]["p99_s"] \
+        < tail_doc["hedge_fixed"]["p99_s"]
+    assert tail_doc["hedge_adaptive"]["launch_fraction"] \
+        <= tail_doc["max_hedge_overhead"]
+    assert tail_doc["sketch_rel_err"] <= tail_doc["max_sketch_rel_err"]
+
+
+def test_gate_matches_checked_in_baseline(tail_doc):
+    """The repo baseline is fresh: a clean checkout replays it exactly."""
+    baseline = json.loads(
+        tail_baseline_path().read_text(encoding="utf-8"))
+    assert compare_tail(tail_doc, baseline) == []
+
+
+def test_compare_flags_decision_drift(tail_doc):
+    base = json.loads(json.dumps(tail_doc))
+    base["p99"]["decision_fingerprint"] = "0" * 16
+    violations = compare_tail(tail_doc, base)
+    assert len(violations) == 1
+    assert "p99.decision_fingerprint" in violations[0]
+
+
+def test_compare_flags_latency_drift(tail_doc):
+    base = json.loads(json.dumps(tail_doc))
+    base["hedge_adaptive"]["latency_fingerprint"] = "0" * 16
+    assert any("hedge_adaptive.latency_fingerprint" in v
+               for v in compare_tail(tail_doc, base))
+
+
+def test_compare_flags_missing_flip(tail_doc):
+    cur = json.loads(json.dumps(tail_doc))
+    cur["p99"]["flip_index"] = None
+    assert any("never flipped" in v for v in compare_tail(cur, tail_doc))
+
+
+def test_compare_flags_unstuck_mean_arm(tail_doc):
+    cur = json.loads(json.dumps(tail_doc))
+    cur["mean"]["stuck_on_bimodal"] = False
+    assert any("mean-steered arm" in v
+               for v in compare_tail(cur, tail_doc))
+
+
+def test_compare_flags_weak_adaptive_hedge(tail_doc):
+    cur = json.loads(json.dumps(tail_doc))
+    cur["hedge_adaptive"]["p99_s"] = cur["hedge_fixed"]["p99_s"] + 1.0
+    assert any("hedging no longer beats" in v
+               for v in compare_tail(cur, tail_doc))
+
+
+def test_compare_flags_hedge_overhead_blowout(tail_doc):
+    cur = json.loads(json.dumps(tail_doc))
+    cur["hedge_adaptive"]["launch_fraction"] = \
+        cur["max_hedge_overhead"] + 0.01
+    assert any("launch" in v for v in compare_tail(cur, tail_doc))
+
+
+def test_compare_flags_sketch_accuracy_regression(tail_doc):
+    cur = json.loads(json.dumps(tail_doc))
+    cur["sketch_rel_err"] = cur["max_sketch_rel_err"] + 0.01
+    assert any("sketch" in v for v in compare_tail(cur, tail_doc))
+
+
+def test_cli_only_tail_update_then_compare_and_perturb(tmp_path):
+    tb = tmp_path / "tail.json"
+    out = tmp_path / "tail_out.json"
+    assert main(["--only-tail", "--update",
+                 "--tail-baseline", str(tb)]) == 0
+    doc = json.loads(tb.read_text())
+    assert doc["p99"]["flip_index"] is not None
+    assert main(["--only-tail", "--tail-baseline", str(tb),
+                 "--tail-out", str(out)]) == 0
+    assert json.loads(out.read_text())["p99"]["decision_fingerprint"]
+
+    # Perturb a pinned fingerprint: the gate must fail.
+    doc["mean"]["latency_fingerprint"] = "f" * 16
+    tb.write_text(json.dumps(doc))
+    assert main(["--only-tail", "--tail-baseline", str(tb)]) == 1
+
+
+def test_cli_missing_tail_baseline_is_usage_error(tmp_path):
+    assert main(["--only-tail",
+                 "--tail-baseline", str(tmp_path / "nope.json")]) == 2
+
+
+def test_cli_only_and_skip_tail_are_exclusive():
+    with pytest.raises(SystemExit):
+        main(["--only-tail", "--skip-tail"])
+    with pytest.raises(SystemExit):
+        main(["--only-tail", "--only-attribution"])

@@ -1,0 +1,183 @@
+"""Tail-aware control loops: tail_latency, adaptive hedging, p99 goal."""
+
+import pytest
+
+from repro.bench.attribution import LatencyAttributor
+from repro.cluster import build_cluster, cpu_task, server_node
+from repro.core import FunctionImpl, PCSICloud
+from repro.core.optimizer import ImplOptimizer
+from repro.core.retry import RetryPolicy
+from repro.faas import WASM
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def feed(attributor, fn, impl, warm_latencies, node_class="all"):
+    """Fold synthetic warm observations into one attribution key."""
+    from repro.bench.attribution import AttributionStats
+    key = (fn, impl, node_class)
+    stats = attributor._stats.get(key)
+    if stats is None:
+        stats = attributor._stats[key] = AttributionStats()
+    for warm in warm_latencies:
+        stats.update({"execute": warm}, cold=False,
+                     alpha=attributor.alpha)
+        attributor.observed_invokes += 1
+
+
+# -- RetryPolicy validation -------------------------------------------------
+
+def test_policy_defaults_to_fixed_mode():
+    policy = RetryPolicy(hedge_delay=0.1)
+    assert policy.hedge_mode == "fixed"
+
+
+def test_policy_rejects_bad_hedge_settings():
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=0.1, hedge_mode="p99")
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_mode="adaptive")  # adaptive needs a fallback
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=0.1, hedge_mode="adaptive",
+                    hedge_quantile=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=0.1, hedge_mode="adaptive",
+                    hedge_quantile=101.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(hedge_delay=0.1, hedge_mode="adaptive",
+                    hedge_min_samples=0)
+
+
+# -- attributor tail quantiles ----------------------------------------------
+
+def test_tail_latency_reads_the_observed_quantile():
+    attr = LatencyAttributor(Tracer(enabled=True))
+    feed(attr, "serve", "fast", [0.010] * 95 + [0.500] * 5)
+    p50 = attr.tail_latency("serve", "fast", q=50.0)
+    p99 = attr.tail_latency("serve", "fast", q=99.0)
+    assert p50 == pytest.approx(0.010, rel=0.02)
+    assert p99 == pytest.approx(0.500, rel=0.02)
+
+
+def test_tail_latency_merges_across_impls_and_node_classes():
+    attr = LatencyAttributor(Tracer(enabled=True))
+    feed(attr, "serve", "a", [0.010] * 98, node_class="cpu")
+    feed(attr, "serve", "b", [1.000] * 2, node_class="gpu")
+    # Merged across every impl/class: rank 0.99*(100-1) lands on the
+    # slow key's observations, the true p99 of the combined stream.
+    assert attr.tail_latency("serve", q=99.0) == pytest.approx(1.0,
+                                                               rel=0.02)
+    # Narrowed to one impl, the slow key disappears.
+    assert attr.tail_latency("serve", "a", q=99.0) == \
+        pytest.approx(0.010, rel=0.02)
+    assert attr.tail_latency("serve", node_class="gpu", q=50.0) == \
+        pytest.approx(1.0, rel=0.02)
+
+
+def test_tail_latency_none_without_observations():
+    attr = LatencyAttributor(Tracer(enabled=True))
+    assert attr.tail_latency("never-seen") is None
+
+
+def test_attribution_export_carries_warm_tail():
+    attr = LatencyAttributor(Tracer(enabled=True))
+    feed(attr, "serve", "fast", [0.010] * 10)
+    doc = attr.to_json()
+    tail = doc["keys"]["serve/fast@all"]["warm_tail_s"]
+    assert set(tail) == {"q50", "q90", "q99"}
+    assert tail["q99"] == pytest.approx(0.010, rel=0.02)
+
+
+# -- adaptive hedge arming --------------------------------------------------
+
+def make_small_cloud():
+    sim = Simulator()
+    topo = build_cluster(sim, racks=1, nodes_per_rack=2,
+                         gpu_nodes_per_rack=0,
+                         node_capacity=server_node(cpus=1, memory_gb=4))
+    cloud = PCSICloud(sim, seed=7, topology=topo, data_replicas=1,
+                      trace=True, attribution=True)
+    fn_ref = cloud.define_function("serve", [
+        FunctionImpl("wasm", WASM, cpu_task(cpus=1, memory_gb=1),
+                     work_ops=1e6)])
+    return cloud, cloud.function_def(fn_ref)
+
+
+def test_fixed_mode_returns_the_policy_delay_untouched():
+    cloud, fn_def = make_small_cloud()
+    policy = RetryPolicy(hedge_delay=0.25)
+    feed(cloud.attributor, "serve", "wasm", [0.010] * 100)
+    assert cloud.scheduler._hedge_delay(fn_def, policy) == 0.25
+
+
+def test_adaptive_mode_falls_back_below_min_samples():
+    cloud, fn_def = make_small_cloud()
+    policy = RetryPolicy(hedge_delay=0.25, hedge_mode="adaptive",
+                         hedge_min_samples=50)
+    feed(cloud.attributor, "serve", "wasm", [0.010] * 49)
+    assert cloud.scheduler._hedge_delay(fn_def, policy) == 0.25
+
+
+def test_adaptive_mode_arms_at_the_observed_quantile():
+    cloud, fn_def = make_small_cloud()
+    policy = RetryPolicy(hedge_delay=0.25, hedge_mode="adaptive",
+                         hedge_quantile=99.0, hedge_min_samples=50)
+    feed(cloud.attributor, "serve", "wasm", [0.010] * 95 + [0.100] * 5)
+    delay = cloud.scheduler._hedge_delay(fn_def, policy)
+    assert delay == pytest.approx(0.100, rel=0.02)
+
+
+def test_adaptive_min_samples_defaults_to_the_attributor_guard():
+    cloud, fn_def = make_small_cloud()
+    policy = RetryPolicy(hedge_delay=0.25, hedge_mode="adaptive")
+    need = cloud.attributor.min_samples
+    feed(cloud.attributor, "serve", "wasm", [0.010] * (need - 1))
+    assert cloud.scheduler._hedge_delay(fn_def, policy) == 0.25
+    feed(cloud.attributor, "serve", "wasm", [0.010])
+    assert cloud.scheduler._hedge_delay(fn_def, policy) == \
+        pytest.approx(0.010, rel=0.02)
+
+
+def test_adaptive_hedging_end_to_end_is_deterministic():
+    from repro.bench.experiments.e26_tail import run_hedge_arm
+    a = run_hedge_arm("adaptive")
+    b = run_hedge_arm("adaptive")
+    assert a["latencies"] == b["latencies"]
+    assert a["hedges"] == b["hedges"]
+
+
+# -- optimizer objective ----------------------------------------------------
+
+def test_p99_objective_requires_ema_mode():
+    with pytest.raises(ValueError):
+        ImplOptimizer(objective="p99")
+    with pytest.raises(ValueError):
+        ImplOptimizer(objective="latency-ish")
+    with pytest.raises(ValueError):
+        PCSICloud(racks=1, nodes_per_rack=2, gpu_nodes_per_rack=0,
+                  seed=7, objective="p99")  # static observation mode
+
+
+def test_p99_objective_prefers_the_tight_tail_impl():
+    """Mean steering picks the lower-mean fat-tail impl; p99 steering
+    the higher-mean tight-tail one, from identical observations."""
+    for objective, expected in (("mean", "fat"), ("p99", "tight")):
+        sim = Simulator()
+        cloud = PCSICloud(sim, racks=1, nodes_per_rack=2,
+                          gpu_nodes_per_rack=0, seed=7, trace=True,
+                          data_replicas=1, observation_mode="ema",
+                          objective=objective)
+        fn_ref = cloud.define_function("serve", [
+            FunctionImpl("fat", WASM, cpu_task(cpus=1, memory_gb=1),
+                         work_ops=1e6),
+            FunctionImpl("tight", WASM, cpu_task(cpus=1, memory_gb=1),
+                         work_ops=1e6)])
+        fn_def = cloud.function_def(fn_ref)
+        # fat: spikes early, then a long fast run — its warm EMA
+        # settles near 10 ms while its sketch still remembers the
+        # 100 ms tail; tight: constant 20 ms.
+        feed(cloud.attributor, "serve", "fat",
+             [0.100] * 5 + [0.010] * 95)
+        feed(cloud.attributor, "serve", "tight", [0.020] * 100)
+        chosen = cloud.optimizer.choose(fn_def, {})
+        assert chosen.name == expected, objective

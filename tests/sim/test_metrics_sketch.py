@@ -1,0 +1,165 @@
+"""Sketch-backed histograms: backend opt-in, rollups, export parity."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import EmptyHistogramError, Histogram
+from repro.sim.metrics_registry import LabeledMetricsRegistry
+from repro.sim.sketch import QuantileSketch
+
+
+# -- Histogram backend ------------------------------------------------------
+
+def test_exact_backend_is_the_default_and_rejects_sketch_kwargs():
+    h = Histogram("h")
+    assert h.backend == "exact"
+    assert h.sketch is None
+    with pytest.raises(ValueError):
+        Histogram("h", relative_accuracy=0.01)
+    with pytest.raises(ValueError):
+        Histogram("h", max_sketch_buckets=64)
+    with pytest.raises(ValueError):
+        Histogram("h", backend="nope")
+
+
+def test_exact_summary_key_set_is_unchanged():
+    """The gate fingerprints digest these keys; they must not grow."""
+    h = Histogram("h")
+    h.observe(1.0)
+    assert set(h.summary()) == {"count", "mean", "min", "p50", "p99",
+                                "max"}
+
+
+def test_sketch_backend_tracks_quantiles_within_bound():
+    h = Histogram("h", backend="sketch")
+    assert h.sketch is not None
+    for i in range(1000):
+        h.observe(0.010 * (1 + (i % 10) / 100.0))
+    assert h.count == 1000
+    assert h.percentile(50) == pytest.approx(0.0105, rel=0.03)
+    summary = h.summary()
+    assert {"q50", "q90", "q99"} <= set(summary)
+    assert summary["p50"] == summary["q50"]
+    assert summary["p99"] == summary["q99"]
+
+
+def test_sketch_backend_empty_and_error_paths():
+    h = Histogram("h", backend="sketch")
+    with pytest.raises(EmptyHistogramError):
+        h.percentile(50)
+    assert math.isnan(h.summary()["q99"])
+    assert math.isnan(h.fraction_below(1.0))
+
+
+def test_sketch_backend_accepts_tuning_kwargs():
+    h = Histogram("h", backend="sketch", relative_accuracy=0.05,
+                  max_sketch_buckets=64)
+    assert h.sketch.relative_accuracy == 0.05
+    assert h.sketch.max_buckets == 64
+
+
+def test_exemplars_identical_across_backends():
+    for backend in ("exact", "sketch"):
+        h = Histogram("h", backend=backend)
+        h.observe(0.004, exemplar="trace-1")
+        h.observe(1.7, exemplar="trace-2")
+        pairs = [p for bucket in h.exemplars().values() for p in bucket]
+        assert sorted(t for _, t in pairs) == ["trace-1", "trace-2"]
+
+
+# -- registry rollups -------------------------------------------------------
+
+def _sketch_registry(**kwargs):
+    reg = LabeledMetricsRegistry(histogram_backend="sketch", **kwargs)
+    for fn, lat in (("a", 0.010), ("a", 0.012), ("b", 0.200),
+                    ("b", 0.210), ("a", 0.011)):
+        reg.histogram("latency", fn=fn).observe(lat)
+    return reg
+
+
+def test_registry_backend_applies_to_families_and_children():
+    reg = _sketch_registry()
+    assert reg.histogram("latency").backend == "sketch"
+    assert reg.histogram("latency", fn="a").backend == "sketch"
+
+
+def test_merged_sketch_rolls_children_up_losslessly():
+    reg = _sketch_registry()
+    merged = reg.merged_sketch("latency", fn="a")
+    assert merged.count == 3
+    everything = reg.merged_sketch("latency")
+    assert everything.count == 5
+    # The aggregate already holds every forwarded sample: the unlabeled
+    # rollup equals the aggregate's own sketch.
+    assert everything._buckets == reg.histogram("latency").sketch._buckets
+
+
+def test_merged_quantile_reads_the_rollup():
+    reg = _sketch_registry()
+    # fn="a" holds {0.010, 0.011, 0.012}: q99 must land inside the top
+    # order-statistic bracket, within the sketch's relative accuracy.
+    q99_a = reg.merged_quantile("latency", 99, fn="a")
+    assert 0.011 * 0.98 <= q99_a <= 0.012 * 1.02
+    assert reg.merged_quantile("latency", 99, fn="zzz") is None
+
+
+def test_merged_sketch_is_none_for_exact_families():
+    reg = LabeledMetricsRegistry()
+    reg.histogram("latency", fn="a").observe(0.01)
+    assert reg.merged_sketch("latency") is None
+    assert reg.merged_quantile("latency", 99) is None
+
+
+def test_per_family_backend_override():
+    reg = LabeledMetricsRegistry()
+    reg.set_histogram_backend("tail_latency", "sketch")
+    reg.histogram("tail_latency", fn="a").observe(0.01)
+    reg.histogram("other").observe(0.01)
+    assert reg.histogram("tail_latency").backend == "sketch"
+    assert reg.histogram("other").backend == "exact"
+    with pytest.raises(ValueError):
+        reg.set_histogram_backend("other", "sketch")  # family exists
+
+
+# -- export parity ----------------------------------------------------------
+
+def _line_fields(line):
+    """Parse one line-protocol line into its field dict."""
+    fields = line.split(" ")[1]
+    return {k: float(v) for k, v in
+            (pair.split("=") for pair in fields.split(","))}
+
+
+def test_json_and_line_protocol_export_identical_quantiles():
+    reg = _sketch_registry()
+    json_doc = reg.to_json(now=12.0)
+    lines = reg.to_line_protocol(now=12.0).splitlines()
+    hist_lines = {line.split(" ")[0]: line for line in lines
+                  if line.startswith("latency")
+                  and "exemplar_value" not in line}
+    for name, summary in json_doc["histograms"].items():
+        # JSON names children latency{fn=a}; line protocol latency,fn=a.
+        line_name = name.replace("{", ",").replace("}", "")
+        fields = _line_fields(hist_lines[line_name])
+        for key in ("q50", "q90", "q99", "p50", "p99", "count"):
+            assert fields[key] == summary[key], (name, key)
+
+
+def test_exemplar_lines_still_interleave_for_sketch_families():
+    reg = LabeledMetricsRegistry(histogram_backend="sketch")
+    reg.histogram("latency", fn="a").observe(0.01, exemplar="t-1")
+    reg.histogram("latency", fn="a").observe(2.5, exemplar="t-2")
+    lines = reg.to_line_protocol(now=1.0).splitlines()
+    exemplar_lines = [ln for ln in lines if "exemplar_value" in ln]
+    assert len(exemplar_lines) == 4  # aggregate + child, two exemplars
+    assert any("trace_id=t-1" in ln for ln in exemplar_lines)
+    assert any("le=" in ln for ln in exemplar_lines)
+
+
+def test_sketch_families_survive_json_export_and_series_sampling():
+    reg = _sketch_registry()
+    reg.sample(5.0)
+    doc = reg.to_json(now=5.0)
+    assert doc["histograms"]["latency"]["count"] == 5.0
+    assert "q90" in doc["histograms"]["latency{fn=a}"]
